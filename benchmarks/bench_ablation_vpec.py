@@ -1,0 +1,195 @@
+"""Ablation studies of the reproduction's design choices.
+
+Each ablation switches off one ingredient and measures what breaks,
+documenting *why* the implementation is the way it is:
+
+- **rectangle GMD** (extraction): without it, tall closely-spaced
+  cross sections get overestimated mutuals and ``L^-1`` loses the
+  strict diagonal dominance Theorem 2 promises;
+- **eq. 18 merge rule** (windowing): picking ``max`` of the two
+  directional estimates (= smaller magnitude, the paper's choice) keeps
+  ``S'`` diagonally dominant; ``min`` visibly degrades the margin;
+- **window symmetrization** (windowing): one-sided windows give some
+  pairs only one estimate, breaking the eq. 19 guarantee;
+- **wire segmentation** (discretization): victim waveforms converge as
+  segments per line grow, supporting the one-segment setting the
+  paper's (sub-tenth-wavelength) buses use.
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import waveform_difference
+from repro.analysis.tables import format_table
+from repro.circuit.sources import step
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.experiments.runner import build_model, peec_spec, run_bus_transient
+from repro.vpec.effective import VpecNetwork
+from repro.vpec.passivity import diagonal_dominance_margin, is_positive_definite
+from repro.vpec.windowing import geometric_windows, windowed_inverse
+
+
+def test_ablation_gmd(benchmark, report):
+    """Rectangle GMD vs raw centerline distance, across aspect ratios."""
+
+    def run():
+        rows = []
+        for label, width, thickness in (
+            ("square 1x1 um", 1e-6, 1e-6),
+            ("wide 3x0.3 um", 3e-6, 0.3e-6),
+            ("tall 0.3x2 um", 0.3e-6, 2e-6),
+        ):
+            for gmd in (True, False):
+                bus = aligned_bus(
+                    16,
+                    width=width,
+                    thickness=thickness,
+                    spacing=0.5 * max(width, thickness),
+                )
+                parasitics = extract(bus, gmd_correction=gmd)
+                s_matrix = np.linalg.inv(parasitics.inductance)
+                rows.append(
+                    [
+                        label,
+                        "on" if gmd else "off",
+                        f"{diagonal_dominance_margin(s_matrix):+.4f}",
+                        str(is_positive_definite(s_matrix)),
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_gmd",
+        format_table(
+            ["cross section", "GMD", "DD margin of L^-1", "SPD"],
+            rows,
+            title="Ablation: rectangle GMD correction (16-bit bus, tight spacing)",
+        ),
+    )
+    by_key = {(r[0], r[1]): float(r[2]) for r in rows}
+    # The tall-section case must be rescued by the GMD correction.
+    assert by_key[("tall 0.3x2 um", "on")] > 0
+    assert by_key[("tall 0.3x2 um", "off")] < by_key[("tall 0.3x2 um", "on")]
+
+
+def test_ablation_merge_rule(benchmark, report):
+    """eq. 18's max-merge vs min / mean alternatives."""
+
+    def run():
+        parasitics = extract(aligned_bus(32))
+        indices, block = next(iter(parasitics.inductance_blocks.values()))
+        windows = geometric_windows(parasitics.system, indices, 8)
+        exact = np.linalg.inv(block)
+        rows = []
+        for rule in ("max", "min", "mean"):
+            s_prime = windowed_inverse(block, windows, merge=rule).toarray()
+            margin = diagonal_dominance_margin(s_prime)
+            spd = is_positive_definite((s_prime + s_prime.T) / 2)
+            error = np.linalg.norm(s_prime - exact) / np.linalg.norm(exact)
+            rows.append(
+                [rule, f"{margin:+.4f}", str(spd), f"{error:.4f}"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_merge_rule",
+        format_table(
+            ["merge rule", "DD margin of S'", "SPD", "rel error vs exact inverse"],
+            rows,
+            title="Ablation: eq. 18 merge rule (32-bit bus, window b=8)",
+        ),
+    )
+    margins = {r[0]: float(r[1]) for r in rows}
+    assert margins["max"] >= 0
+    assert margins["max"] > margins["min"]
+
+
+def test_ablation_window_symmetrization(benchmark, report):
+    """Symmetrized vs raw nearest-b windows."""
+
+    def run():
+        parasitics = extract(aligned_bus(33))  # odd size: guaranteed ties
+        indices, block = next(iter(parasitics.inductance_blocks.values()))
+        rows = []
+        for symmetrize in (True, False):
+            windows = geometric_windows(
+                parasitics.system, indices, 8, symmetrize=symmetrize
+            )
+            s_prime = windowed_inverse(block, windows).toarray()
+            margin = diagonal_dominance_margin(s_prime)
+            rows.append(
+                [
+                    "on" if symmetrize else "off",
+                    f"{margin:+.5f}",
+                    str(is_positive_definite((s_prime + s_prime.T) / 2)),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_symmetrize",
+        format_table(
+            ["symmetrization", "DD margin of S'", "SPD"],
+            rows,
+            title="Ablation: window-membership symmetrization (33-bit bus, b=8)",
+        ),
+    )
+    margins = [float(r[1]) for r in rows]
+    assert margins[0] >= margins[1]
+    assert margins[0] >= 0
+
+
+def test_ablation_segmentation(benchmark, report):
+    """Victim waveform convergence with segments per line."""
+
+    def run():
+        stimulus = step(1.0, rise_time=10e-12)
+        reference = None
+        rows = []
+        for segments in (8, 4, 2, 1):
+            parasitics = extract(aligned_bus(8, segments_per_line=segments))
+            run_result = run_bus_transient(
+                build_model(peec_spec(), parasitics),
+                stimulus,
+                200e-12,
+                1e-12,
+                [1],
+            )
+            wave = run_result.waveforms["far1"]
+            if reference is None:
+                reference = wave
+                rows.append([segments, f"{wave.peak * 1e3:.3f}", "-"])
+            else:
+                diff = waveform_difference(reference, wave)
+                rows.append(
+                    [
+                        segments,
+                        f"{wave.peak * 1e3:.3f}",
+                        f"{diff.mean_relative_to_peak * 100:.3f}%",
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_segmentation",
+        format_table(
+            ["segments/line", "victim peak (mV)", "avg diff vs 8-seg"],
+            rows,
+            title="Ablation: longitudinal segmentation (8-bit bus PEEC)",
+        ),
+    )
+    # Waveforms converge monotonically toward the fine discretization.
+    # Finding worth recording: at a 10 ps rise time the per-line flight
+    # time (~10 ps) is comparable, so the paper's one-segment setting is
+    # converged only to ~15% in waveform terms -- four segments reach a
+    # few percent.  All model *comparisons* in this repository use the
+    # same segmentation on both sides, so the finding does not affect
+    # the reproduction's conclusions, but absolute noise numbers would
+    # need >= 4 segments per line.
+    errors = [float(r[2].rstrip("%")) for r in rows[1:]]
+    assert errors == sorted(errors)
+    assert errors[0] < 5.0  # 4 segments: converged to a few percent

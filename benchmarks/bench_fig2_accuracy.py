@@ -1,0 +1,72 @@
+"""E1/E2 -- Fig. 2: full vs localized VPEC accuracy on the 5-bit bus.
+
+Regenerates both panels: the transient (1-V step, 10 ps rise) and the AC
+sweep (1 Hz - 10 GHz) responses at the far end of the second bit, for the
+PEEC, full VPEC, and localized VPEC models.
+
+Paper's shape: full VPEC is waveform-identical to PEEC in both domains;
+the localized model shows ~15% transient error and diverges above ~5 GHz.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.fig2_accuracy import run_fig2
+
+
+def test_fig2a_transient(benchmark, report, save_csv):
+    result = benchmark.pedantic(
+        lambda: run_fig2(points_per_decade=8), rounds=1, iterations=1
+    )
+    from repro.experiments.export import waveforms_to_csv
+
+    save_csv("fig2a_waveforms", waveforms_to_csv(result.transient))
+    save_csv("fig2b_ac_magnitude", waveforms_to_csv(result.ac_magnitude, "f"))
+    rows = []
+    peak = result.transient["PEEC"].peak
+    rows.append(["PEEC (reference)", f"{peak * 1e3:.2f}", "-", "-"])
+    for label in ("full VPEC", "localized VPEC"):
+        diff = result.transient_diff[label]
+        rows.append(
+            [
+                label,
+                f"{result.transient[label].peak * 1e3:.2f}",
+                f"{diff.mean_abs * 1e3:.4f} +/- {diff.std_abs * 1e3:.4f}",
+                f"{diff.mean_relative_to_peak * 100:.2f}%",
+            ]
+        )
+    report(
+        "fig2a_transient",
+        format_table(
+            ["model", "victim peak (mV)", "avg diff (mV)", "avg diff / peak"],
+            rows,
+            title="Fig. 2(a): 5-bit bus transient, far end of bit 2",
+        ),
+    )
+    assert result.transient_diff["full VPEC"].max_relative_to_peak < 1e-6
+    assert result.transient_diff["localized VPEC"].mean_relative_to_peak > 0.05
+
+
+def test_fig2b_ac(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_fig2(points_per_decade=8), rounds=1, iterations=1
+    )
+    rows = []
+    for label in ("full VPEC", "localized VPEC"):
+        full_band = result.ac_diff[label]
+        high_band = result.ac_high_band_diff[label]
+        rows.append(
+            [
+                label,
+                f"{full_band.mean_relative_to_peak * 100:.3f}%",
+                f"{high_band.mean_relative_to_peak * 100:.3f}%",
+            ]
+        )
+    report(
+        "fig2b_ac",
+        format_table(
+            ["model vs PEEC", "avg |dV| / peak (full band)", "avg (f > 1 GHz)"],
+            rows,
+            title="Fig. 2(b): 5-bit bus AC magnitude, 1 Hz - 10 GHz",
+        ),
+    )
+    assert result.ac_diff["full VPEC"].max_relative_to_peak < 1e-6
+    assert result.ac_high_band_diff["localized VPEC"].mean_relative_to_peak > 0.02

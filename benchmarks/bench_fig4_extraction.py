@@ -1,0 +1,55 @@
+"""E5 -- Fig. 4: model extraction time, full inversion vs windowing.
+
+Regenerates the extraction-time scaling series for aligned buses from 8
+to 2048 bits: geometric truncation with (NW, NL) = (8, 1), which must
+invert the full L first, against geometric windowing with b = 8.
+
+Paper's shape: comparable at small sizes, then windowing pulls away (the
+paper reports ~90x at 2048 bits on 2003 hardware; modern LAPACK moves
+the crossover to a few hundred bits and compresses the ratio, but the
+O(N^3) vs O(N b^3) growth separation is clearly visible).
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.fig4_extraction import run_fig4
+
+
+def test_fig4_extraction_scaling(benchmark, report, save_csv):
+    points = benchmark.pedantic(
+        lambda: run_fig4(sizes=(8, 16, 32, 64, 128, 256, 512, 1024, 2048)),
+        rounds=1,
+        iterations=1,
+    )
+    from repro.experiments.export import fig4_to_csv
+
+    save_csv("fig4_series", fig4_to_csv(points))
+    table = [
+        [
+            p.bits,
+            f"{p.truncation_seconds * 1e3:.2f}",
+            f"{p.windowing_seconds * 1e3:.2f}",
+            f"{p.window_speedup:.2f}x",
+        ]
+        for p in points
+    ]
+    report(
+        "fig4_extraction_scaling",
+        format_table(
+            [
+                "bus bits",
+                "gtVPEC(8,1) extraction (ms)",
+                "gwVPEC(b=8) extraction (ms)",
+                "windowing speedup",
+            ],
+            table,
+            title="Fig. 4: VPEC model extraction time vs bus size",
+        ),
+    )
+    largest = points[-1]
+    assert largest.windowing_seconds < largest.truncation_seconds
+    # O(N^3) vs O(N b^3): the growth separation over the last decade of
+    # the sweep must favor windowing.
+    mid = next(p for p in points if p.bits == 256)
+    t_growth = largest.truncation_seconds / mid.truncation_seconds
+    w_growth = largest.windowing_seconds / mid.windowing_seconds
+    assert t_growth > w_growth

@@ -1,0 +1,102 @@
+"""E8/E9 -- Fig. 8: runtime and model-size scaling over bus width.
+
+Regenerates both panels for PEEC, full VPEC, and gwVPEC (b = 8) on
+aligned buses of 8..256 bits, with the sparsified model continuing to
+1024 bits (the dense models stop at 256 in the paper due to memory).
+
+Paper's shape: the dense models' runtime explodes with the bus width
+while gwVPEC grows gently (>1000x at 256 bits in the paper); the full
+VPEC netlist is ~10% larger than PEEC's while gwVPEC's stays small.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.fig8_scaling import run_fig8, series, speedup_at
+
+
+_CACHE = []
+
+
+def _run():
+    """Run the sweep once and reuse it for both panels."""
+    if not _CACHE:
+        _CACHE.append(
+            run_fig8(
+                dense_sizes=(8, 16, 32, 64, 128, 256),
+                sparse_only_sizes=(512, 1024),
+            )
+        )
+    return _CACHE[0]
+
+
+def test_fig8a_runtime(benchmark, report, save_csv):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    from repro.experiments.export import fig8_to_csv
+
+    save_csv("fig8_series", fig8_to_csv(points))
+    sizes = sorted({p.bits for p in points})
+    by_key = {(p.label, p.bits): p for p in points}
+    table = []
+    for bits in sizes:
+        row = [bits]
+        for label in ("PEEC", "full VPEC", "gwVPEC(b=8)"):
+            point = by_key.get((label, bits))
+            row.append(f"{point.total_seconds:.3f}" if point else "-")
+        gw_speedup = speedup_at(points, bits, "gwVPEC(b=8)")
+        row.append(f"{gw_speedup:.1f}x" if gw_speedup else "-")
+        table.append(row)
+    report(
+        "fig8a_runtime",
+        format_table(
+            ["bus bits", "PEEC (s)", "full VPEC (s)", "gwVPEC(b=8) (s)", "gw speedup"],
+            table,
+            title="Fig. 8(a): total runtime (model build + simulation) vs bus size",
+        ),
+    )
+    # Shape: the sparsified model wins big at the largest dense size, and
+    # the win grows with the bus width.
+    final = speedup_at(points, 256, "gwVPEC(b=8)")
+    first = speedup_at(points, 32, "gwVPEC(b=8)")
+    assert final is not None and first is not None
+    assert final > first
+    assert final > 3.0
+    # The dense models' runtime must grow much faster than gwVPEC's.
+    peec = series(points, "PEEC")
+    gw = series(points, "gwVPEC(b=8)")
+    peec_growth = peec[-1].total_seconds / peec[2].total_seconds
+    gw_growth = gw[5].total_seconds / gw[2].total_seconds
+    assert peec_growth > gw_growth
+
+
+def test_fig8b_model_size(benchmark, report):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    sizes = sorted({p.bits for p in points})
+    by_key = {(p.label, p.bits): p for p in points}
+    table = []
+    for bits in sizes:
+        row = [bits]
+        for label in ("PEEC", "full VPEC", "gwVPEC(b=8)"):
+            point = by_key.get((label, bits))
+            if point:
+                row.append(f"{point.netlist_bytes / 1024:.1f} KiB / {point.element_count}")
+            else:
+                row.append("-")
+        table.append(row)
+    report(
+        "fig8b_model_size",
+        format_table(
+            ["bus bits", "PEEC", "full VPEC", "gwVPEC(b=8)"],
+            table,
+            title="Fig. 8(b): SPICE netlist size / element count vs bus size",
+        ),
+    )
+    # Shape: the full VPEC model carries more circuit elements than PEEC
+    # (paper: ~10% larger netlists; our byte counts come out within a few
+    # percent of PEEC's because both are dominated by the N^2 coupling
+    # cards, whose text widths differ slightly from HSPICE's), while
+    # gwVPEC's model is far smaller at scale.
+    peec_256 = by_key[("PEEC", 256)]
+    full_256 = by_key[("full VPEC", 256)]
+    gw_256 = by_key[("gwVPEC(b=8)", 256)]
+    assert 1.0 < full_256.element_count / peec_256.element_count < 1.3
+    assert 0.8 < full_256.netlist_bytes / peec_256.netlist_bytes < 1.6
+    assert gw_256.netlist_bytes < 0.25 * peec_256.netlist_bytes

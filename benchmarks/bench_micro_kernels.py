@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Unlike the table/figure benches (single-shot experiment regenerations),
+these run pytest-benchmark's normal multi-round statistics over the
+kernels that dominate end-to-end time, so performance regressions in
+the substrate are caught independently of the experiment logic:
+
+- partial-inductance matrix assembly (vectorized Neumann forms + GMD);
+- full SPD inversion (the tVPEC cost center);
+- batched windowed inverse (the wVPEC cost center);
+- MNA assembly and one factorized transient run;
+- the geometry adjacency sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.sources import step
+from repro.circuit.transient import transient_analysis
+from repro.circuit.mna import build_mna
+from repro.extraction.inductance import partial_inductance_matrix
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.peec.builder import attach_bus_testbench
+from repro.peec.model import build_peec
+from repro.vpec.full import invert_spd
+from repro.vpec.windowing import windowed_vpec_networks
+
+BITS = 128
+
+
+@pytest.fixture(scope="module")
+def bus_system():
+    return aligned_bus(BITS)
+
+
+@pytest.fixture(scope="module")
+def bus_parasitics(bus_system):
+    return extract(bus_system)
+
+
+def test_kernel_inductance_assembly(benchmark, bus_system):
+    matrix = benchmark(partial_inductance_matrix, bus_system)
+    assert matrix.shape == (BITS, BITS)
+
+
+def test_kernel_spd_inversion(benchmark, bus_parasitics):
+    block = bus_parasitics.inductance
+    inverse = benchmark(invert_spd, block)
+    assert np.allclose(block @ inverse, np.eye(BITS), atol=1e-6)
+
+
+def test_kernel_windowed_inverse(benchmark, bus_parasitics):
+    networks = benchmark(
+        windowed_vpec_networks, bus_parasitics, window_size=8
+    )
+    assert networks[0].sparse_factor() < 0.2
+
+
+def test_kernel_adjacency_sweep(benchmark, bus_system):
+    pairs = benchmark(bus_system.adjacent_pairs)
+    assert len(pairs) == BITS - 1
+
+
+def test_kernel_mna_assembly(benchmark, bus_parasitics):
+    model = build_peec(bus_parasitics)
+    system = benchmark(build_mna, model.circuit)
+    assert system.size > BITS
+
+
+def test_kernel_transient_run(benchmark):
+    parasitics = extract(aligned_bus(32))
+    model = build_peec(parasitics)
+    attach_bus_testbench(model.skeleton, step(1.0, rise_time=10e-12))
+    victim = model.skeleton.ports[1].far
+
+    result = benchmark.pedantic(
+        transient_analysis,
+        args=(model.circuit, 100e-12, 1e-12),
+        kwargs={"probe_nodes": [victim]},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.voltage(victim).peak > 0

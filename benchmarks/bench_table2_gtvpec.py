@@ -1,0 +1,59 @@
+"""E3 -- Table II: geometric truncation on the 32-bit, 8-segment bus.
+
+Regenerates the four truncating-window rows -- (32, 8), (32, 2), (16, 2),
+(8, 2) -- against the full VPEC reference: sparse factor, runtime,
+speedup, and mean +/- std voltage difference at the far end of bit 2.
+
+Paper's shape: a smooth accuracy/speedup tradeoff; (8, 2) is the fastest
+and worst; differences stay a small fraction of the noise peak; the
+aligned coupling needs a wide NW while NL = 2 suffices (weak forward
+coupling).
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.table2_gtvpec import run_table2
+
+
+def test_table2(benchmark, report):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    table = []
+    for row in rows:
+        diff = (
+            f"{row.diff.mean_abs * 1e3:.4f} +/- {row.diff.std_abs * 1e3:.4f}"
+            if row.diff
+            else "-"
+        )
+        rel = (
+            f"{row.diff.mean_relative_to_peak * 100:.2f}%" if row.diff else "-"
+        )
+        table.append(
+            [
+                row.label,
+                f"{row.sparse_factor * 100:.1f}%",
+                f"{row.runtime_seconds:.3f}",
+                f"{row.speedup_vs_full:.1f}x",
+                diff,
+                rel,
+            ]
+        )
+    report(
+        "table2_gtvpec",
+        format_table(
+            [
+                "model",
+                "sparse factor",
+                "runtime (s)",
+                "speedup",
+                "avg diff (mV)",
+                "diff / peak",
+            ],
+            table,
+            title="Table II: gtVPEC on the 32-bit x 8-segment bus (vs full VPEC)",
+        ),
+    )
+    # Shape assertions: tradeoff is monotone, untruncated row is exact.
+    assert rows[1].diff.max_abs < 1e-9
+    factors = [r.sparse_factor for r in rows[1:]]
+    assert factors == sorted(factors, reverse=True)
+    speedups = [r.speedup_vs_full for r in rows[2:]]
+    assert all(s > 1.0 for s in speedups)

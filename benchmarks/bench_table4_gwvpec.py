@@ -1,0 +1,64 @@
+"""E6 -- Fig. 5 / Table IV: windowing vs truncation accuracy, 128 bits.
+
+Regenerates the window-size sweep b in {64, 32, 16, 8} on the 128-bit
+aligned bus: gwVPEC against the sparsity-matched gtVPEC, scored by the
+waveform difference against PEEC at the far ends of bit 2 (near victim)
+and bit 64 (distant victim).
+
+Paper's shape: both models track PEEC at the near victim; at the distant
+victim the truncation error is visibly larger while windowing stays
+accurate (the paper reports ~2x better accuracy on average).
+"""
+
+import statistics
+
+from repro.analysis.tables import format_table
+from repro.experiments.table4_windowing import run_table4
+
+
+def test_table4(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_table4(window_sizes=(64, 32, 16, 8)), rounds=1, iterations=1
+    )
+    table = []
+    gains = []
+    for row in result.rows:
+        gains.append(row.accuracy_gain(63))
+        table.append(
+            [
+                row.window,
+                f"{row.gt_sparse_factor * 100:.1f}%",
+                f"{row.gw_sparse_factor * 100:.1f}%",
+                f"{row.gt_diff[1].mean_abs * 1e3:.4f}",
+                f"{row.gw_diff[1].mean_abs * 1e3:.4f}",
+                f"{row.gt_diff[63].mean_abs * 1e3:.4f}",
+                f"{row.gw_diff[63].mean_abs * 1e3:.4f}",
+                f"{row.accuracy_gain(63):.2f}x",
+            ]
+        )
+    table.append(
+        ["avg", "-", "-", "-", "-", "-", "-", f"{statistics.mean(gains):.2f}x"]
+    )
+    report(
+        "table4_gwvpec",
+        format_table(
+            [
+                "window b",
+                "gt sparse",
+                "gw sparse",
+                "gt bit2 (mV)",
+                "gw bit2 (mV)",
+                "gt bit64 (mV)",
+                "gw bit64 (mV)",
+                "gw gain @bit64",
+            ],
+            table,
+            title="Table IV: gtVPEC vs gwVPEC waveform error vs PEEC (128-bit bus)",
+        ),
+    )
+    # Windowing wins at the distant victim on average (paper: ~2x; the
+    # advantage is largest for wide windows and statistical for narrow
+    # ones, where both errors are a few mV against a ~100 mV peak).
+    assert statistics.mean(gains) > 1.05
+    assert max(gains) > 1.5
+    assert all(g >= 0.8 for g in gains)

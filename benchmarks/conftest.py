@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (see the per-experiment index in ``DESIGN.md``), prints the
+rows, and archives them under ``benchmarks/results/`` so the output
+survives pytest's capture.  ``EXPERIMENTS.md`` records the comparison
+against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def report(results_dir, capsys):
+    """Print a table and archive it under benchmarks/results/."""
+
+    def _report(name: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+@pytest.fixture()
+def save_csv(results_dir):
+    """Archive a figure's underlying series as CSV for external plotting."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.csv").write_text(text)
+
+    return _save

@@ -1,0 +1,110 @@
+"""Passivity audit: why naive truncation of L fails and VPEC succeeds.
+
+The motivation of the whole paper in one script (Sections I and III):
+the partial inductance matrix is *not* diagonally dominant, so
+truncating its small entries yields an indefinite matrix -- a
+non-passive model that can generate energy in simulation.  Its inverse
+(the VPEC circuit matrix) *is* strictly diagonally dominant, so the same
+truncation is provably safe there.
+
+This example demonstrates both facts numerically on a 32-bit bus and
+then simulates a truncated-L PEEC model next to the matched tVPEC model
+to show where the broken passivity actually bites.
+
+Run:  python examples/passivity_audit.py
+"""
+
+import numpy as np
+
+from repro.circuit import step, transient_analysis
+from repro.extraction import Parasitics, extract
+from repro.geometry import aligned_bus
+from repro.peec import attach_bus_testbench, build_peec
+from repro.vpec import audit_network, full_vpec_networks, truncate_numerical
+
+BITS = 32
+
+
+def eigen_report(name: str, matrix: np.ndarray) -> bool:
+    eigenvalues = np.linalg.eigvalsh(matrix)
+    positive = bool(eigenvalues[0] > 0)
+    print(
+        f"  {name:30s} min eig = {eigenvalues[0]:+.3e}  "
+        f"{'PASSIVE' if positive else 'NOT PASSIVE'}"
+    )
+    return positive
+
+
+def truncate_l_matrix(parasitics: Parasitics, threshold: float) -> np.ndarray:
+    """The naive sparsification the paper warns against: zero small L."""
+    truncated = parasitics.inductance.copy()
+    strength = np.abs(truncated) / np.diag(truncated)[:, None]
+    mask = (strength < threshold) & ~np.eye(truncated.shape[0], dtype=bool)
+    truncated[mask | mask.T] = 0.0
+    return truncated
+
+
+def peec_with_inductance(system_bits: int, inductance: np.ndarray):
+    """Build a PEEC model whose L matrix is replaced wholesale."""
+    parasitics = extract(aligned_bus(system_bits))
+    parasitics.inductance = inductance
+    axis, (indices, _) = next(iter(parasitics.inductance_blocks.items()))
+    parasitics.inductance_blocks = {axis: (indices, inductance)}
+    return build_peec(parasitics)
+
+
+def main() -> None:
+    parasitics = extract(aligned_bus(BITS))
+
+    print("1) Truncating the partial inductance matrix L directly:")
+    eigen_report("full L", parasitics.inductance)
+    # Tighten the truncation until passivity breaks -- it always does,
+    # because L is far from diagonally dominant (neighbor coupling
+    # coefficients are ~0.74 on this bus).
+    truncated_l = parasitics.inductance
+    l_ok = True
+    for threshold in (0.4, 0.5, 0.6, 0.7):
+        truncated_l = truncate_l_matrix(parasitics, threshold)
+        kept = (np.count_nonzero(truncated_l) - BITS) / (BITS * (BITS - 1))
+        l_ok = eigen_report(
+            f"L truncated @{threshold} ({kept * 100:.0f}% kept)", truncated_l
+        )
+        if not l_ok:
+            break
+    assert not l_ok, "truncating L should break passivity (it is not DD)"
+
+    print("\n2) Truncating the VPEC circuit matrix Ghat = l^2 L^-1 instead:")
+    network = full_vpec_networks(parasitics)[0]
+    eigen_report("full Ghat", network.dense_ghat())
+    truncated = truncate_numerical(network, 0.02)
+    g_ok = eigen_report(
+        f"Ghat truncated ({truncated.sparse_factor() * 100:.0f}% kept)",
+        truncated.dense_ghat(),
+    )
+    assert g_ok, "Theorem 2 guarantees this truncation stays passive"
+    report = audit_network(truncated)
+    print(
+        f"  audit: diagonally dominant = {report.diagonally_dominant}, "
+        f"margin = {report.dominance_margin:.3f}"
+    )
+
+    print("\n3) Simulating the indefinite truncated-L model:")
+    unstable = peec_with_inductance(BITS, truncated_l)
+    attach_bus_testbench(unstable.skeleton, step(1.0, 10e-12))
+    victim = unstable.skeleton.ports[1].far
+    result = transient_analysis(
+        unstable.circuit, 300e-12, 1e-12, probe_nodes=[victim]
+    )
+    peak = result.voltage(victim).peak
+    print(f"  truncated-L PEEC victim 'noise' peak: {peak:.3e} V")
+    if peak > 10.0 or not np.isfinite(peak):
+        print("  -> the non-passive model generates energy (blow-up), as")
+        print("     predicted; sparsify Ghat, never L.")
+    else:
+        print("  -> this run stayed bounded (the testbench damps it), but")
+        print("     the model is indefinite: min eig < 0 means some source")
+        print("     waveform exists that extracts unbounded energy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``python setup.py develop`` works in offline environments where pip's
+PEP-660 editable path is unavailable (it requires the ``wheel``
+package, which an air-gapped interpreter may not have).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Reproduction of the VPEC inductive-interconnect model (Yu & He, TCAD 2005).
+
+The package implements, from scratch, every subsystem the paper depends on:
+
+- :mod:`repro.geometry` -- rectangular-filament conductor geometry (buses,
+  spiral inductors, skin-depth and wavelength driven discretization);
+- :mod:`repro.extraction` -- closed-form partial inductance, 2.5-D
+  capacitance, and resistance extraction (the FastHenry / FastCap
+  substitute);
+- :mod:`repro.circuit` -- a sparse-MNA circuit simulator with DC, AC, and
+  transient analyses plus a SPICE-syntax netlist writer (the HSPICE
+  substitute);
+- :mod:`repro.peec` -- the distributed RLCM partial-element equivalent
+  circuit model (the baseline);
+- :mod:`repro.vpec` -- the paper's contribution: the inversion-based full
+  VPEC model, the localized-VPEC baseline, and the passivity-preserving
+  truncated (tVPEC) and windowed (wVPEC) sparsifications;
+- :mod:`repro.analysis` / :mod:`repro.experiments` -- waveform metrics and
+  the drivers that regenerate every table and figure of the evaluation.
+
+See ``DESIGN.md`` for the system inventory and the per-experiment index, and
+``EXPERIMENTS.md`` for paper-vs-measured results.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,72 @@
+"""Waveform metrics, timing helpers, and table formatting.
+
+Public API
+----------
+- :func:`~repro.analysis.metrics.waveform_difference` /
+  :class:`~repro.analysis.metrics.WaveformDifference`;
+- :func:`~repro.analysis.metrics.delay_crossing`,
+  :func:`~repro.analysis.metrics.delay_difference`;
+- :class:`~repro.analysis.timing.Timer`,
+  :func:`~repro.analysis.timing.time_call`;
+- :func:`~repro.analysis.tables.format_table`.
+"""
+
+from repro.analysis.eye import (
+    EyeDiagram,
+    bit_stream_stimulus,
+    channel_eye,
+    eye_metrics,
+    prbs_bits,
+)
+from repro.analysis.metrics import (
+    WaveformDifference,
+    delay_crossing,
+    delay_difference,
+    waveform_difference,
+)
+from repro.analysis.signal_integrity import (
+    NoiseReport,
+    VictimNoise,
+    crosstalk_report,
+)
+from repro.analysis.tables import format_table
+from repro.analysis.timing import Timer, time_call
+from repro.analysis.twoport import TwoPortParameters, measure_z_parameters
+from repro.analysis.variation import (
+    FAST,
+    SLOW,
+    TYPICAL,
+    GeometryCorner,
+    GeometryVariation,
+    VariationResult,
+    analyze_corner,
+    monte_carlo,
+)
+
+__all__ = [
+    "WaveformDifference",
+    "waveform_difference",
+    "delay_crossing",
+    "delay_difference",
+    "Timer",
+    "time_call",
+    "format_table",
+    "NoiseReport",
+    "VictimNoise",
+    "crosstalk_report",
+    "GeometryVariation",
+    "GeometryCorner",
+    "VariationResult",
+    "analyze_corner",
+    "monte_carlo",
+    "TYPICAL",
+    "FAST",
+    "SLOW",
+    "TwoPortParameters",
+    "measure_z_parameters",
+    "EyeDiagram",
+    "prbs_bits",
+    "bit_stream_stimulus",
+    "eye_metrics",
+    "channel_eye",
+]

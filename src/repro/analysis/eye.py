@@ -1,0 +1,194 @@
+"""Eye-diagram analysis: data patterns over the coupled bus channel.
+
+Crosstalk noise numbers answer "how big is one disturbance"; a link
+designer asks "does the eye still open when every line carries data".
+This module drives bus wires with deterministic PRBS bit streams,
+simulates the coupled channel with any model family, folds the received
+waveform into an eye, and reports eye height/width.
+
+All stimuli are built from the existing :class:`Stimulus` machinery
+(piecewise-linear bit transitions), so PEEC, VPEC, and K-element models
+are all eligible channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.sources import Stimulus
+from repro.circuit.transient import transient_analysis
+from repro.circuit.waveform import Waveform
+from repro.constants import DRIVER_RESISTANCE, LOAD_CAPACITANCE
+from repro.peec.builder import (
+    ElectricalSkeleton,
+    attach_multi_aggressor_testbench,
+)
+
+
+def prbs_bits(count: int, seed: int = 0b1000001) -> np.ndarray:
+    """A PRBS-7 bit sequence (x^7 + x^6 + 1 LFSR), deterministic.
+
+    ``seed`` is the 7-bit initial register state (nonzero).
+    """
+    if count < 1:
+        raise ValueError("need at least one bit")
+    state = seed & 0x7F
+    if state == 0:
+        raise ValueError("LFSR seed must be nonzero (7 bits)")
+    bits = np.empty(count, dtype=int)
+    for k in range(count):
+        new = ((state >> 6) ^ (state >> 5)) & 1
+        bits[k] = state & 1
+        state = ((state << 1) | new) & 0x7F
+    return bits
+
+
+def bit_stream_stimulus(
+    bits: Sequence[int],
+    bit_time: float,
+    rise_time: float,
+    v_high: float = 1.0,
+    v_low: float = 0.0,
+) -> Stimulus:
+    """A driver waveform for a bit sequence.
+
+    Each bit occupies ``bit_time``; transitions ramp linearly over
+    ``rise_time`` at the start of the bit.  The pre-stream level is the
+    first bit's value (so the DC start is consistent).
+    """
+    if bit_time <= 0 or rise_time <= 0 or rise_time > bit_time:
+        raise ValueError("need 0 < rise_time <= bit_time")
+    levels = np.where(np.asarray(bits, dtype=int) != 0, v_high, v_low)
+    if levels.size == 0:
+        raise ValueError("need at least one bit")
+
+    def waveform(t: float) -> float:
+        if t <= 0:
+            return float(levels[0])
+        index = int(t // bit_time)
+        if index >= levels.size:
+            return float(levels[-1])
+        current = levels[index]
+        previous = levels[index - 1] if index > 0 else levels[0]
+        offset = t - index * bit_time
+        if offset >= rise_time or current == previous:
+            return float(current)
+        return float(previous + (current - previous) * offset / rise_time)
+
+    return Stimulus(
+        dc=float(levels[0]),
+        ac=v_high - v_low,
+        transient=waveform,
+        label=f"BITS({levels.size}x{bit_time:g})",
+    )
+
+
+@dataclass
+class EyeDiagram:
+    """A folded eye and its opening metrics.
+
+    ``height`` is the vertical opening at the sampling phase (min of the
+    high samples minus max of the low samples); ``width`` the span of
+    phases with positive opening.  A closed eye has ``height <= 0``.
+    """
+
+    bit_time: float
+    sample_phase: float
+    height: float
+    width: float
+    high_samples: np.ndarray
+    low_samples: np.ndarray
+
+    @property
+    def is_open(self) -> bool:
+        return self.height > 0
+
+
+def eye_metrics(
+    wave: Waveform,
+    bits: Sequence[int],
+    bit_time: float,
+    skip_bits: int = 2,
+    sample_phase: Optional[float] = None,
+) -> EyeDiagram:
+    """Fold a received waveform against its transmitted bits.
+
+    The waveform is sampled at ``sample_phase`` (default: 3/4 of the bit
+    time, past the transition) within each bit interval after
+    ``skip_bits`` of startup; samples are classified by the transmitted
+    bit, giving the eye height directly.  The width scans all phases.
+    """
+    levels = np.asarray(bits, dtype=int)
+    usable = int(min(levels.size, wave.t[-1] // bit_time))
+    if usable - skip_bits < 2:
+        raise ValueError("waveform too short for an eye measurement")
+    phase = sample_phase if sample_phase is not None else 0.75 * bit_time
+    if not 0 <= phase < bit_time:
+        raise ValueError("sample_phase must lie within one bit time")
+
+    def samples_at(p: float) -> Tuple[np.ndarray, np.ndarray]:
+        times = np.arange(skip_bits, usable) * bit_time + p
+        values = wave.at(times)
+        mask = levels[skip_bits:usable] != 0
+        return values[mask], values[~mask]
+
+    high, low = samples_at(phase)
+    if high.size == 0 or low.size == 0:
+        raise ValueError("bit pattern has no transitions in the window")
+    height = float(np.min(high) - np.max(low))
+
+    phases = np.linspace(0.0, bit_time, 41, endpoint=False)
+    open_phases = []
+    for p in phases:
+        h, l = samples_at(p)
+        if h.size and l.size and np.min(h) > np.max(l):
+            open_phases.append(p)
+    width = float(len(open_phases) / phases.size * bit_time)
+    return EyeDiagram(
+        bit_time=bit_time,
+        sample_phase=phase,
+        height=height,
+        width=width,
+        high_samples=high,
+        low_samples=low,
+    )
+
+
+def channel_eye(
+    skeleton: ElectricalSkeleton,
+    victim: int,
+    victim_bits: Sequence[int],
+    aggressor_bits: Optional[Dict[int, Sequence[int]]] = None,
+    bit_time: float = 100e-12,
+    rise_time: float = 10e-12,
+    dt: float = 1e-12,
+    v_high: float = 1.0,
+    driver_resistance: float = DRIVER_RESISTANCE,
+    load_capacitance: float = LOAD_CAPACITANCE,
+) -> EyeDiagram:
+    """Simulate a data pattern over the bus and measure the victim's eye.
+
+    The victim wire transmits ``victim_bits``; each aggressor in
+    ``aggressor_bits`` transmits its own pattern; remaining wires are
+    quiet.  The eye is measured at the victim's far-end receiver.
+    """
+    drives = {
+        victim: bit_stream_stimulus(victim_bits, bit_time, rise_time, v_high)
+    }
+    for wire, bits in (aggressor_bits or {}).items():
+        drives[wire] = bit_stream_stimulus(bits, bit_time, rise_time, v_high)
+    attach_multi_aggressor_testbench(
+        skeleton,
+        drives,
+        driver_resistance=driver_resistance,
+        load_capacitance=load_capacitance,
+    )
+    node = skeleton.ports[victim].far
+    t_stop = len(victim_bits) * bit_time
+    result = transient_analysis(
+        skeleton.circuit, t_stop, dt, probe_nodes=[node]
+    )
+    return eye_metrics(result.voltage(node), victim_bits, bit_time)

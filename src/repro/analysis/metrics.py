@@ -1,0 +1,117 @@
+"""Waveform comparison metrics used throughout the evaluation.
+
+The paper reports, per sparsified model:
+
+- the *average voltage difference* and its *standard deviation* over all
+  SPICE time steps (Tables II-IV), usually quoted against the noise peak
+  ("0.2 mV on average, less than 2% of the noise peak");
+- the *delay* difference of the sparsified model ("less than 3% in terms
+  of delay", Section VI).
+
+Both are implemented here over :class:`~repro.circuit.waveform.Waveform`
+pairs; mismatched time axes are aligned by linear interpolation onto the
+reference axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.waveform import Waveform
+
+
+@dataclass(frozen=True)
+class WaveformDifference:
+    """Pointwise difference statistics between two waveforms.
+
+    Attributes
+    ----------
+    mean_abs:
+        Average absolute difference over all time steps (volts).
+    std_abs:
+        Standard deviation of the absolute difference (volts).
+    max_abs:
+        Worst-case pointwise difference (volts).
+    reference_peak:
+        Noise peak (max |v|) of the reference waveform (volts).
+    """
+
+    mean_abs: float
+    std_abs: float
+    max_abs: float
+    reference_peak: float
+
+    @property
+    def mean_relative_to_peak(self) -> float:
+        """Average difference as a fraction of the reference noise peak."""
+        if self.reference_peak == 0.0:
+            return float("inf") if self.mean_abs else 0.0
+        return self.mean_abs / self.reference_peak
+
+    @property
+    def max_relative_to_peak(self) -> float:
+        """Worst-case difference as a fraction of the reference peak."""
+        if self.reference_peak == 0.0:
+            return float("inf") if self.max_abs else 0.0
+        return self.max_abs / self.reference_peak
+
+
+def waveform_difference(
+    reference: Waveform, candidate: Waveform
+) -> WaveformDifference:
+    """Difference statistics of ``candidate`` against ``reference``.
+
+    The candidate is interpolated onto the reference time axis, matching
+    the paper's "calculated for all time steps in SPICE simulation".
+    """
+    resampled = candidate.at(reference.t)
+    diff = np.abs(np.real(reference.v) - resampled)
+    return WaveformDifference(
+        mean_abs=float(np.mean(diff)),
+        std_abs=float(np.std(diff)),
+        max_abs=float(np.max(diff)),
+        reference_peak=reference.peak,
+    )
+
+
+def delay_crossing(
+    waveform: Waveform, level: float, rising: bool = True
+) -> float:
+    """First time the waveform crosses ``level`` (linear interpolation).
+
+    Raises ``ValueError`` when the waveform never crosses -- callers
+    should treat that as "no transition", not as zero delay.
+    """
+    values = np.real(waveform.v)
+    above = values >= level if rising else values <= level
+    if not np.any(above):
+        direction = "rise to" if rising else "fall to"
+        raise ValueError(f"waveform never {direction} {level}")
+    k = int(np.argmax(above))
+    if k == 0:
+        return float(waveform.t[0])
+    t0, t1 = waveform.t[k - 1], waveform.t[k]
+    v0, v1 = values[k - 1], values[k]
+    if v1 == v0:
+        return float(t1)
+    return float(t0 + (level - v0) * (t1 - t0) / (v1 - v0))
+
+
+def delay_difference(
+    reference: Waveform,
+    candidate: Waveform,
+    level: float,
+    rising: bool = True,
+) -> float:
+    """Relative 50%-style delay error ``|t_c - t_r| / t_r``.
+
+    The Section VI criterion ("less than 3% in terms of delay") compares
+    crossing times of the sparsified and reference models.
+    """
+    t_ref = delay_crossing(reference, level, rising)
+    t_cand = delay_crossing(candidate, level, rising)
+    if t_ref == 0.0:
+        return 0.0 if t_cand == 0.0 else float("inf")
+    return abs(t_cand - t_ref) / t_ref

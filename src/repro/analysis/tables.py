@@ -1,0 +1,44 @@
+"""Fixed-width table rendering for the benchmark harness.
+
+The benchmarks print the same rows the paper's tables report; this tiny
+formatter keeps them readable in a terminal without pulling in a
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Cells are stringified with ``str``; floats should be pre-formatted by
+    the caller so each table controls its own precision.
+    """
+    header_cells = [str(h) for h in headers]
+    body: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    for row in body:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(header_cells)}"
+            )
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[k]) for k, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(header_cells))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in body)
+    return "\n".join(parts)

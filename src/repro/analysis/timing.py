@@ -1,0 +1,36 @@
+"""Wall-clock timing helpers for the runtime benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as timer:
+    ...     _ = sum(range(10))
+    >>> timer.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def time_call(func: Callable[..., T], *args: Any, **kwargs: Any) -> Tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,112 @@
+"""Two-port network parameters from AC analysis (the RF view).
+
+Spiral inductors and interconnect segments are characterized in RF
+flows by their network parameters.  This module measures a circuit's
+Z-parameters port-by-port (current-probe method: drive one port with a
+unit AC current, read both port voltages) and converts to Y and S
+parameters (standard 50-ohm reference unless told otherwise).
+
+Ports are (node, ground) pairs; the circuit must not already contain
+sources at the ports (the prober adds its own).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.ac import ac_analysis
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import Stimulus
+
+
+@dataclass
+class TwoPortParameters:
+    """Frequency-swept network parameters of an N-port (N = ports).
+
+    ``z`` has shape ``(nf, n, n)``; Y and S are derived on demand.
+    """
+
+    frequencies: np.ndarray
+    z: np.ndarray
+    reference_impedance: float = 50.0
+
+    @property
+    def ports(self) -> int:
+        return self.z.shape[1]
+
+    def y(self) -> np.ndarray:
+        """Admittance parameters ``Y = Z^-1`` per frequency."""
+        return np.linalg.inv(self.z)
+
+    def s(self) -> np.ndarray:
+        """Scattering parameters w.r.t. the reference impedance.
+
+        ``S = (Z - Z0 I)(Z + Z0 I)^-1`` (real reference).
+        """
+        z0 = self.reference_impedance
+        identity = np.eye(self.ports)
+        out = np.empty_like(self.z)
+        for k in range(self.frequencies.size):
+            zk = self.z[k]
+            out[k] = (zk - z0 * identity) @ np.linalg.inv(zk + z0 * identity)
+        return out
+
+    def input_inductance(self, port: int = 0) -> np.ndarray:
+        """``Im(Z_pp) / omega`` -- the effective inductance at a port."""
+        omega = 2.0 * np.pi * self.frequencies
+        return np.imag(self.z[:, port, port]) / omega
+
+    def quality_factor(self, port: int = 0) -> np.ndarray:
+        """``Q = Im(Z_pp) / Re(Z_pp)`` at a port."""
+        zpp = self.z[:, port, port]
+        return np.imag(zpp) / np.real(zpp)
+
+
+def measure_z_parameters(
+    circuit_factory,
+    ports: Sequence[Tuple[str, str]],
+    frequencies: Iterable[float],
+    reference_impedance: float = 50.0,
+) -> TwoPortParameters:
+    """Measure Z-parameters by per-port unit-current excitation.
+
+    Parameters
+    ----------
+    circuit_factory:
+        Zero-argument callable returning a *fresh* circuit (the prober
+        adds one source per measurement, and circuits are single-use).
+    ports:
+        ``(positive node, negative node)`` pairs.
+    frequencies:
+        Sweep points in Hz.
+    """
+    freqs = np.asarray(list(frequencies), dtype=float)
+    n = len(ports)
+    if n < 1:
+        raise ValueError("need at least one port")
+    z = np.empty((freqs.size, n, n), dtype=complex)
+    for drive in range(n):
+        circuit: Circuit = circuit_factory()
+        pos, neg = ports[drive]
+        circuit.add_current_source(
+            neg, pos, Stimulus(dc=0.0, ac=1.0), name="Iprobe"
+        )
+        probe_nodes = sorted(
+            {node for pair in ports for node in pair if node != "0"}
+        )
+        result = ac_analysis(circuit, freqs, probe_nodes=probe_nodes)
+
+        def voltage(node: str) -> np.ndarray:
+            if node == "0":
+                return np.zeros(freqs.size, dtype=complex)
+            return result.voltage(node)
+
+        for sense in range(n):
+            s_pos, s_neg = ports[sense]
+            z[:, sense, drive] = voltage(s_pos) - voltage(s_neg)
+    return TwoPortParameters(
+        frequencies=freqs, z=z, reference_impedance=reference_impedance
+    )

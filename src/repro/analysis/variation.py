@@ -1,0 +1,157 @@
+"""Process-variation analysis: corners and Monte Carlo over geometry.
+
+Interconnect sign-off runs the same crosstalk analysis across process
+corners (etch bias moves width against spacing, thickness varies with
+the metal/CMP corner).  This module sweeps a parameterized bus through
+global geometry variations and aggregates the noise/delay statistics --
+on any model family, so the sparsified VPEC models can carry the whole
+Monte Carlo budget.
+
+Width and spacing move in opposition (etch: wider wire = narrower gap,
+constant pitch), matching how real corners behave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.signal_integrity import NoiseReport, crosstalk_report
+from repro.circuit.sources import Stimulus, step
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.experiments.runner import ModelSpec, build_model
+
+
+@dataclass(frozen=True)
+class GeometryVariation:
+    """Relative 1-sigma variations of the bus geometry.
+
+    ``etch_sigma`` moves width by ``+delta`` and spacing by ``-delta``
+    (constant pitch); ``thickness_sigma`` scales the metal height.
+    """
+
+    etch_sigma: float = 0.05
+    thickness_sigma: float = 0.05
+
+    def sample(self, rng: np.random.Generator) -> "GeometryCorner":
+        return GeometryCorner(
+            etch=float(rng.normal(0.0, self.etch_sigma)),
+            thickness=float(rng.normal(0.0, self.thickness_sigma)),
+        )
+
+
+@dataclass(frozen=True)
+class GeometryCorner:
+    """One realized corner: relative etch and thickness shifts."""
+
+    etch: float = 0.0
+    thickness: float = 0.0
+
+    def apply(
+        self, width: float, spacing: float, thickness: float
+    ) -> "tuple[float, float, float]":
+        new_width = width * (1.0 + self.etch)
+        new_spacing = spacing - width * self.etch
+        new_thickness = thickness * (1.0 + self.thickness)
+        if new_width <= 0 or new_spacing <= 0 or new_thickness <= 0:
+            raise ValueError(
+                f"corner {self} collapses the geometry "
+                f"(w={new_width:g}, s={new_spacing:g}, t={new_thickness:g})"
+            )
+        return new_width, new_spacing, new_thickness
+
+
+#: The classic three-corner set: typical, fast (thin wire, wide gap
+#: -> less coupling), slow (fat wire, tight gap -> more coupling).
+TYPICAL = GeometryCorner(0.0, 0.0)
+FAST = GeometryCorner(-0.1, -0.1)
+SLOW = GeometryCorner(+0.1, +0.1)
+
+
+@dataclass
+class VariationResult:
+    """Aggregated Monte Carlo / corner statistics."""
+
+    worst_noise: np.ndarray
+    aggressor_delay: np.ndarray
+    corners: List[GeometryCorner] = field(default_factory=list)
+
+    @property
+    def samples(self) -> int:
+        return self.worst_noise.size
+
+    def noise_quantile(self, q: float) -> float:
+        return float(np.quantile(self.worst_noise, q))
+
+    def delay_spread(self) -> float:
+        """Peak-to-peak aggressor delay across the samples, seconds."""
+        return float(np.ptp(self.aggressor_delay))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "noise_mean": float(np.mean(self.worst_noise)),
+            "noise_std": float(np.std(self.worst_noise)),
+            "noise_p95": self.noise_quantile(0.95),
+            "delay_mean": float(np.mean(self.aggressor_delay)),
+            "delay_spread": self.delay_spread(),
+        }
+
+
+def analyze_corner(
+    corner: GeometryCorner,
+    bits: int,
+    model: ModelSpec,
+    width: float = 1e-6,
+    spacing: float = 2e-6,
+    thickness: float = 1e-6,
+    length: float = 1000e-6,
+    stimulus: Optional[Stimulus] = None,
+    t_stop: float = 250e-12,
+    dt: float = 1e-12,
+) -> NoiseReport:
+    """Run the standard crosstalk report at one geometry corner."""
+    w, s, t = corner.apply(width, spacing, thickness)
+    parasitics = extract(
+        aligned_bus(bits, length=length, width=w, thickness=t, spacing=s)
+    )
+    built = build_model(model, parasitics)
+    return crosstalk_report(
+        built.skeleton,
+        stimulus if stimulus is not None else step(1.0, rise_time=10e-12),
+        t_stop=t_stop,
+        dt=dt,
+    )
+
+
+def monte_carlo(
+    variation: GeometryVariation,
+    bits: int,
+    model: ModelSpec,
+    samples: int = 20,
+    seed: int = 2005,
+    **corner_kwargs,
+) -> VariationResult:
+    """Monte Carlo crosstalk statistics over the geometry variation.
+
+    Each sample draws one global corner, re-extracts, rebuilds the model
+    and reruns the testbench; worst victim noise and aggressor delay are
+    aggregated.  Deterministic for a given seed.
+    """
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    rng = np.random.default_rng(seed)
+    noise = np.empty(samples)
+    delay = np.empty(samples)
+    corners: List[GeometryCorner] = []
+    for k in range(samples):
+        corner = variation.sample(rng)
+        report = analyze_corner(corner, bits, model, **corner_kwargs)
+        noise[k] = report.worst().peak
+        delay[k] = report.aggressor_delay or np.nan
+        corners.append(corner)
+    return VariationResult(
+        worst_noise=noise, aggressor_delay=delay, corners=corners
+    )

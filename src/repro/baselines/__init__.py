@@ -1,0 +1,37 @@
+"""Literature baselines the paper positions VPEC against (Section I).
+
+Public API
+----------
+- :func:`~repro.baselines.shift_truncation.shift_truncated_inductance` /
+  :func:`~repro.baselines.shift_truncation.build_shift_truncated_peec`
+  -- the shell-radius sparsification of Krauter & Pileggi (ICCAD 1995),
+  the paper's reference [9]: stable by construction, but "it is
+  difficult to determine the shell radius to obtain the desired
+  accuracy" -- a claim the comparison bench quantifies;
+- :func:`~repro.baselines.return_limited.return_limited_inductance` /
+  :func:`~repro.baselines.return_limited.exact_shielded_inductance` /
+  :func:`~repro.baselines.return_limited.build_reduced_peec`
+  -- the nearest-shield loop model of Shepard & Tian (TCAD 2000), the
+  paper's reference [8]: accurate for dense P/G grids, "loses accuracy
+  when the P/G grid is sparsely distributed".
+"""
+
+from repro.baselines.return_limited import (
+    build_reduced_peec,
+    exact_shielded_inductance,
+    return_limited_inductance,
+    signal_only_system,
+)
+from repro.baselines.shift_truncation import (
+    build_shift_truncated_peec,
+    shift_truncated_inductance,
+)
+
+__all__ = [
+    "shift_truncated_inductance",
+    "build_shift_truncated_peec",
+    "return_limited_inductance",
+    "exact_shielded_inductance",
+    "build_reduced_peec",
+    "signal_only_system",
+]

@@ -1,0 +1,55 @@
+"""DC operating-point analysis: solve ``G x = b(0)``.
+
+Capacitors are open (they only stamp ``C``), inductors are shorts (their
+branch row reduces to ``v1 - v2 = 0``), so the solve needs only the ``G``
+matrix.  The VPEC model is stamped in MNA form, so -- unlike the nodal
+K-element formulation the paper criticizes -- it keeps correct DC
+information; tests verify PEEC and VPEC reach identical operating points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import spsolve
+
+from repro.circuit.mna import MnaSystem, build_mna
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveform import DCSolution
+
+#: Minimum node-to-ground conductance, siemens (SPICE's ``gmin``): keeps
+#: nodes that only connect through capacitors -- open at DC -- solvable.
+GMIN = 1e-12
+
+
+def solve_dc(system: MnaSystem, gmin: float = GMIN) -> np.ndarray:
+    """Raw DC solution vector of an assembled MNA system.
+
+    ``gmin`` is stamped from every node to ground (branch rows are left
+    untouched), exactly as a production SPICE regularizes floating nodes.
+    """
+    rhs = system.rhs_dc()
+    g_mat = system.G.tocsc()
+    if gmin > 0:
+        leak = np.zeros(system.size)
+        leak[: system.num_nodes] = gmin
+        g_mat = g_mat + sparse.diags(leak).tocsc()
+    solution = spsolve(g_mat, rhs)
+    solution = np.atleast_1d(solution)
+    if not np.all(np.isfinite(solution)):
+        raise ArithmeticError(
+            "DC solve produced non-finite values; the circuit likely has a "
+            "floating node or a source loop"
+        )
+    return solution
+
+
+def dc_operating_point(circuit: Circuit) -> DCSolution:
+    """DC operating point of a circuit, by node / element name."""
+    system = build_mna(circuit)
+    x = solve_dc(system)
+    voltages = {node: float(x[system.node_row(node)]) for node in circuit.nodes}
+    currents = {
+        name: float(x[row]) for name, row in system.branch_index.items()
+    }
+    return DCSolution(node_voltages=voltages, branch_currents=currents)

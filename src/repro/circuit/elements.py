@@ -1,0 +1,217 @@
+"""Circuit element records.
+
+Elements are plain dataclasses -- the MNA builder in
+:mod:`repro.circuit.mna` knows how to stamp each kind, and the netlist
+writer in :mod:`repro.circuit.spice_writer` knows how to print each kind.
+Node references are string names; ``"0"`` is ground.
+
+The element set is exactly what the PEEC and VPEC netlists require
+(Fig. 1 of the paper): R, C, L, mutual coupling K, independent V/I
+sources, and all four controlled sources (VCVS ``E``, VCCS ``G``,
+CCCS ``F``, CCVS ``H``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.circuit.sources import Stimulus
+
+#: Ground node name (SPICE convention).
+GROUND = "0"
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """Two-terminal linear resistor; ``value`` in ohms (nonzero).
+
+    Negative resistances are permitted: the windowed VPEC heuristic can
+    produce them off-diagonal while the assembled network remains passive
+    (the system matrix stays positive definite).
+    """
+
+    name: str
+    n1: str
+    n2: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value == 0:
+            raise ValueError(f"resistor {self.name} must have nonzero resistance")
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """Two-terminal linear capacitor; ``value`` in farads (positive)."""
+
+    name: str
+    n1: str
+    n2: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ValueError(f"capacitor {self.name} must have positive capacitance")
+
+
+@dataclass(frozen=True)
+class Inductor:
+    """Two-terminal linear inductor; ``value`` in henries (positive).
+
+    The branch current flows from ``n1`` to ``n2`` inside the element;
+    mutual couplings reference this orientation.
+    """
+
+    name: str
+    n1: str
+    n2: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ValueError(f"inductor {self.name} must have positive inductance")
+
+
+@dataclass(frozen=True)
+class MutualInductance:
+    """Mutual inductance ``M`` (henries) between two named inductors.
+
+    Expressed directly in henries rather than as a coupling coefficient;
+    the sign follows the inductors' ``n1 -> n2`` orientations.  The PEEC
+    netlists stamp the full (dense) partial-inductance coupling through
+    these elements.
+    """
+
+    name: str
+    inductor1: str
+    inductor2: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.inductor1 == self.inductor2:
+            raise ValueError(f"mutual {self.name} must couple two distinct inductors")
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """Independent voltage source with a :class:`Stimulus` description."""
+
+    name: str
+    n1: str
+    n2: str
+    stimulus: Stimulus
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """Independent current source; current flows from ``n1`` to ``n2``."""
+
+    name: str
+    n1: str
+    n2: str
+    stimulus: Stimulus
+
+
+@dataclass(frozen=True)
+class VCVS:
+    """Voltage-controlled voltage source (SPICE ``E``):
+    ``v(n1, n2) = gain * v(nc1, nc2)``."""
+
+    name: str
+    n1: str
+    n2: str
+    nc1: str
+    nc2: str
+    gain: float
+
+
+@dataclass(frozen=True)
+class VCCS:
+    """Voltage-controlled current source (SPICE ``G``):
+    current ``gain * v(nc1, nc2)`` flows from ``n1`` to ``n2``."""
+
+    name: str
+    n1: str
+    n2: str
+    nc1: str
+    nc2: str
+    gain: float
+
+
+@dataclass(frozen=True)
+class CCCS:
+    """Current-controlled current source (SPICE ``F``): current
+    ``gain * i(control)`` flows from ``n1`` to ``n2``, where ``control``
+    names a voltage source whose branch current is sensed."""
+
+    name: str
+    n1: str
+    n2: str
+    control: str
+    gain: float
+
+
+@dataclass(frozen=True)
+class CCVS:
+    """Current-controlled voltage source (SPICE ``H``):
+    ``v(n1, n2) = gain * i(control)``."""
+
+    name: str
+    n1: str
+    n2: str
+    control: str
+    gain: float
+
+
+@dataclass(frozen=True, eq=False)
+class SusceptanceSet:
+    """A set of inductive branches coupled by ``K = L^-1`` (susceptance).
+
+    The K-element formulation of [10]-[13], implemented as one aggregate
+    element because the coupling is defined by a matrix over all its
+    branches: branch ``m`` obeys
+
+        sum_n K[m, n] * (v(n1_n) - v(n2_n)) = d i_m / d t
+
+    Each branch carries its own MNA current unknown (named
+    ``"<name>[<m>]"``).  ``K`` may be dense (full inversion) or sparse
+    (truncated / windowed).  Note this element is *not* SPICE compatible
+    -- exactly the drawback the paper contrasts VPEC against -- so the
+    netlist writer refuses it.
+    """
+
+    name: str
+    branches: tuple  # of (n1, n2) node-name pairs
+    k_matrix: object  # scipy sparse or dense ndarray, shape (m, m)
+
+    def __post_init__(self) -> None:
+        count = len(self.branches)
+        shape = getattr(self.k_matrix, "shape", None)
+        if shape != (count, count):
+            raise ValueError(
+                f"susceptance set {self.name}: K shape {shape} does not "
+                f"match {count} branches"
+            )
+
+    def branch_name(self, index: int) -> str:
+        return f"{self.name}[{index}]"
+
+
+Element = Union[
+    Resistor,
+    Capacitor,
+    Inductor,
+    MutualInductance,
+    VoltageSource,
+    CurrentSource,
+    VCVS,
+    VCCS,
+    CCCS,
+    CCVS,
+    SusceptanceSet,
+]
+
+#: Element kinds that carry an MNA branch-current unknown.
+#: (SusceptanceSet carries one per member branch; handled separately.)
+BRANCH_ELEMENTS = (Inductor, VoltageSource, VCVS, CCVS)

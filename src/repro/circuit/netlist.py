@@ -1,0 +1,257 @@
+"""The :class:`Circuit` container: nodes, elements, and add-helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.circuit.elements import (
+    CCCS,
+    CCVS,
+    GROUND,
+    VCCS,
+    VCVS,
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    MutualInductance,
+    Resistor,
+    SusceptanceSet,
+    VoltageSource,
+)
+from repro.circuit.sources import Stimulus, dc as dc_stimulus
+
+
+class Circuit:
+    """A flat netlist of linear elements.
+
+    Nodes are referenced by name (``"0"`` is ground) and created lazily on
+    first use.  Element names must be unique across the circuit; the
+    ``add_*`` helpers auto-generate ``R1, R2, ...`` style names when none
+    is given.
+
+    The class is the single hand-off format between the model builders
+    (:mod:`repro.peec`, :mod:`repro.vpec`), the analyses
+    (:mod:`repro.circuit.mna` and friends), and the SPICE netlist writer.
+    """
+
+    def __init__(self, title: str = "circuit") -> None:
+        self.title = title
+        self._elements: Dict[str, Element] = {}
+        self._nodes: Dict[str, int] = {GROUND: -1}
+        self._counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> str:
+        """Register (or re-reference) a node by name."""
+        if name not in self._nodes:
+            self._nodes[name] = len(self._nodes) - 1  # ground stays at -1
+        return name
+
+    @property
+    def nodes(self) -> List[str]:
+        """Non-ground node names, in MNA index order."""
+        return [n for n in self._nodes if n != GROUND]
+
+    def node_index(self, name: str) -> int:
+        """MNA index of a node (-1 for ground)."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self._nodes) - 1
+
+    # ------------------------------------------------------------------
+    # Elements
+    # ------------------------------------------------------------------
+    def add(self, element: Element) -> Element:
+        """Add a pre-built element record."""
+        if element.name in self._elements:
+            raise ValueError(f"duplicate element name {element.name!r}")
+        for attr in ("n1", "n2", "nc1", "nc2"):
+            node = getattr(element, attr, None)
+            if node is not None:
+                self.node(node)
+        if isinstance(element, SusceptanceSet):
+            for n1, n2 in element.branches:
+                self.node(n1)
+                self.node(n2)
+        if isinstance(element, MutualInductance):
+            for ref in (element.inductor1, element.inductor2):
+                target = self._elements.get(ref)
+                if not isinstance(target, Inductor):
+                    raise ValueError(
+                        f"mutual {element.name} references {ref!r}, which is "
+                        "not an inductor added before it"
+                    )
+        if isinstance(element, (CCCS, CCVS)):
+            target = self._elements.get(element.control)
+            if not isinstance(target, VoltageSource):
+                raise ValueError(
+                    f"{element.name} senses {element.control!r}, which is not "
+                    "a voltage source added before it"
+                )
+        self._elements[element.name] = element
+        return element
+
+    def _auto_name(self, prefix: str) -> str:
+        count = self._counters.get(prefix, 0) + 1
+        self._counters[prefix] = count
+        name = f"{prefix}{count}"
+        while name in self._elements:
+            count += 1
+            self._counters[prefix] = count
+            name = f"{prefix}{count}"
+        return name
+
+    # Convenience constructors -----------------------------------------
+    def add_resistor(
+        self, n1: str, n2: str, value: float, name: Optional[str] = None
+    ) -> Resistor:
+        return self.add(Resistor(name or self._auto_name("R"), n1, n2, value))
+
+    def add_capacitor(
+        self, n1: str, n2: str, value: float, name: Optional[str] = None
+    ) -> Capacitor:
+        return self.add(Capacitor(name or self._auto_name("C"), n1, n2, value))
+
+    def add_inductor(
+        self, n1: str, n2: str, value: float, name: Optional[str] = None
+    ) -> Inductor:
+        return self.add(Inductor(name or self._auto_name("L"), n1, n2, value))
+
+    def add_mutual(
+        self,
+        inductor1: str,
+        inductor2: str,
+        value: float,
+        name: Optional[str] = None,
+    ) -> MutualInductance:
+        return self.add(
+            MutualInductance(
+                name or self._auto_name("K"), inductor1, inductor2, value
+            )
+        )
+
+    def add_voltage_source(
+        self,
+        n1: str,
+        n2: str,
+        stimulus: Optional[Stimulus] = None,
+        name: Optional[str] = None,
+    ) -> VoltageSource:
+        stim = stimulus if stimulus is not None else dc_stimulus(0.0)
+        return self.add(VoltageSource(name or self._auto_name("V"), n1, n2, stim))
+
+    def add_current_source(
+        self,
+        n1: str,
+        n2: str,
+        stimulus: Optional[Stimulus] = None,
+        name: Optional[str] = None,
+    ) -> CurrentSource:
+        stim = stimulus if stimulus is not None else dc_stimulus(0.0)
+        return self.add(CurrentSource(name or self._auto_name("I"), n1, n2, stim))
+
+    def add_vcvs(
+        self,
+        n1: str,
+        n2: str,
+        nc1: str,
+        nc2: str,
+        gain: float,
+        name: Optional[str] = None,
+    ) -> VCVS:
+        return self.add(VCVS(name or self._auto_name("E"), n1, n2, nc1, nc2, gain))
+
+    def add_vccs(
+        self,
+        n1: str,
+        n2: str,
+        nc1: str,
+        nc2: str,
+        gain: float,
+        name: Optional[str] = None,
+    ) -> VCCS:
+        return self.add(VCCS(name or self._auto_name("G"), n1, n2, nc1, nc2, gain))
+
+    def add_cccs(
+        self,
+        n1: str,
+        n2: str,
+        control: str,
+        gain: float,
+        name: Optional[str] = None,
+    ) -> CCCS:
+        return self.add(CCCS(name or self._auto_name("F"), n1, n2, control, gain))
+
+    def add_susceptance_set(
+        self,
+        branches,
+        k_matrix,
+        name: Optional[str] = None,
+    ) -> SusceptanceSet:
+        """Add a K-element branch set (see
+        :class:`~repro.circuit.elements.SusceptanceSet`)."""
+        return self.add(
+            SusceptanceSet(
+                name or self._auto_name("KS"), tuple(branches), k_matrix
+            )
+        )
+
+    def add_ccvs(
+        self,
+        n1: str,
+        n2: str,
+        control: str,
+        gain: float,
+        name: Optional[str] = None,
+    ) -> CCVS:
+        return self.add(CCVS(name or self._auto_name("H"), n1, n2, control, gain))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    def element(self, name: str) -> Element:
+        """Look up an element by name."""
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise KeyError(f"unknown element {name!r}") from None
+
+    def elements_of_type(self, kind: type) -> List[Element]:
+        """All elements of one dataclass kind, in insertion order."""
+        return [e for e in self._elements.values() if isinstance(e, kind)]
+
+    def element_counts(self) -> Dict[str, int]:
+        """``{kind name: count}`` summary (the model-size metric)."""
+        counts: Dict[str, int] = {}
+        for element in self._elements.values():
+            key = type(element).__name__
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def stats(self) -> Tuple[int, int]:
+        """``(num_nodes, num_elements)``."""
+        return (self.num_nodes, len(self._elements))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Circuit(title={self.title!r}, nodes={self.num_nodes}, "
+            f"elements={len(self._elements)})"
+        )

@@ -1,0 +1,140 @@
+"""Source stimuli: DC, AC, and transient waveform descriptions.
+
+A :class:`Stimulus` bundles the three views a SPICE-class simulator needs
+of an independent source:
+
+- ``dc``: the value used for the DC operating point (and as the transient
+  value before any time-varying description kicks in);
+- ``ac``: the complex phasor applied in AC analysis (0 for quiet sources);
+- ``at(t)``: the transient value.
+
+Factories mirror the paper's stimuli: :func:`step` (the 1-V step with
+10 ps rise time used in every transient experiment), :func:`pulse`, and
+:func:`ac_unit` (the 1-V AC drive of the frequency sweeps).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class Stimulus:
+    """DC / AC / transient description of an independent source.
+
+    Parameters
+    ----------
+    dc:
+        DC value (volts or amperes).
+    ac:
+        Complex AC phasor; sources with ``ac = 0`` are quiet in AC
+        analysis.
+    transient:
+        Optional ``f(t) -> value``; when absent the source holds ``dc``.
+    label:
+        Short SPICE-style description used by the netlist writer
+        (e.g. ``"PWL(0 0 10p 1)"``).
+    """
+
+    dc: float = 0.0
+    ac: complex = 0.0
+    transient: Optional[Callable[[float], float]] = field(
+        default=None, compare=False
+    )
+    label: str = ""
+
+    def at(self, t: float) -> float:
+        """Transient value at time ``t`` (seconds)."""
+        if self.transient is None:
+            return self.dc
+        return self.transient(t)
+
+    def __repr__(self) -> str:
+        parts = [f"dc={self.dc}"]
+        if self.ac:
+            parts.append(f"ac={self.ac}")
+        if self.label:
+            parts.append(self.label)
+        return f"Stimulus({', '.join(parts)})"
+
+
+def dc(value: float) -> Stimulus:
+    """A constant source."""
+    return Stimulus(dc=value, label=f"DC {value:g}")
+
+
+def ac_unit(magnitude: float = 1.0, phase_deg: float = 0.0) -> Stimulus:
+    """An AC-only source (quiet at DC and in transient analysis).
+
+    The paper's frequency-domain experiments drive the aggressor with a
+    1-V AC source from 1 Hz to 10 GHz.
+    """
+    phasor = magnitude * cmath.exp(1j * math.radians(phase_deg))
+    return Stimulus(dc=0.0, ac=phasor, label=f"AC {magnitude:g} {phase_deg:g}")
+
+
+def step(
+    v_final: float = 1.0,
+    rise_time: float = 10e-12,
+    delay: float = 0.0,
+    v_initial: float = 0.0,
+) -> Stimulus:
+    """A ramped step: the paper's "1-V step voltage with 10 ps rise time".
+
+    The value is ``v_initial`` until ``delay``, ramps linearly over
+    ``rise_time``, then holds ``v_final``.  The AC view is a unit phasor
+    scaled by the step amplitude so the same circuit serves both analyses.
+    """
+    if rise_time <= 0:
+        raise ValueError("rise_time must be positive (use dc() for an ideal step)")
+    swing = v_final - v_initial
+
+    def waveform(t: float) -> float:
+        if t <= delay:
+            return v_initial
+        if t >= delay + rise_time:
+            return v_final
+        return v_initial + swing * (t - delay) / rise_time
+
+    label = f"PWL(0 {v_initial:g} {delay + rise_time:g} {v_final:g})"
+    return Stimulus(dc=v_initial, ac=swing, transient=waveform, label=label)
+
+
+def pulse(
+    v1: float = 0.0,
+    v2: float = 1.0,
+    delay: float = 0.0,
+    rise_time: float = 10e-12,
+    fall_time: float = 10e-12,
+    width: float = 500e-12,
+    period: Optional[float] = None,
+) -> Stimulus:
+    """A SPICE-style PULSE source (used for the Section V pulse drive)."""
+    if rise_time <= 0 or fall_time <= 0:
+        raise ValueError("rise_time and fall_time must be positive")
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    cycle = period if period is not None else math.inf
+
+    def waveform(t: float) -> float:
+        if t < delay:
+            return v1
+        local = t - delay
+        if math.isfinite(cycle):
+            local = local % cycle
+        if local < rise_time:
+            return v1 + (v2 - v1) * local / rise_time
+        if local < rise_time + width:
+            return v2
+        if local < rise_time + width + fall_time:
+            return v2 + (v1 - v2) * (local - rise_time - width) / fall_time
+        return v1
+
+    label = (
+        f"PULSE({v1:g} {v2:g} {delay:g} {rise_time:g} {fall_time:g} {width:g}"
+        + (f" {cycle:g})" if math.isfinite(cycle) else ")")
+    )
+    return Stimulus(dc=v1, ac=v2 - v1, transient=waveform, label=label)

@@ -1,0 +1,325 @@
+"""SPICE netlist parsing: the read side of the SPICE-compatibility story.
+
+The paper's models are "SPICE compatible"; the writer renders them as
+standard cards and this parser reads the same dialect back into a
+:class:`~repro.circuit.netlist.Circuit` -- enabling round-trips, external
+netlists as simulation input, and file-level tests of the model
+builders.
+
+Supported cards (first letter selects the kind, as in SPICE):
+
+====  =======================================================
+R     ``Rname n1 n2 value``
+C     ``Cname n1 n2 value``
+L     ``Lname n1 n2 value``
+K     ``Kname L1 L2 coupling``      (coefficient, converted to M)
+V/I   ``Vname n1 n2 [DC v] [AC m [p]] [PWL(...)] [PULSE(...)]``
+E/G   ``Ename n1 n2 nc1 nc2 gain``
+F/H   ``Fname n1 n2 Vcontrol gain``
+====  =======================================================
+
+plus ``*`` comments, ``+`` continuation lines, engineering suffixes
+(``f p n u m k meg g t``), and ``.end``.  Unknown ``.cards`` are
+ignored with a collected warning list rather than an error, matching
+how simulators skip analysis cards they do not own.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import Stimulus
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_VALUE_RE = re.compile(
+    r"^([+-]?\d*\.?\d+(?:[eE][+-]?\d+)?)(t|g|meg|k|m|u|n|p|f)?[a-z]*$",
+    re.IGNORECASE,
+)
+
+
+class SpiceParseError(ValueError):
+    """A netlist line could not be understood."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+        self.line_number = line_number
+        self.line = line
+        self.reason = reason
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number with optional engineering suffix.
+
+    >>> parse_value("10p")
+    1e-11
+    >>> parse_value("3meg")
+    3000000.0
+    """
+    match = _VALUE_RE.match(token.strip())
+    if not match:
+        raise ValueError(f"not a SPICE number: {token!r}")
+    base = float(match.group(1))
+    suffix = (match.group(2) or "").lower()
+    return base * _SUFFIXES.get(suffix, 1.0)
+
+
+def _pwl_stimulus(points: Sequence[float]) -> Stimulus:
+    if len(points) < 4 or len(points) % 2:
+        raise ValueError("PWL needs an even number of >= 4 values")
+    times = list(points[0::2])
+    values = list(points[1::2])
+    if any(b <= a for a, b in zip(times, times[1:])):
+        raise ValueError("PWL times must be strictly increasing")
+
+    def waveform(t: float) -> float:
+        if t <= times[0]:
+            return values[0]
+        if t >= times[-1]:
+            return values[-1]
+        for k in range(len(times) - 1):
+            if times[k] <= t <= times[k + 1]:
+                span = times[k + 1] - times[k]
+                frac = (t - times[k]) / span
+                return values[k] + frac * (values[k + 1] - values[k])
+        return values[-1]  # pragma: no cover - unreachable
+
+    label = "PWL(" + " ".join(f"{p:g}" for p in points) + ")"
+    return Stimulus(
+        dc=values[0],
+        ac=values[-1] - values[0],
+        transient=waveform,
+        label=label,
+    )
+
+
+def _pulse_stimulus(points: Sequence[float]) -> Stimulus:
+    from repro.circuit.sources import pulse
+
+    if len(points) < 6:
+        raise ValueError("PULSE needs v1 v2 delay rise fall width [period]")
+    v1, v2, delay, rise, fall, width = points[:6]
+    period = points[6] if len(points) > 6 else None
+    return pulse(v1, v2, delay, rise, fall, width, period)
+
+
+def _parse_source_spec(tokens: List[str], line_no: int, line: str) -> Stimulus:
+    """Parse the tail of a V/I card into a Stimulus."""
+    dc_value = 0.0
+    ac_phasor: complex = 0.0
+    transient: Optional[Callable[[float], float]] = None
+    label_parts: List[str] = []
+    position = 0
+    while position < len(tokens):
+        token = tokens[position].upper()
+        if token == "DC":
+            if position + 1 >= len(tokens):
+                raise SpiceParseError(line_no, line, "DC needs a value")
+            dc_value = parse_value(tokens[position + 1])
+            label_parts.append(f"DC {tokens[position + 1]}")
+            position += 2
+        elif token == "AC":
+            magnitude = 1.0
+            phase = 0.0
+            consumed = 1
+            if position + 1 < len(tokens):
+                try:
+                    magnitude = parse_value(tokens[position + 1])
+                    consumed = 2
+                except ValueError:
+                    pass
+            if consumed == 2 and position + 2 < len(tokens):
+                try:
+                    phase = parse_value(tokens[position + 2])
+                    consumed = 3
+                except ValueError:
+                    pass
+            ac_phasor = magnitude * complex(
+                math.cos(math.radians(phase)), math.sin(math.radians(phase))
+            )
+            label_parts.append(f"AC {magnitude:g} {phase:g}")
+            position += consumed
+        elif token.startswith("PWL") or token.startswith("PULSE"):
+            spec = " ".join(tokens[position:])
+            match = re.match(r"(PWL|PULSE)\s*\((.*)\)\s*$", spec, re.IGNORECASE)
+            if not match:
+                raise SpiceParseError(line_no, line, f"malformed {token} spec")
+            numbers = [
+                parse_value(v)
+                for v in re.split(r"[\s,]+", match.group(2).strip())
+                if v
+            ]
+            try:
+                if match.group(1).upper() == "PWL":
+                    stim = _pwl_stimulus(numbers)
+                else:
+                    stim = _pulse_stimulus(numbers)
+            except ValueError as exc:
+                raise SpiceParseError(line_no, line, str(exc)) from exc
+            transient = stim.transient
+            if not label_parts:
+                dc_value = stim.dc
+                ac_phasor = ac_phasor or stim.ac
+            label_parts.append(stim.label)
+            break
+        else:
+            # A bare number is an implicit DC value.
+            try:
+                dc_value = parse_value(tokens[position])
+            except ValueError:
+                raise SpiceParseError(
+                    line_no, line, f"unrecognized source token {tokens[position]!r}"
+                ) from None
+            label_parts.append(f"DC {tokens[position]}")
+            position += 1
+    return Stimulus(
+        dc=dc_value,
+        ac=ac_phasor,
+        transient=transient,
+        label=" ".join(label_parts),
+    )
+
+
+@dataclass
+class ParsedNetlist:
+    """Result of a parse: the circuit plus non-fatal diagnostics."""
+
+    circuit: Circuit
+    warnings: List[str] = field(default_factory=list)
+
+
+def parse_spice(text: str) -> ParsedNetlist:
+    """Parse SPICE netlist text into a circuit.
+
+    The first line is the title (SPICE convention).  Raises
+    :class:`SpiceParseError` on malformed element cards; unknown dot
+    cards are collected as warnings.
+    """
+    raw_lines = text.splitlines()
+    if not raw_lines:
+        raise SpiceParseError(0, "", "empty netlist")
+
+    title = raw_lines[0].lstrip("* ").strip() or "parsed"
+    # Join continuation lines, drop comments and blanks.
+    logical: List[Tuple[int, str]] = []
+    for number, raw in enumerate(raw_lines[1:], start=2):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("*"):
+            continue
+        if stripped.startswith("+"):
+            if not logical:
+                raise SpiceParseError(number, raw, "continuation without a card")
+            prev_no, prev = logical[-1]
+            logical[-1] = (prev_no, prev + " " + stripped[1:].strip())
+        else:
+            logical.append((number, stripped))
+
+    circuit = Circuit(title)
+    warnings: List[str] = []
+    cards: List[Tuple[int, str]] = []
+    for number, line in logical:
+        upper = line.upper()
+        if upper == ".END":
+            break
+        if upper.startswith("."):
+            warnings.append(f"line {number}: ignored control card {line!r}")
+            continue
+        cards.append((number, line))
+
+    # Insert in file order, deferring referencing cards (K coupling,
+    # F/H controlled sources) whose target element has not appeared yet
+    # -- SPICE allows any card order, but preserving file order keeps
+    # writer -> parser -> writer round-trips byte-stable.
+    def target_missing(line: str) -> bool:
+        tokens = line.split()
+        kind = tokens[0][0].upper()
+        if kind == "K" and len(tokens) >= 3:
+            return tokens[1] not in circuit or tokens[2] not in circuit
+        if kind in "FH" and len(tokens) >= 4:
+            return tokens[3] not in circuit
+        return False
+
+    pending: List[Tuple[int, str]] = []
+    for number, line in cards:
+        if target_missing(line):
+            pending.append((number, line))
+        else:
+            _add_card(circuit, number, line)
+    for _ in range(len(pending)):
+        if not pending:
+            break
+        still: List[Tuple[int, str]] = []
+        for number, line in pending:
+            if target_missing(line):
+                still.append((number, line))
+            else:
+                _add_card(circuit, number, line)
+        if len(still) == len(pending):
+            break
+        pending = still
+    for number, line in pending:
+        _add_card(circuit, number, line)  # raises with a clear message
+    return ParsedNetlist(circuit=circuit, warnings=warnings)
+
+
+def _add_card(circuit: Circuit, number: int, line: str) -> None:
+    tokens = line.split()
+    name = tokens[0]
+    kind = name[0].upper()
+    try:
+        if kind == "R":
+            circuit.add_resistor(tokens[1], tokens[2], parse_value(tokens[3]), name)
+        elif kind == "C":
+            circuit.add_capacitor(tokens[1], tokens[2], parse_value(tokens[3]), name)
+        elif kind == "L":
+            circuit.add_inductor(tokens[1], tokens[2], parse_value(tokens[3]), name)
+        elif kind == "K":
+            l1 = circuit.element(tokens[1])
+            l2 = circuit.element(tokens[2])
+            coefficient = parse_value(tokens[3])
+            mutual = coefficient * math.sqrt(l1.value * l2.value)
+            circuit.add_mutual(tokens[1], tokens[2], mutual, name)
+        elif kind in "VI":
+            stimulus = _parse_source_spec(tokens[3:], number, line)
+            if kind == "V":
+                circuit.add_voltage_source(tokens[1], tokens[2], stimulus, name)
+            else:
+                circuit.add_current_source(tokens[1], tokens[2], stimulus, name)
+        elif kind == "E":
+            circuit.add_vcvs(
+                tokens[1], tokens[2], tokens[3], tokens[4],
+                parse_value(tokens[5]), name,
+            )
+        elif kind == "G":
+            circuit.add_vccs(
+                tokens[1], tokens[2], tokens[3], tokens[4],
+                parse_value(tokens[5]), name,
+            )
+        elif kind == "F":
+            circuit.add_cccs(
+                tokens[1], tokens[2], tokens[3], parse_value(tokens[4]), name
+            )
+        elif kind == "H":
+            circuit.add_ccvs(
+                tokens[1], tokens[2], tokens[3], parse_value(tokens[4]), name
+            )
+        else:
+            raise SpiceParseError(number, line, f"unsupported card kind {kind!r}")
+    except SpiceParseError:
+        raise
+    except (IndexError, KeyError, ValueError) as exc:
+        raise SpiceParseError(number, line, str(exc)) from exc

@@ -1,0 +1,137 @@
+"""Fixed-step transient analysis (trapezoidal rule or backward Euler).
+
+From the descriptor form ``G x + C x' = b(t)`` the one-step recurrences
+are::
+
+    trapezoidal:    (G + 2C/h) x_{n+1} = (2C/h - G) x_n + b_n + b_{n+1}
+    backward Euler: (G +  C/h) x_{n+1} = (C/h) x_n + b_{n+1}
+
+The left-hand matrix is constant for a fixed step ``h``, so it is
+factorized once (scipy SuperLU) and reused for every step -- the same
+structural win a production SPICE gets from fixed-timestep regions, and
+the mechanism behind the paper's PEEC-vs-VPEC runtime comparison: the
+factorization (and each back-substitution) is cheap exactly when the
+reactive/ resistive stamps stay sparse.
+
+The initial condition is the DC operating point with the sources at their
+``t = 0`` transient values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.sparse.linalg import splu
+
+from repro.circuit.dc import solve_dc
+from repro.circuit.mna import MnaSystem, build_mna
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveform import TransientResult
+
+_METHODS = ("trapezoidal", "backward_euler")
+
+
+def transient_analysis(
+    circuit: Circuit,
+    t_stop: float,
+    dt: float,
+    method: str = "trapezoidal",
+    probe_nodes: Optional[Sequence[str]] = None,
+    probe_branches: Optional[Sequence[str]] = None,
+    x0: Optional[np.ndarray] = None,
+) -> TransientResult:
+    """Integrate a circuit from 0 to ``t_stop`` with fixed step ``dt``.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to simulate.
+    t_stop, dt:
+        Final time and time step, seconds; the time axis is
+        ``0, dt, 2 dt, ..., >= t_stop``.
+    method:
+        ``"trapezoidal"`` (second order, the default) or
+        ``"backward_euler"`` (first order, heavily damped).
+    probe_nodes, probe_branches:
+        Names to record.  Defaults to all nodes when the system is small
+        (< 3000 unknowns); larger systems must name their probes to keep
+        memory bounded.
+    x0:
+        Optional initial solution vector (defaults to the DC operating
+        point at the sources' ``t = 0`` values).
+    """
+    if t_stop <= 0 or dt <= 0:
+        raise ValueError("t_stop and dt must be positive")
+    if t_stop < dt:
+        raise ValueError("t_stop must be at least one time step")
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+
+    system = build_mna(circuit)
+    if probe_nodes is None:
+        if system.size >= 3000:
+            raise ValueError(
+                f"system has {system.size} unknowns; pass probe_nodes to "
+                "bound result memory"
+            )
+        probe_nodes = circuit.nodes
+    nodes = list(probe_nodes)
+    branches = list(probe_branches) if probe_branches is not None else []
+    node_rows = np.array([system.node_row(n) for n in nodes], dtype=int)
+    branch_rows = np.array([system.branch_row(b) for b in branches], dtype=int)
+
+    steps = int(np.ceil(t_stop / dt))
+    times = np.arange(steps + 1) * dt
+
+    x = solve_dc(system) if x0 is None else np.array(x0, dtype=float)
+    if x.shape != (system.size,):
+        raise ValueError("x0 has the wrong size for this circuit")
+
+    g_mat = system.G.tocsc()
+    c_mat = system.C.tocsc()
+    if method == "trapezoidal":
+        c_scaled = (2.0 / dt) * c_mat
+        lhs = splu((g_mat + c_scaled).tocsc())
+        history = c_scaled - g_mat
+    else:
+        c_scaled = (1.0 / dt) * c_mat
+        lhs = splu((g_mat + c_scaled).tocsc())
+        history = c_scaled
+
+    volt = np.empty((len(nodes), steps + 1))
+    curr = np.empty((len(branches), steps + 1))
+    _record(volt, curr, 0, x, node_rows, branch_rows)
+
+    b_now = system.rhs_transient(0.0)
+    for n in range(1, steps + 1):
+        b_next = system.rhs_transient(times[n])
+        if method == "trapezoidal":
+            rhs = history @ x + b_now + b_next
+        else:
+            rhs = history @ x + b_next
+        x = lhs.solve(rhs)
+        _record(volt, curr, n, x, node_rows, branch_rows)
+        b_now = b_next
+
+    return TransientResult(
+        times=times,
+        node_voltages={n: volt[i] for i, n in enumerate(nodes)},
+        branch_currents={b: curr[i] for i, b in enumerate(branches)},
+        method=method,
+        dt=dt,
+    )
+
+
+def _record(
+    volt: np.ndarray,
+    curr: np.ndarray,
+    step: int,
+    x: np.ndarray,
+    node_rows: np.ndarray,
+    branch_rows: np.ndarray,
+) -> None:
+    for pos, row in enumerate(node_rows):
+        volt[pos, step] = x[row] if row >= 0 else 0.0
+    for pos, row in enumerate(branch_rows):
+        curr[pos, step] = x[row]

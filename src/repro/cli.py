@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four commands cover the everyday flows without writing Python:
+
+- ``extract``   -- build a geometry, extract parasitics, print a summary;
+- ``netlist``   -- build a model (PEEC or any VPEC flavor) and emit its
+  SPICE netlist;
+- ``crosstalk`` -- run the standard aggressor/victim testbench on a
+  model and print the noise report;
+- ``audit``     -- passivity audit (Theorems 1-2 / Lemma 1) of a VPEC
+  model's effective-resistance networks.
+
+Geometry is selected with ``--bus N`` (aligned), ``--nonaligned-bus N``
+or ``--spiral TURNS``; models with ``--model`` plus its parameter
+(``--nw/--nl``, ``--threshold``, ``--window``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.signal_integrity import crosstalk_report
+from repro.circuit.sources import step
+from repro.circuit.spice_writer import write_spice
+from repro.extraction.parasitics import Parasitics, extract
+from repro.geometry.bus import aligned_bus, nonaligned_bus
+from repro.geometry.spiral import square_spiral
+from repro.experiments.runner import ModelSpec, build_model
+from repro.vpec.flow import full_vpec, localized_vpec, truncated_vpec, windowed_vpec
+from repro.vpec.passivity import audit_network
+
+
+def _add_geometry_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--bus", type=int, metavar="BITS", help="aligned parallel bus")
+    group.add_argument(
+        "--nonaligned-bus", type=int, metavar="BITS", help="spacing-jittered bus"
+    )
+    group.add_argument("--spiral", type=int, metavar="TURNS", help="square spiral")
+    parser.add_argument(
+        "--segments", type=int, default=1, help="segments per bus line (default 1)"
+    )
+    parser.add_argument(
+        "--spiral-segments",
+        type=int,
+        default=92,
+        help="total spiral segments (default 92)",
+    )
+
+
+def _geometry(args: argparse.Namespace):
+    if args.bus is not None:
+        return aligned_bus(args.bus, segments_per_line=args.segments)
+    if args.nonaligned_bus is not None:
+        return nonaligned_bus(args.nonaligned_bus, segments_per_line=args.segments)
+    return square_spiral(turns=args.spiral, total_segments=args.spiral_segments)
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model",
+        choices=["peec", "full", "localized", "gt", "nt", "gw", "nw"],
+        default="full",
+        help="model family (default: full VPEC)",
+    )
+    parser.add_argument("--nw", type=int, default=0, help="gt: width window")
+    parser.add_argument("--nl", type=int, default=1, help="gt: length window")
+    parser.add_argument(
+        "--threshold", type=float, default=0.0, help="nt/nw: coupling threshold"
+    )
+    parser.add_argument("--window", type=int, default=0, help="gw: window size b")
+
+
+def _model_spec(args: argparse.Namespace) -> ModelSpec:
+    kind = args.model
+    return ModelSpec(
+        kind,
+        nw=args.nw,
+        nl=args.nl,
+        threshold=args.threshold,
+        window=args.window,
+    )
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    parasitics = extract(_geometry(args))
+    system = parasitics.system
+    L = parasitics.inductance
+    off = L[~np.eye(L.shape[0], dtype=bool)]
+    print(f"system: {system.name} ({len(system)} filaments, {system.num_wires} wires)")
+    print(f"L self: {np.diag(L).min() * 1e9:.4f} .. {np.diag(L).max() * 1e9:.4f} nH")
+    if off.size:
+        print(
+            f"L mutual: |max| {np.abs(off).max() * 1e9:.4f} nH "
+            f"(k_max = {np.abs(off).max() / np.diag(L).min():.3f})"
+        )
+    print(
+        f"R: {parasitics.resistance.min():.3f} .. "
+        f"{parasitics.resistance.max():.3f} ohm"
+    )
+    print(
+        f"Cg total: {parasitics.ground_capacitance.sum() * 1e15:.2f} fF, "
+        f"coupling pairs: {len(parasitics.coupling_capacitance)}"
+    )
+    return 0
+
+
+def _cmd_netlist(args: argparse.Namespace) -> int:
+    parasitics = extract(_geometry(args))
+    built = build_model(_model_spec(args), parasitics)
+    text = write_spice(built.circuit)
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as handle:
+            handle.write(text)
+        print(
+            f"{built.label}: {len(built.circuit)} elements, "
+            f"{len(text.encode('ascii'))} bytes -> {args.output}"
+        )
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_crosstalk(args: argparse.Namespace) -> int:
+    parasitics = extract(_geometry(args))
+    built = build_model(_model_spec(args), parasitics)
+    report = crosstalk_report(
+        built.skeleton,
+        step(args.vdd, rise_time=args.rise * 1e-12),
+        aggressor=args.aggressor,
+        vdd=args.vdd,
+        t_stop=args.t_stop * 1e-12,
+        dt=args.dt * 1e-12,
+    )
+    print(f"model: {built.label} (sparse factor {built.sparse_factor:.3f})")
+    print(report.to_table())
+    if args.csv:
+        from repro.experiments.export import waveforms_to_csv
+
+        waves = {f"victim{v.wire}": v.waveform for v in report.victims}
+        with open(args.csv, "w", encoding="ascii") as handle:
+            handle.write(waveforms_to_csv(waves))
+        print(f"victim waveforms -> {args.csv}")
+    failing = report.failing(args.limit)
+    if failing:
+        wires = ", ".join(str(v.wire) for v in failing)
+        print(f"FAIL: victims above {args.limit * 100:.0f}% of VDD: {wires}")
+        return 1
+    print(f"PASS: all victims below {args.limit * 100:.0f}% of VDD")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    parasitics = extract(_geometry(args))
+    result = _vpec_flow(args, parasitics)
+    print(f"model: {result.flavor} (sparse factor {result.sparse_factor:.3f})")
+    ok = True
+    for group, network in enumerate(result.model.networks):
+        report = audit_network(network)
+        print(
+            f"  direction group {group}: passive={report.passive} "
+            f"dd={report.diagonally_dominant} "
+            f"margin={report.dominance_margin:+.4f} "
+            f"resistances_positive={report.resistances_positive}"
+        )
+        ok = ok and report.passive
+    print("PASS: model is passive" if ok else "FAIL: model is not passive")
+    return 0 if ok else 1
+
+
+def _vpec_flow(args: argparse.Namespace, parasitics: Parasitics):
+    if args.model == "full":
+        return full_vpec(parasitics)
+    if args.model == "localized":
+        return localized_vpec(parasitics)
+    if args.model == "gt":
+        return truncated_vpec(parasitics, nw=args.nw, nl=args.nl)
+    if args.model == "nt":
+        return truncated_vpec(parasitics, threshold=args.threshold)
+    if args.model == "gw":
+        return windowed_vpec(parasitics, window_size=args.window)
+    if args.model == "nw":
+        return windowed_vpec(parasitics, threshold=args.threshold)
+    raise SystemExit(f"audit does not apply to model {args.model!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VPEC interconnect modeling (Yu & He, TCAD 2005 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    p_extract = commands.add_parser("extract", help="extract and summarize parasitics")
+    _add_geometry_arguments(p_extract)
+    p_extract.set_defaults(func=_cmd_extract)
+
+    p_netlist = commands.add_parser("netlist", help="emit a model's SPICE netlist")
+    _add_geometry_arguments(p_netlist)
+    _add_model_arguments(p_netlist)
+    p_netlist.add_argument("-o", "--output", help="write to a file instead of stdout")
+    p_netlist.set_defaults(func=_cmd_netlist)
+
+    p_xtalk = commands.add_parser("crosstalk", help="run the crosstalk testbench")
+    _add_geometry_arguments(p_xtalk)
+    _add_model_arguments(p_xtalk)
+    p_xtalk.add_argument("--aggressor", type=int, default=0)
+    p_xtalk.add_argument("--vdd", type=float, default=1.0, help="volts (default 1)")
+    p_xtalk.add_argument("--rise", type=float, default=10.0, help="rise time, ps")
+    p_xtalk.add_argument("--t-stop", type=float, default=300.0, help="sim time, ps")
+    p_xtalk.add_argument("--dt", type=float, default=1.0, help="time step, ps")
+    p_xtalk.add_argument(
+        "--limit", type=float, default=0.15, help="pass/fail noise limit vs VDD"
+    )
+    p_xtalk.add_argument("--csv", help="write victim waveforms to a CSV file")
+    p_xtalk.set_defaults(func=_cmd_crosstalk)
+
+    p_audit = commands.add_parser("audit", help="passivity audit of a VPEC model")
+    _add_geometry_arguments(p_audit)
+    _add_model_arguments(p_audit)
+    p_audit.set_defaults(func=_cmd_audit)
+
+    p_report = commands.add_parser(
+        "report", help="scaled-down check of every paper claim"
+    )
+    p_report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.summary import quick_report
+
+    text = quick_report()
+    print(text)
+    return 1 if "[FAIL]" in text else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Physical constants and the paper's default technology parameters.
+
+Kept at the package top level so both the geometry and extraction layers
+can use them without circular imports; :mod:`repro.extraction.constants`
+re-exports everything for API symmetry.
+"""
+
+import math
+
+#: Vacuum permeability, H/m.
+MU_0 = 4.0e-7 * math.pi
+
+#: Vacuum permittivity, F/m.
+EPS_0 = 8.8541878128e-12
+
+#: Speed of light in vacuum, m/s.
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Copper resistivity used throughout the paper's experiments, ohm-m.
+COPPER_RESISTIVITY = 1.7e-8
+
+#: Low-k dielectric constant of the paper's experiment setting.
+LOW_K_EPS_R = 2.0
+
+#: Maximum operating frequency of all experiments, Hz.
+MAX_FREQUENCY = 10.0e9
+
+#: Driver resistance modeling interconnect drivers (Section II-C), ohms.
+DRIVER_RESISTANCE = 120.0
+
+#: Receiver loading capacitance (Section II-C), farads.
+LOAD_CAPACITANCE = 10.0e-15
+
+#: Heavily doped lossy-substrate resistivity of the spiral experiment, ohm-m.
+SUBSTRATE_RESISTIVITY = 1.0e-5

@@ -1,0 +1,41 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module reproduces one evaluation artifact (see the per-experiment
+index in ``DESIGN.md``); the benchmark harness, the integration tests,
+and the examples all call these drivers rather than re-implementing the
+workloads.
+
+- :mod:`repro.experiments.runner` -- model specs and the shared
+  build/simulate plumbing;
+- :mod:`repro.experiments.fig2_accuracy` -- 5-bit bus accuracy (Fig. 2);
+- :mod:`repro.experiments.table2_gtvpec` -- geometric truncation
+  (Table II);
+- :mod:`repro.experiments.table3_ntvpec` -- numerical truncation
+  (Fig. 3 / Table III);
+- :mod:`repro.experiments.fig4_extraction` -- extraction-time scaling
+  (Fig. 4);
+- :mod:`repro.experiments.table4_windowing` -- truncation vs windowing
+  accuracy (Fig. 5 / Table IV);
+- :mod:`repro.experiments.fig7_spiral` -- spiral inductor numerical
+  windowing (Figs. 6-7);
+- :mod:`repro.experiments.fig8_scaling` -- runtime and model-size
+  scaling (Fig. 8).
+"""
+
+from repro.experiments.runner import (
+    BuiltModel,
+    ModelSpec,
+    build_model,
+    run_bus_ac,
+    run_bus_transient,
+    run_two_port_transient,
+)
+
+__all__ = [
+    "ModelSpec",
+    "BuiltModel",
+    "build_model",
+    "run_bus_transient",
+    "run_bus_ac",
+    "run_two_port_transient",
+]

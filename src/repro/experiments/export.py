@@ -1,0 +1,102 @@
+"""CSV export of experiment data (figures without a plotting stack).
+
+The benchmark harness archives its tables as text; these helpers
+additionally serialize the underlying *series* -- waveforms and scaling
+sweeps -- as CSV so the paper's figures can be re-plotted with any
+external tool.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.circuit.waveform import Waveform
+from repro.experiments.fig4_extraction import Fig4Point
+from repro.experiments.fig8_scaling import Fig8Point
+
+
+def waveforms_to_csv(
+    waveforms: Mapping[str, Waveform],
+    time_label: str = "t",
+) -> str:
+    """Serialize labeled waveforms onto a shared time axis.
+
+    The first waveform's axis is the reference; the others are linearly
+    interpolated onto it (exact when the axes already match, as they do
+    for same-experiment runs).
+    """
+    if not waveforms:
+        raise ValueError("no waveforms to export")
+    labels = list(waveforms)
+    reference = waveforms[labels[0]]
+    columns = [reference.t] + [waveforms[k].at(reference.t) for k in labels]
+    buffer = io.StringIO()
+    buffer.write(",".join([time_label] + labels) + "\n")
+    for row in zip(*columns):
+        buffer.write(",".join(f"{value:.9g}" for value in row) + "\n")
+    return buffer.getvalue()
+
+
+def fig4_to_csv(points: Sequence[Fig4Point]) -> str:
+    """Extraction-time scaling series (Fig. 4)."""
+    buffer = io.StringIO()
+    buffer.write("bits,truncation_seconds,windowing_seconds\n")
+    for point in points:
+        buffer.write(
+            f"{point.bits},{point.truncation_seconds:.9g},"
+            f"{point.windowing_seconds:.9g}\n"
+        )
+    return buffer.getvalue()
+
+
+def fig8_to_csv(points: Sequence[Fig8Point]) -> str:
+    """Runtime / model-size scaling series (Fig. 8), long format."""
+    buffer = io.StringIO()
+    buffer.write(
+        "label,bits,build_seconds,sim_seconds,total_seconds,"
+        "element_count,netlist_bytes\n"
+    )
+    for point in points:
+        buffer.write(
+            f"{point.label},{point.bits},{point.build_seconds:.9g},"
+            f"{point.sim_seconds:.9g},{point.total_seconds:.9g},"
+            f"{point.element_count},{point.netlist_bytes}\n"
+        )
+    return buffer.getvalue()
+
+
+def series_to_csv(
+    header: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Generic row serializer used by ad-hoc experiment exports."""
+    buffer = io.StringIO()
+    buffer.write(",".join(str(h) for h in header) + "\n")
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:.9g}")
+            else:
+                cells.append(str(value))
+        if len(cells) != len(header):
+            raise ValueError(
+                f"row has {len(cells)} cells, header has {len(header)}"
+            )
+        buffer.write(",".join(cells) + "\n")
+    return buffer.getvalue()
+
+
+def parse_csv_floats(text: str) -> Dict[str, np.ndarray]:
+    """Read back a numeric CSV produced by the exporters (round-trips)."""
+    lines = [line for line in text.splitlines() if line]
+    if not lines:
+        raise ValueError("empty CSV")
+    header = lines[0].split(",")
+    columns: Dict[str, list] = {name: [] for name in header}
+    for line in lines[1:]:
+        for name, cell in zip(header, line.split(",")):
+            columns[name].append(float(cell))
+    return {name: np.array(values) for name, values in columns.items()}

@@ -1,0 +1,147 @@
+"""Experiment E7 -- Figs. 6-7: numerical windowing on a spiral inductor.
+
+A three-turn square spiral (92 segments, the paper's discretization) on
+a lossy substrate, driven by a 1-V pulse at the input port and observed
+at the output port.  The spiral's legs have different lengths and two
+current directions, so coupling windows differ per wire -- the workload
+that motivates *numerical* windowing.
+
+Paper's observations: with a threshold of 1.5e-4 the nwVPEC model keeps
+~56.7% of the couplings and its output waveform is virtually identical
+to PEEC and full VPEC, at an ~8x runtime speedup over PEEC.
+
+Substitution note: our closed-form extraction yields larger *relative*
+couplings than the paper's FastHenry run (shorter legs, no volume
+filaments), so the paper's absolute threshold keeps everything.  The
+driver therefore accepts a target sparsification ratio and derives the
+matching threshold from the coupling-strength distribution; the default
+reproduces the paper's 56.7% kept ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.metrics import WaveformDifference, waveform_difference
+from repro.circuit.sources import step
+from repro.circuit.waveform import Waveform
+from repro.constants import SUBSTRATE_RESISTIVITY
+from repro.extraction.parasitics import Parasitics, extract
+from repro.geometry.spiral import square_spiral
+from repro.experiments.runner import (
+    build_model,
+    full_spec,
+    nw_spec,
+    peec_spec,
+    run_two_port_transient,
+)
+
+
+def threshold_for_kept_ratio(parasitics: Parasitics, kept_ratio: float) -> float:
+    """Coupling-strength threshold that keeps ~``kept_ratio`` of pairs.
+
+    Window membership uses the symmetrized rule (a pair is kept when
+    either row's strength reaches the threshold), so the quantile is
+    taken over the pairwise *maximum* of the two directional strengths.
+    """
+    if not 0 < kept_ratio <= 1:
+        raise ValueError("kept_ratio must be in (0, 1]")
+    pair_strengths = []
+    for _, block in parasitics.inductance_blocks.values():
+        diag = np.diag(block)
+        strength = np.abs(block) / diag[:, None]
+        sym = np.maximum(strength, strength.T)
+        upper = sym[np.triu_indices_from(sym, k=1)]
+        pair_strengths.append(upper)
+    values = np.concatenate(pair_strengths)
+    if values.size == 0:
+        return 1.0
+    return float(np.quantile(values, 1.0 - kept_ratio))
+
+
+@dataclass
+class Fig7Result:
+    """Waveforms and statistics of the spiral experiment."""
+
+    waveforms: Dict[str, Waveform]
+    diff_vs_peec: Dict[str, WaveformDifference]
+    runtime_seconds: Dict[str, float]
+    threshold: float
+    sparse_factor: float
+
+    def speedup_vs_peec(self, label: str) -> float:
+        return self.runtime_seconds["PEEC"] / self.runtime_seconds[label]
+
+
+def run_fig7(
+    turns: int = 3,
+    total_segments: int = 92,
+    kept_ratio: float = 0.567,
+    threshold: Optional[float] = None,
+    t_stop: float = 800e-12,
+    dt: float = 1e-12,
+    substrate_loss: bool = True,
+) -> Fig7Result:
+    """Regenerate the spiral experiment (PEEC, full VPEC, nwVPEC).
+
+    ``substrate_loss`` lumps the heavily doped substrate's eddy-current
+    loss into the segment resistances (the paper's treatment of [26]):
+    each segment's resistance is augmented by the resistance of the
+    substrate volume beneath it.
+    """
+    system = square_spiral(turns=turns, total_segments=total_segments)
+    parasitics = extract(system)
+    if substrate_loss:
+        parasitics.resistance = parasitics.resistance + _substrate_loss(system)
+    if threshold is None:
+        threshold = threshold_for_kept_ratio(parasitics, kept_ratio)
+
+    stimulus = step(1.0, rise_time=10e-12)
+    waveforms: Dict[str, Waveform] = {}
+    runtimes: Dict[str, float] = {}
+    sparse_factor = 1.0
+    for label, spec in (
+        ("PEEC", peec_spec()),
+        ("full VPEC", full_spec()),
+        ("nwVPEC", nw_spec(threshold)),
+    ):
+        run = run_two_port_transient(
+            build_model(spec, parasitics), stimulus, t_stop, dt
+        )
+        waveforms[label] = run.waveforms["out"]
+        runtimes[label] = run.total_seconds
+        if label == "nwVPEC":
+            sparse_factor = run.model.sparse_factor
+
+    reference = waveforms["PEEC"]
+    diffs = {
+        label: waveform_difference(reference, waveforms[label])
+        for label in ("full VPEC", "nwVPEC")
+    }
+    return Fig7Result(
+        waveforms=waveforms,
+        diff_vs_peec=diffs,
+        runtime_seconds=runtimes,
+        threshold=threshold,
+        sparse_factor=sparse_factor,
+    )
+
+
+def _substrate_loss(system) -> np.ndarray:
+    """Per-segment lumped substrate-loss resistance (ohms).
+
+    The heavily doped substrate (rho = 1e-5 ohm-m) under each segment is
+    modeled as a resistive slab of the segment's footprint and one
+    skin-depth-scale thickness; its resistance is lumped in series,
+    following the paper's "contribution (eddy current loss) is lumped to
+    the segmented conductor on top of the substrate".
+    """
+    slab_thickness = 10e-6
+    loss = np.empty(len(system))
+    for k, filament in enumerate(system):
+        footprint = filament.length * filament.width
+        loss[k] = SUBSTRATE_RESISTIVITY * slab_thickness / footprint
+    return loss

@@ -1,0 +1,118 @@
+"""Experiment E8/E9 -- Fig. 8: runtime and model-size scaling.
+
+Aligned buses with one segment per line, swept over the bus width; for
+each size the PEEC, full VPEC, and gwVPEC (b = 8) models are built and
+simulated with the standard step-crosstalk testbench.  Two series are
+reported per model: total runtime (model building + simulation,
+Fig. 8(a)) and model size (bytes of the emitted SPICE netlist and
+element count, Fig. 8(b)).
+
+Paper's observations: no full-VPEC speedup below ~64 bits, growing to
+47x at 256 bits; gwVPEC reaches >1000x at 256 bits and keeps scaling to
+thousand-bit buses that the dense models cannot reach (memory); the full
+VPEC netlist is ~10% *larger* than PEEC while gwVPEC's is far smaller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuit.sources import step
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.experiments.runner import (
+    ModelSpec,
+    build_model,
+    full_spec,
+    gw_spec,
+    peec_spec,
+    run_bus_transient,
+)
+
+#: Bus sizes simulated for every model (the dense models stop here, as in
+#: the paper where PEEC and full VPEC run out of memory past 256 bits).
+DEFAULT_DENSE_SIZES = (8, 16, 32, 64, 128, 256)
+
+#: Extra sizes only the sparsified model attempts.
+DEFAULT_SPARSE_ONLY_SIZES = (512, 1024)
+
+
+@dataclass
+class Fig8Point:
+    """One (model, size) sample of Fig. 8."""
+
+    label: str
+    bits: int
+    build_seconds: float
+    sim_seconds: float
+    element_count: int
+    netlist_bytes: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.sim_seconds
+
+
+def run_fig8(
+    dense_sizes: Sequence[int] = DEFAULT_DENSE_SIZES,
+    sparse_only_sizes: Sequence[int] = DEFAULT_SPARSE_ONLY_SIZES,
+    window_size: int = 8,
+    observe_bit: int = 1,
+    t_stop: float = 200e-12,
+    dt: float = 1e-12,
+) -> List[Fig8Point]:
+    """Regenerate both panels of Fig. 8.
+
+    Returns one point per (model, size); PEEC and full VPEC cover
+    ``dense_sizes`` only, gwVPEC additionally covers
+    ``sparse_only_sizes``.
+    """
+    stimulus = step(1.0, rise_time=10e-12)
+    points: List[Fig8Point] = []
+
+    def sample(spec: ModelSpec, bits: int) -> Fig8Point:
+        parasitics = extract(aligned_bus(bits))
+        built = build_model(spec, parasitics)
+        element_count = built.element_count()
+        netlist_bytes = built.netlist_bytes()
+        run = run_bus_transient(
+            built,
+            stimulus,
+            t_stop,
+            dt,
+            observe_bits=[min(observe_bit, bits - 1)],
+        )
+        return Fig8Point(
+            label=built.label,
+            bits=bits,
+            build_seconds=built.build_seconds,
+            sim_seconds=run.sim_seconds,
+            element_count=element_count,
+            netlist_bytes=netlist_bytes,
+        )
+
+    for bits in dense_sizes:
+        points.append(sample(peec_spec(), bits))
+        points.append(sample(full_spec(), bits))
+        points.append(sample(gw_spec(window_size), bits))
+    for bits in sparse_only_sizes:
+        points.append(sample(gw_spec(window_size), bits))
+    return points
+
+
+def series(points: List[Fig8Point], label: str) -> List[Fig8Point]:
+    """Extract one model's series, ordered by bus size."""
+    return sorted((p for p in points if p.label == label), key=lambda p: p.bits)
+
+
+def speedup_at(
+    points: List[Fig8Point], bits: int, fast_label: str, slow_label: str = "PEEC"
+) -> Optional[float]:
+    """Runtime ratio ``slow / fast`` at one size (None when missing)."""
+    by_key: Dict[tuple, Fig8Point] = {(p.label, p.bits): p for p in points}
+    fast = by_key.get((fast_label, bits))
+    slow = by_key.get((slow_label, bits))
+    if fast is None or slow is None or fast.total_seconds == 0.0:
+        return None
+    return slow.total_seconds / fast.total_seconds

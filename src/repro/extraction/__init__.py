@@ -1,0 +1,75 @@
+"""Parasitic extraction substrate (FastHenry / FastCap substitute).
+
+Public API
+----------
+- :func:`~repro.extraction.parasitics.extract` /
+  :class:`~repro.extraction.parasitics.Parasitics` -- one-call extraction;
+- :func:`~repro.extraction.inductance.partial_inductance_matrix`,
+  :func:`~repro.extraction.inductance.inductance_blocks`,
+  :func:`~repro.extraction.inductance.self_inductance_bar`,
+  :func:`~repro.extraction.inductance.mutual_parallel_filaments`;
+- :class:`~repro.extraction.capacitance.CapacitanceModel`,
+  :func:`~repro.extraction.capacitance.extract_capacitances`;
+- :func:`~repro.extraction.resistance.extract_resistances`;
+- physical constants in :mod:`repro.extraction.constants`.
+"""
+
+from repro.extraction.capacitance import CapacitanceModel, extract_capacitances
+from repro.extraction.constants import (
+    COPPER_RESISTIVITY,
+    DRIVER_RESISTANCE,
+    EPS_0,
+    LOAD_CAPACITANCE,
+    LOW_K_EPS_R,
+    MAX_FREQUENCY,
+    MU_0,
+    SPEED_OF_LIGHT,
+)
+from repro.extraction.inductance import (
+    gmd_parallel_tapes,
+    inductance_blocks,
+    mutual_collinear_filaments,
+    mutual_parallel_filaments,
+    partial_inductance_matrix,
+    self_inductance_bar,
+)
+from repro.extraction.parasitics import Parasitics, extract
+from repro.extraction.resistance import (
+    dc_resistance,
+    extract_resistances,
+    skin_effect_resistance,
+)
+from repro.extraction.volume import (
+    ConductorImpedance,
+    conductor_impedance,
+    counts_for_skin_depth,
+    subdivide_cross_section,
+)
+
+__all__ = [
+    "CapacitanceModel",
+    "Parasitics",
+    "extract",
+    "extract_capacitances",
+    "extract_resistances",
+    "partial_inductance_matrix",
+    "inductance_blocks",
+    "self_inductance_bar",
+    "mutual_parallel_filaments",
+    "mutual_collinear_filaments",
+    "gmd_parallel_tapes",
+    "dc_resistance",
+    "skin_effect_resistance",
+    "ConductorImpedance",
+    "conductor_impedance",
+    "counts_for_skin_depth",
+    "subdivide_cross_section",
+    "MU_0",
+    "EPS_0",
+    "SPEED_OF_LIGHT",
+    "COPPER_RESISTIVITY",
+    "LOW_K_EPS_R",
+    "MAX_FREQUENCY",
+    "DRIVER_RESISTANCE",
+    "LOAD_CAPACITANCE",
+]

@@ -1,0 +1,25 @@
+"""Physical constants (re-exported from :mod:`repro.constants`)."""
+
+from repro.constants import (
+    COPPER_RESISTIVITY,
+    DRIVER_RESISTANCE,
+    EPS_0,
+    LOAD_CAPACITANCE,
+    LOW_K_EPS_R,
+    MAX_FREQUENCY,
+    MU_0,
+    SPEED_OF_LIGHT,
+    SUBSTRATE_RESISTIVITY,
+)
+
+__all__ = [
+    "MU_0",
+    "EPS_0",
+    "SPEED_OF_LIGHT",
+    "COPPER_RESISTIVITY",
+    "LOW_K_EPS_R",
+    "MAX_FREQUENCY",
+    "DRIVER_RESISTANCE",
+    "LOAD_CAPACITANCE",
+    "SUBSTRATE_RESISTIVITY",
+]

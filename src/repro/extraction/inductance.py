@@ -1,0 +1,345 @@
+"""Closed-form partial inductance extraction (the FastHenry substitute).
+
+The PEEC model assigns every filament a *partial self inductance* and every
+pair of parallel filaments a *partial mutual inductance* -- the inductance
+of the virtual loop each conductor forms with infinity.  FastHenry computes
+these by multipole-accelerated volume integration; for the rectilinear
+filaments of the paper's experiments the same quantities have classical
+closed forms (Grover, "Inductance Calculations", 1962 -- the paper's
+reference [22]; Ruehli 1972):
+
+- self inductance of a rectangular bar:
+  ``L = (mu0 l / 2 pi) [ ln(2l/(w+t)) + 1/2 + 0.2235 (w+t)/l ]``;
+- mutual inductance of two parallel filaments from the Neumann double
+  integral, with a geometric-mean-distance (GMD) correction for the finite
+  cross section of closely spaced equal-width conductors;
+- zero mutual between orthogonal filaments (the ``k = x, y, z`` components
+  decouple, which is why the paper treats each direction separately).
+
+All routines are vectorized over filament pairs; a 2048-conductor bus
+extracts in well under a second.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.extraction.constants import MU_0
+from repro.geometry.filament import Axis
+from repro.geometry.system import FilamentSystem
+
+#: Lateral distances below this (meters) are treated as collinear.
+_COLLINEAR_TOL = 1e-12
+
+
+def self_inductance_bar(length: float, width: float, thickness: float) -> float:
+    """Partial self inductance of a rectangular bar, henries.
+
+    The Grover / Ruehli approximation, accurate to ~1% for bars longer
+    than their cross-section dimensions (all the paper's structures are).
+    """
+    if min(length, width, thickness) <= 0:
+        raise ValueError("bar dimensions must be positive")
+    ratio = (width + thickness) / length
+    return (
+        MU_0
+        * length
+        / (2.0 * np.pi)
+        * (np.log(2.0 / ratio) + 0.5 + 0.2235 * ratio)
+    )
+
+
+def _neumann_g(u: np.ndarray, d: np.ndarray) -> np.ndarray:
+    """Antiderivative kernel ``G(u) = u asinh(u/d) - sqrt(u^2 + d^2)``.
+
+    ``G''(u) = 1 / sqrt(u^2 + d^2)``, so the Neumann double integral of two
+    parallel filaments is a four-term combination of ``G``.  Even in ``u``.
+    """
+    return u * np.arcsinh(u / d) - np.hypot(u, d)
+
+
+def mutual_parallel_filaments(
+    length_a: float,
+    length_b: float,
+    lateral_distance: float,
+    axial_offset: float = 0.0,
+) -> float:
+    """Mutual partial inductance of two parallel thin filaments, henries.
+
+    Filament A spans ``[0, length_a]`` along the common axis; filament B
+    spans ``[axial_offset, axial_offset + length_b]`` at perpendicular
+    distance ``lateral_distance``.  Positive for co-directed currents.
+
+    This is the exact Neumann-integral solution for thin filaments
+    (Grover ch. 9); finite cross sections are handled by passing a GMD as
+    the distance.
+    """
+    if lateral_distance <= _COLLINEAR_TOL:
+        return mutual_collinear_filaments(length_a, length_b, axial_offset)
+    result = _mutual_parallel_vec(
+        np.asarray(length_a, dtype=float),
+        np.asarray(length_b, dtype=float),
+        np.asarray(lateral_distance, dtype=float),
+        np.asarray(axial_offset, dtype=float),
+    )
+    return float(result)
+
+
+def _mutual_parallel_vec(
+    length_a: np.ndarray,
+    length_b: np.ndarray,
+    distance: np.ndarray,
+    offset: np.ndarray,
+) -> np.ndarray:
+    """Vectorized Neumann mutual for parallel filaments (distance > 0)."""
+    g = _neumann_g
+    total = (
+        g(offset + length_b, distance)
+        + g(offset - length_a, distance)
+        - g(offset, distance)
+        - g(offset + length_b - length_a, distance)
+    )
+    return MU_0 / (4.0 * np.pi) * total
+
+
+def mutual_collinear_filaments(
+    length_a: float, length_b: float, axial_offset: float
+) -> float:
+    """Mutual inductance of two collinear thin filaments, henries.
+
+    Filament A spans ``[0, length_a]``; filament B spans
+    ``[axial_offset, axial_offset + length_b]`` on the same line.  The
+    filaments must not overlap (a gap of zero -- abutting segments of one
+    wire -- is allowed); overlapping collinear filaments have no finite
+    thin-wire mutual and indicate a malformed geometry.
+    """
+    gap = axial_offset - length_a if axial_offset >= 0 else -(axial_offset + length_b)
+    if gap < -_COLLINEAR_TOL * max(length_a, length_b, 1e-30):
+        raise ValueError("collinear filaments overlap; geometry is malformed")
+    gap = max(gap, 0.0)
+
+    def xlogx(x: float) -> float:
+        return x * np.log(x) if x > 0 else 0.0
+
+    total = (
+        xlogx(length_a + length_b + gap)
+        - xlogx(length_a + gap)
+        - xlogx(length_b + gap)
+        + xlogx(gap)
+    )
+    return MU_0 / (4.0 * np.pi) * total
+
+
+def gmd_parallel_tapes(width: float, distance: float) -> float:
+    """Geometric mean distance of two equal-width coplanar tapes.
+
+    Grover's series for the GMD ``g`` of two parallel line segments of
+    width ``w`` whose centers are ``d`` apart (d >= w, i.e. non-overlapping
+    coplanar conductors)::
+
+        ln g = ln d - (w/d)^2/12 - (w/d)^4/60 - (w/d)^6/168 - ...
+
+    Using the GMD in place of the center distance captures the dominant
+    finite-cross-section effect for closely spaced bus lines.
+    """
+    if distance <= 0:
+        raise ValueError("distance must be positive")
+    u2 = (width / distance) ** 2
+    ln_g = np.log(distance) - u2 / 12.0 - u2**2 / 60.0 - u2**3 / 168.0
+    return float(np.exp(ln_g))
+
+
+#: Gauss-Legendre order per cross-section dimension for the numeric GMD.
+_GMD_POINTS = 5
+
+#: Pairs farther than this many max-cross-section-dimensions use the
+#: centerline distance directly (the GMD correction is negligible there).
+_GMD_CUTOFF = 6.0
+
+
+def gmd_rectangles(
+    width_a: float,
+    thickness_a: float,
+    width_b: float,
+    thickness_b: float,
+    offset_w: float,
+    offset_t: float,
+) -> float:
+    """Geometric mean distance between two rectangular cross sections.
+
+    ``ln g = (1 / A_a A_b) integral ln |r_a - r_b| dA_a dA_b`` evaluated
+    by Gauss-Legendre quadrature; ``offset_w`` / ``offset_t`` are the
+    center-to-center offsets along the width / thickness directions.
+
+    Unlike the coplanar-tape series (:func:`gmd_parallel_tapes`), this
+    handles *any* relative placement -- in particular tall, narrow
+    conductors side by side, where the true GMD exceeds the centerline
+    distance and a thin-filament mutual would overestimate the coupling
+    (and break the diagonal dominance of ``L^-1``).
+    """
+    nodes, weights = np.polynomial.legendre.leggauss(_GMD_POINTS)
+    half = nodes / 2.0  # scaled to [-1/2, 1/2]
+    w_quad = weights / 2.0
+
+    ya = width_a * half
+    za = thickness_a * half
+    yb = offset_w + width_b * half
+    zb = offset_t + thickness_b * half
+
+    dy = ya[:, None, None, None] - yb[None, None, :, None]
+    dz = za[None, :, None, None] - zb[None, None, None, :]
+    log_r = 0.5 * np.log(dy**2 + dz**2)
+    weight = (
+        w_quad[:, None, None, None]
+        * w_quad[None, :, None, None]
+        * w_quad[None, None, :, None]
+        * w_quad[None, None, None, :]
+    )
+    return float(np.exp(np.sum(weight * log_r)))
+
+
+def partial_inductance_matrix(
+    system: FilamentSystem, gmd_correction: bool = True
+) -> np.ndarray:
+    """Full partial inductance matrix ``L`` of a filament system, henries.
+
+    Shape ``(n, n)``, symmetric, with zero entries between orthogonal
+    filaments.  Every parallel pair is included -- including collinear
+    segments of the same line ("forward coupling"), matching the paper's
+    experiment setting ("coupling between any pair of segments, including
+    segments in a same line, is considered").
+
+    Parameters
+    ----------
+    system:
+        The discretized conductors.
+    gmd_correction:
+        Apply the tape-GMD correction to lateral distances of equal-width
+        pairs (on by default; disable to get pure thin-filament coupling).
+    """
+    n = len(system)
+    matrix = np.zeros((n, n))
+    for indices, block in inductance_blocks(system, gmd_correction).values():
+        matrix[np.ix_(indices, indices)] = block
+    return matrix
+
+
+def inductance_blocks(
+    system: FilamentSystem, gmd_correction: bool = True
+) -> Dict[Axis, Tuple[List[int], np.ndarray]]:
+    """Per-direction inductance blocks ``{axis: (indices, L_block)}``.
+
+    The blocks are the matrices the VPEC inversion consumes: mutual
+    inductance only exists between filaments sharing a current axis, so
+    ``L`` is block-diagonal under this grouping.
+    """
+    blocks: Dict[Axis, Tuple[List[int], np.ndarray]] = {}
+    for axis, indices in system.indices_by_axis().items():
+        blocks[axis] = (indices, _axis_block(system, indices, axis, gmd_correction))
+    return blocks
+
+
+def _axis_block(
+    system: FilamentSystem,
+    indices: List[int],
+    axis: Axis,
+    gmd_correction: bool,
+) -> np.ndarray:
+    filaments = [system[i] for i in indices]
+    m = len(filaments)
+    lengths = np.array([f.length for f in filaments])
+    widths = np.array([f.width for f in filaments])
+    thicknesses = np.array([f.thickness for f in filaments])
+    starts = np.array([f.axial_span[0] for f in filaments])
+    axis_index = axis.value
+    # Perpendicular axes ordered (width direction, thickness direction)
+    # for every axis per the Filament orientation convention.
+    perp_axes = [k for k in range(3) if k != axis_index]
+    centers = np.array([[f.center[p] for p in perp_axes] for f in filaments])
+
+    block = np.zeros((m, m))
+    diag = np.array(
+        [self_inductance_bar(f.length, f.width, f.thickness) for f in filaments]
+    )
+    np.fill_diagonal(block, diag)
+    if m == 1:
+        return block
+
+    # Pairwise geometry, vectorized over the full m x m grid.
+    delta = centers[:, None, :] - centers[None, :, :]
+    distance = np.hypot(delta[:, :, 0], delta[:, :, 1])
+    offset = starts[None, :] - starts[:, None]
+    len_a = np.broadcast_to(lengths[:, None], (m, m))
+    len_b = np.broadcast_to(lengths[None, :], (m, m))
+
+    lateral = distance > _COLLINEAR_TOL
+    eff_distance = np.where(lateral, distance, 1.0)
+    if gmd_correction:
+        _apply_gmd(
+            eff_distance, lateral, distance, delta, widths, thicknesses
+        )
+
+    mutual = _mutual_parallel_vec(len_a, len_b, eff_distance, offset)
+    off_diag = ~np.eye(m, dtype=bool)
+    block[off_diag & lateral] = mutual[off_diag & lateral]
+    return _finish_block(block, len_a, len_b, offset, off_diag, lateral)
+
+
+def _apply_gmd(
+    eff_distance: np.ndarray,
+    lateral: np.ndarray,
+    distance: np.ndarray,
+    delta: np.ndarray,
+    widths: np.ndarray,
+    thicknesses: np.ndarray,
+) -> None:
+    """Replace close-pair distances with the rectangle-to-rectangle GMD.
+
+    Only pairs within ``_GMD_CUTOFF`` times the larger cross-section
+    dimension are corrected (farther out the correction is below the
+    formula accuracy); repeated geometric configurations -- every regular
+    bus -- hit a small memoization cache.
+    """
+    dims = np.maximum(widths, thicknesses)
+    pair_dim = np.maximum(dims[:, None], dims[None, :])
+    close = lateral & (distance < _GMD_CUTOFF * pair_dim)
+    cache = {}
+    rows, cols = np.nonzero(np.triu(close, k=1))
+    for a, b in zip(rows, cols):
+        section_a = (round(widths[a] * 1e12), round(thicknesses[a] * 1e12))
+        section_b = (round(widths[b] * 1e12), round(thicknesses[b] * 1e12))
+        off_w = abs(delta[a, b, 0])
+        off_t = abs(delta[a, b, 1])
+        key = (
+            min(section_a, section_b),
+            max(section_a, section_b),
+            round(off_w * 1e12),
+            round(off_t * 1e12),
+        )
+        gmd = cache.get(key)
+        if gmd is None:
+            gmd = gmd_rectangles(
+                widths[a], thicknesses[a], widths[b], thicknesses[b], off_w, off_t
+            )
+            cache[key] = gmd
+        eff_distance[a, b] = eff_distance[b, a] = gmd
+
+
+def _finish_block(
+    block: np.ndarray,
+    len_a: np.ndarray,
+    len_b: np.ndarray,
+    offset: np.ndarray,
+    off_diag: np.ndarray,
+    lateral: np.ndarray,
+) -> np.ndarray:
+
+    collinear = off_diag & ~lateral
+    for i, j in zip(*np.nonzero(collinear)):
+        block[i, j] = mutual_collinear_filaments(
+            float(len_a[i, j]), float(len_b[i, j]), float(offset[i, j])
+        )
+    # Enforce exact symmetry against floating-point asymmetry.
+    return (block + block.T) / 2.0

@@ -1,0 +1,82 @@
+"""Extraction facade: one call from geometry to a full parasitic set."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.extraction.capacitance import CapacitanceModel, extract_capacitances
+from repro.extraction.constants import COPPER_RESISTIVITY
+from repro.extraction.inductance import inductance_blocks, partial_inductance_matrix
+from repro.extraction.resistance import extract_resistances
+from repro.geometry.filament import Axis
+from repro.geometry.system import FilamentSystem
+
+
+@dataclass
+class Parasitics:
+    """Extracted parasitics of a filament system.
+
+    Attributes
+    ----------
+    system:
+        The geometry the parasitics were extracted from.
+    inductance:
+        Full partial inductance matrix, henries, shape (n, n); zero between
+        orthogonal filaments.
+    inductance_blocks:
+        ``{axis: (filament indices, dense L block)}`` -- the per-direction
+        matrices the VPEC inversion operates on.
+    resistance:
+        Per-filament series resistance, ohms, shape (n,).
+    ground_capacitance:
+        Per-filament capacitance to ground, farads, shape (n,).
+    coupling_capacitance:
+        ``{(i, j): C}`` adjacent-pair coupling capacitances, farads.
+    """
+
+    system: FilamentSystem
+    inductance: np.ndarray
+    inductance_blocks: Dict[Axis, Tuple[List[int], np.ndarray]]
+    resistance: np.ndarray
+    ground_capacitance: np.ndarray
+    coupling_capacitance: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.system)
+        if self.inductance.shape != (n, n):
+            raise ValueError("inductance matrix shape does not match the system")
+        if self.resistance.shape != (n,) or self.ground_capacitance.shape != (n,):
+            raise ValueError("per-filament arrays must have one entry per filament")
+
+
+def extract(
+    system: FilamentSystem,
+    resistivity: float = COPPER_RESISTIVITY,
+    frequency: float = 0.0,
+    capacitance_model: CapacitanceModel = CapacitanceModel(),
+    gmd_correction: bool = True,
+) -> Parasitics:
+    """Extract R, L (full partial matrix), and C for a filament system.
+
+    This is the substitute for the paper's FastHenry + FastCap-table flow:
+    partial inductances from closed-form Grover/Neumann expressions,
+    capacitances from the 2.5-D analytic model with adjacent-only coupling,
+    resistances from geometry (optionally skin-corrected at ``frequency``).
+    """
+    blocks = inductance_blocks(system, gmd_correction=gmd_correction)
+    n = len(system)
+    full = np.zeros((n, n))
+    for indices, block in blocks.values():
+        full[np.ix_(indices, indices)] = block
+    ground, coupling = extract_capacitances(system, capacitance_model)
+    return Parasitics(
+        system=system,
+        inductance=full,
+        inductance_blocks=blocks,
+        resistance=extract_resistances(system, resistivity, frequency),
+        ground_capacitance=ground,
+        coupling_capacitance=coupling,
+    )

@@ -1,0 +1,67 @@
+"""Series resistance extraction.
+
+DC resistance follows directly from the conductor geometry; at the maximum
+operating frequency the skin effect confines current to a rim of one skin
+depth, which we model with the standard effective-area correction (the
+volume-filament decomposition FastHenry uses resolves the same physics; a
+closed-form rim model is adequate at the paper's 10 GHz / 1 um-scale cross
+sections, where the skin depth ~0.66 um is comparable to the conductor
+half-dimensions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.extraction.constants import COPPER_RESISTIVITY
+from repro.geometry.discretize import skin_depth
+from repro.geometry.filament import Filament
+from repro.geometry.system import FilamentSystem
+
+
+def dc_resistance(
+    filament: Filament, resistivity: float = COPPER_RESISTIVITY
+) -> float:
+    """DC series resistance ``rho l / (w t)``, ohms."""
+    return resistivity * filament.length / filament.cross_section_area
+
+
+def skin_effect_resistance(
+    filament: Filament,
+    frequency: float,
+    resistivity: float = COPPER_RESISTIVITY,
+) -> float:
+    """Series resistance with the skin-effect rim correction, ohms.
+
+    The conducting cross section is reduced to the rim of one skin depth
+    ``delta`` along each face: ``A_eff = w t - (w - 2 delta)(t - 2 delta)``
+    when both inner dimensions remain positive, otherwise the full area
+    (no crowding).  This reproduces the sqrt(f) high-frequency asymptote
+    and reduces to the DC value at low frequency.
+    """
+    if frequency <= 0:
+        return dc_resistance(filament, resistivity)
+    delta = skin_depth(resistivity, frequency)
+    inner_w = filament.width - 2.0 * delta
+    inner_t = filament.thickness - 2.0 * delta
+    area = filament.cross_section_area
+    if inner_w > 0 and inner_t > 0:
+        area -= inner_w * inner_t
+    return resistivity * filament.length / area
+
+
+def extract_resistances(
+    system: FilamentSystem,
+    resistivity: float = COPPER_RESISTIVITY,
+    frequency: float = 0.0,
+) -> np.ndarray:
+    """Per-filament series resistances, ohms, shape (n,).
+
+    ``frequency = 0`` gives DC values (the transient experiments); a
+    positive frequency applies the skin-effect correction.
+    """
+    if frequency > 0:
+        return np.array(
+            [skin_effect_resistance(f, frequency, resistivity) for f in system]
+        )
+    return np.array([dc_resistance(f, resistivity) for f in system])

@@ -1,0 +1,44 @@
+"""Conductor geometry substrate.
+
+Interconnect structures are described as collections of rectangular
+*filaments* (the magneto-quasi-static discretization used by FastHenry and
+by the paper): each filament carries a uniform current density along one
+coordinate axis and has a rectangular cross section.
+
+Public API
+----------
+- :class:`~repro.geometry.filament.Axis`, :class:`~repro.geometry.filament.Filament`
+- :class:`~repro.geometry.system.FilamentSystem`
+- :func:`~repro.geometry.bus.aligned_bus`, :func:`~repro.geometry.bus.nonaligned_bus`
+- :func:`~repro.geometry.spiral.square_spiral`
+- :func:`~repro.geometry.discretize.skin_depth`,
+  :func:`~repro.geometry.discretize.wavelength`,
+  :func:`~repro.geometry.discretize.segments_per_wavelength_rule`
+"""
+
+from repro.geometry.bus import aligned_bus, nonaligned_bus, shielded_bus
+from repro.geometry.crossbar import crossbar
+from repro.geometry.discretize import (
+    segments_per_wavelength_rule,
+    skin_depth,
+    subdivide_filament,
+    wavelength,
+)
+from repro.geometry.filament import Axis, Filament
+from repro.geometry.spiral import square_spiral
+from repro.geometry.system import FilamentSystem
+
+__all__ = [
+    "Axis",
+    "Filament",
+    "FilamentSystem",
+    "aligned_bus",
+    "nonaligned_bus",
+    "shielded_bus",
+    "crossbar",
+    "square_spiral",
+    "skin_depth",
+    "wavelength",
+    "segments_per_wavelength_rule",
+    "subdivide_filament",
+]

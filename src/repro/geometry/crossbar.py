@@ -1,0 +1,83 @@
+"""Two-layer crossbar routing: orthogonal buses on adjacent metal layers.
+
+A standard Manhattan routing fabric: ``x_wires`` horizontal lines on the
+lower layer and ``y_wires`` vertical lines on the upper layer.  The two
+directions do not couple inductively (orthogonal currents -- the ``k``
+decomposition of the paper), but every crossing couples *capacitively*
+through the inter-layer dielectric, which is how switching activity on
+one layer disturbs the other.
+
+This generator exercises the model stack's multi-direction path on bus
+structures: two independent inductance blocks, two VPEC magnetic
+circuits, and the crossing-capacitance extraction of
+:func:`repro.extraction.capacitance.extract_capacitances`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.geometry.bus import (
+    DEFAULT_LENGTH,
+    DEFAULT_SPACING,
+    DEFAULT_THICKNESS,
+    DEFAULT_WIDTH,
+)
+from repro.geometry.filament import Axis, Filament
+from repro.geometry.system import FilamentSystem
+
+
+def crossbar(
+    x_wires: int,
+    y_wires: int,
+    length: float = DEFAULT_LENGTH,
+    width: float = DEFAULT_WIDTH,
+    thickness: float = DEFAULT_THICKNESS,
+    spacing: float = DEFAULT_SPACING,
+    layer_gap: float = 0.5e-6,
+    name: Optional[str] = None,
+) -> FilamentSystem:
+    """An ``x_wires`` x ``y_wires`` two-layer crossbar.
+
+    Lower-layer wires run along x (wires ``0 .. x_wires-1``); upper-layer
+    wires run along y (wires ``x_wires .. x_wires+y_wires-1``) at a
+    vertical dielectric gap of ``layer_gap``.  Both layers are centered
+    over each other so every pair of orthogonal wires crosses once.
+
+    Parameters mirror :func:`repro.geometry.bus.aligned_bus`.
+    """
+    if x_wires < 1 or y_wires < 1:
+        raise ValueError("a crossbar needs at least one wire per layer")
+    pitch = width + spacing
+    filaments = []
+    # Lower layer: lines along x, stacked in y, starting at y = 0.
+    for k in range(x_wires):
+        filaments.append(
+            Filament(
+                origin=(0.0, k * pitch, 0.0),
+                length=length,
+                width=width,
+                thickness=thickness,
+                axis=Axis.X,
+                wire=k,
+                segment=0,
+            )
+        )
+    # Upper layer: lines along y, stacked in x, spanning the lower bus.
+    x_span = (x_wires - 1) * pitch + width
+    y_start = -(length - x_span) / 2.0
+    z_top = thickness + layer_gap
+    for k in range(y_wires):
+        filaments.append(
+            Filament(
+                origin=(k * pitch, y_start, z_top),
+                length=length,
+                width=width,
+                thickness=thickness,
+                axis=Axis.Y,
+                wire=x_wires + k,
+                segment=0,
+            )
+        )
+    label = name or f"crossbar_{x_wires}x{y_wires}"
+    return FilamentSystem(filaments, name=label)

@@ -1,0 +1,207 @@
+"""Rectangular current filaments.
+
+A filament is the elementary conductor volume of the PEEC / VPEC
+discretization: a rectangular bar carrying a spatially uniform current
+density along a single coordinate axis.  All dimensions are in meters.
+
+Orientation convention
+----------------------
+``origin`` is the corner of the bar with the minimal coordinate in every
+direction.  ``length`` extends along ``axis``.  The cross section is spanned
+by ``width`` and ``thickness``:
+
+===========  ============  ================
+``axis``     width along   thickness along
+===========  ============  ================
+``Axis.X``   y             z
+``Axis.Y``   x             z
+``Axis.Z``   x             y
+===========  ============  ================
+
+(width lies in the routing plane, thickness is the metal height, except for
+vias along z where both span the plane).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+
+class Axis(enum.Enum):
+    """Coordinate axis a filament's current flows along."""
+
+    X = 0
+    Y = 1
+    Z = 2
+
+    @property
+    def unit(self) -> Tuple[float, float, float]:
+        """Unit vector of the axis."""
+        vec = [0.0, 0.0, 0.0]
+        vec[self.value] = 1.0
+        return tuple(vec)
+
+
+#: Maps axis -> (index of width direction, index of thickness direction).
+_CROSS_SECTION_AXES = {
+    Axis.X: (1, 2),
+    Axis.Y: (0, 2),
+    Axis.Z: (0, 1),
+}
+
+
+@dataclass(frozen=True)
+class Filament:
+    """A rectangular conductor bar with uniform axial current density.
+
+    Parameters
+    ----------
+    origin:
+        Minimal-coordinate corner ``(x, y, z)`` in meters.
+    length:
+        Extent along :attr:`axis`, meters.
+    width, thickness:
+        Cross-section dimensions, meters (see module docstring for the
+        orientation convention).
+    axis:
+        Current direction.
+    wire:
+        Index of the owning wire (net); filaments of one wire are connected
+        in series by the circuit builders.
+    segment:
+        Position of this filament along its wire (0-based).
+    """
+
+    origin: Tuple[float, float, float]
+    length: float
+    width: float
+    thickness: float
+    axis: Axis = Axis.X
+    wire: int = 0
+    segment: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0 or self.width <= 0 or self.thickness <= 0:
+            raise ValueError(
+                "filament dimensions must be positive, got "
+                f"length={self.length}, width={self.width}, "
+                f"thickness={self.thickness}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def cross_section_area(self) -> float:
+        """Cross-section area in m^2."""
+        return self.width * self.thickness
+
+    @property
+    def volume(self) -> float:
+        """Conductor volume in m^3."""
+        return self.length * self.cross_section_area
+
+    @property
+    def center(self) -> Tuple[float, float, float]:
+        """Geometric center of the bar."""
+        half = self._half_extents()
+        return (
+            self.origin[0] + half[0],
+            self.origin[1] + half[1],
+            self.origin[2] + half[2],
+        )
+
+    def _half_extents(self) -> Tuple[float, float, float]:
+        extents = [0.0, 0.0, 0.0]
+        extents[self.axis.value] = self.length / 2.0
+        w_axis, t_axis = _CROSS_SECTION_AXES[self.axis]
+        extents[w_axis] = self.width / 2.0
+        extents[t_axis] = self.thickness / 2.0
+        return tuple(extents)
+
+    @property
+    def start(self) -> Tuple[float, float, float]:
+        """Centerline endpoint at the low-coordinate end."""
+        center = self.center
+        point = list(center)
+        point[self.axis.value] -= self.length / 2.0
+        return tuple(point)
+
+    @property
+    def end(self) -> Tuple[float, float, float]:
+        """Centerline endpoint at the high-coordinate end."""
+        center = self.center
+        point = list(center)
+        point[self.axis.value] += self.length / 2.0
+        return tuple(point)
+
+    @property
+    def axial_span(self) -> Tuple[float, float]:
+        """``(low, high)`` coordinates of the bar along its own axis."""
+        low = self.origin[self.axis.value]
+        return (low, low + self.length)
+
+    # ------------------------------------------------------------------
+    # Pairwise relations (used by extraction)
+    # ------------------------------------------------------------------
+    def is_parallel_to(self, other: "Filament") -> bool:
+        """True when both filaments carry current along the same axis."""
+        return self.axis is other.axis
+
+    def lateral_distance_to(self, other: "Filament") -> float:
+        """Center-to-center distance perpendicular to the common axis.
+
+        Only meaningful for parallel filaments; raises otherwise.
+        """
+        if not self.is_parallel_to(other):
+            raise ValueError("lateral distance is defined for parallel filaments")
+        c_a, c_b = self.center, other.center
+        axis = self.axis.value
+        deltas = [c_b[i] - c_a[i] for i in range(3) if i != axis]
+        return math.hypot(*deltas)
+
+    def longitudinal_offset_to(self, other: "Filament") -> float:
+        """Offset of the other filament's low end along the common axis.
+
+        Zero means the filaments are aligned end-to-end at the same axial
+        start coordinate.
+        """
+        if not self.is_parallel_to(other):
+            raise ValueError("longitudinal offset is defined for parallel filaments")
+        axis = self.axis.value
+        return other.origin[axis] - self.origin[axis]
+
+    def overlaps(self, other: "Filament") -> bool:
+        """True when the two bars' volumes intersect.
+
+        Exactly touching faces (abutting segments, cross-section tiles)
+        do not count as overlap; a relative tolerance absorbs the
+        floating-point noise of derived coordinates.
+        """
+        for i in range(3):
+            lo_a, hi_a = self._interval(i)
+            lo_b, hi_b = other._interval(i)
+            tol = 1e-9 * ((hi_a - lo_a) + (hi_b - lo_b))
+            if hi_a <= lo_b + tol or hi_b <= lo_a + tol:
+                return False
+        return True
+
+    def _interval(self, axis_index: int) -> Tuple[float, float]:
+        half = self._half_extents()[axis_index]
+        center = self.center[axis_index]
+        return (center - half, center + half)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def translated(self, dx: float = 0.0, dy: float = 0.0, dz: float = 0.0) -> "Filament":
+        """A copy of this filament shifted by ``(dx, dy, dz)``."""
+        ox, oy, oz = self.origin
+        return replace(self, origin=(ox + dx, oy + dy, oz + dz))
+
+    def with_wire(self, wire: int, segment: int) -> "Filament":
+        """A copy with new wire / segment bookkeeping indices."""
+        return replace(self, wire=wire, segment=segment)

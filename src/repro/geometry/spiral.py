@@ -1,0 +1,180 @@
+"""Square (Manhattan) spiral-inductor geometry.
+
+Section V-B of the paper applies *numerical windowing* to a three-turn
+spiral inductor on a lossy substrate, discretized into 92 segments.  The
+spiral is the irregular counterpart of the bus experiments: its legs have
+different lengths and orientations, so coupling windows differ per wire and
+geometric (uniform-window) sparsification does not apply.
+
+The spiral is generated as a single wire (wire 0) whose filaments alternate
+between the x and y axes, numbered in traversal order from the outer
+terminal to the inner terminal.  Consecutive filaments share a centerline
+corner point; the circuit builders recover the series connectivity from
+those shared endpoints (current direction along a leg is captured by the
+branch current's sign, matching FastHenry's convention of orienting every
+branch along the positive axis).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.geometry.filament import Axis, Filament
+from repro.geometry.system import FilamentSystem
+
+#: Direction cycle of an inward square spiral: +x, +y, -x, -y.
+_DIRECTIONS: Tuple[Tuple[int, int], ...] = ((1, 0), (0, 1), (-1, 0), (0, -1))
+
+
+def _leg_lengths(turns: int, outer: float, pitch: float) -> List[float]:
+    """Centerline leg lengths of an inward square spiral.
+
+    The first three legs span the full outer dimension; afterwards each
+    half-turn shrinks by one pitch, producing the familiar inward winding.
+    """
+    lengths: List[float] = []
+    for leg in range(4 * turns):
+        shrink = 0 if leg == 0 else (leg - 1) // 2
+        length = outer - shrink * pitch
+        if length <= pitch:
+            break
+        lengths.append(length)
+    return lengths
+
+
+def _distribute_segments(leg_lengths: List[float], total_segments: int) -> List[int]:
+    """Split ``total_segments`` across legs proportionally to their length."""
+    if total_segments < len(leg_lengths):
+        raise ValueError(
+            f"need at least one segment per leg: {len(leg_lengths)} legs, "
+            f"{total_segments} segments requested"
+        )
+    total_length = sum(leg_lengths)
+    counts = [max(1, round(total_segments * l / total_length)) for l in leg_lengths]
+    # Nudge counts until they sum exactly to the request, adjusting the
+    # legs with the most / least length per segment first.
+    while sum(counts) != total_segments:
+        if sum(counts) > total_segments:
+            candidates = [i for i, c in enumerate(counts) if c > 1]
+            worst = max(candidates, key=lambda i: counts[i] / leg_lengths[i])
+            counts[worst] -= 1
+        else:
+            best = max(range(len(counts)), key=lambda i: leg_lengths[i] / counts[i])
+            counts[best] += 1
+    return counts
+
+
+def square_spiral(
+    turns: int = 3,
+    outer_dimension: float = 200e-6,
+    width: float = 2e-6,
+    thickness: float = 1e-6,
+    spacing: float = 2e-6,
+    total_segments: int = 92,
+    name: Optional[str] = None,
+) -> FilamentSystem:
+    """A square spiral inductor as a single-wire filament system.
+
+    Parameters
+    ----------
+    turns:
+        Number of full turns (the paper uses 3).
+    outer_dimension:
+        Outer centerline side length in meters.
+    width, thickness:
+        Trace cross section in meters.
+    spacing:
+        Edge-to-edge gap between adjacent turns in meters.
+    total_segments:
+        Total filament count after discretization (the paper's spiral has
+        92); segments are distributed across legs proportionally to leg
+        length, with at least one per leg.
+    """
+    if turns < 1:
+        raise ValueError("a spiral needs at least one turn")
+    pitch = width + spacing
+    legs = _leg_lengths(turns, outer_dimension, pitch)
+    if len(legs) < 4 * turns:
+        raise ValueError(
+            f"spiral parameters leave no room for {turns} turns (only "
+            f"{len(legs)} legs fit): increase outer_dimension or decrease "
+            "width/spacing"
+        )
+    counts = _distribute_segments(legs, total_segments)
+
+    filaments: List[Filament] = []
+    x, y = 0.0, 0.0
+    segment_index = 0
+    for leg, (length, pieces) in enumerate(zip(legs, counts)):
+        dx, dy = _DIRECTIONS[leg % 4]
+        piece = length / pieces
+        for _ in range(pieces):
+            nx, ny = x + dx * piece, y + dy * piece
+            if dx != 0:
+                axis = Axis.X
+                origin = (min(x, nx), y - width / 2.0, 0.0)
+                dims = (piece, width, thickness)
+            else:
+                axis = Axis.Y
+                origin = (x - width / 2.0, min(y, ny), 0.0)
+                dims = (piece, width, thickness)
+            filaments.append(
+                Filament(
+                    origin=origin,
+                    length=dims[0],
+                    width=dims[1],
+                    thickness=dims[2],
+                    axis=axis,
+                    wire=0,
+                    segment=segment_index,
+                )
+            )
+            segment_index += 1
+            x, y = nx, ny
+    label = name or f"spiral_{turns}t_{total_segments}seg"
+    return FilamentSystem(filaments, name=label)
+
+
+def spiral_path_points(system: FilamentSystem) -> List[Tuple[float, float, float]]:
+    """Centerline corner points of a spiral, in traversal order.
+
+    Convenience for plotting and for tests that verify connectivity: the
+    returned list has ``len(system) + 1`` points and consecutive filaments
+    share one point.
+    """
+    points: List[Tuple[float, float, float]] = []
+    previous_end: Optional[Tuple[float, float, float]] = None
+    for filament in system:
+        candidates = (filament.start, filament.end)
+        if previous_end is None:
+            # Orient the first filament toward its successor later; start
+            # from the endpoint farther from the second filament's span.
+            points.append(candidates[0])
+            previous_end = candidates[1]
+            continue
+        if _close(candidates[0], previous_end):
+            points.append(candidates[0])
+            previous_end = candidates[1]
+        elif _close(candidates[1], previous_end):
+            points.append(candidates[1])
+            previous_end = candidates[0]
+        else:
+            # First filament was oriented backwards; flip retroactively.
+            if len(points) == 1:
+                points[0], previous_end = previous_end, points[0]
+                if _close(candidates[0], previous_end):
+                    points.append(candidates[0])
+                    previous_end = candidates[1]
+                    continue
+                if _close(candidates[1], previous_end):
+                    points.append(candidates[1])
+                    previous_end = candidates[0]
+                    continue
+            raise ValueError("filaments do not form a connected path")
+    points.append(previous_end)
+    return points
+
+
+def _close(a: Tuple[float, float, float], b: Tuple[float, float, float]) -> bool:
+    return math.dist(a, b) < 1e-9

@@ -1,0 +1,14 @@
+"""The K-element (susceptance) interconnect model -- a literature baseline.
+
+Public API
+----------
+- :func:`~repro.kelement.model.build_kelement` /
+  :class:`~repro.kelement.model.KElementModel`;
+- :func:`~repro.kelement.nodal.nodal_inductive_admittance` (the nodal
+  formulation whose DC indefiniteness the paper criticizes).
+"""
+
+from repro.kelement.model import KElementModel, build_kelement
+from repro.kelement.nodal import nodal_inductive_admittance
+
+__all__ = ["KElementModel", "build_kelement", "nodal_inductive_admittance"]

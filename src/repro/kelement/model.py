@@ -1,0 +1,95 @@
+"""MNA-stamped K-element model of an inductive interconnect system.
+
+Section II-B of the paper shows that eqs. (7)-(10) "can be used to
+derive the K element (susceptance) based model in [10] and [11] from
+first principles": the VPEC circuit matrix is the K matrix up to the
+geometric factor ``l^2``.  The two models differ in *realization*:
+
+- VPEC is a plain SPICE netlist (resistors + controlled sources);
+- the K element needs a simulator extension (a matrix-coupled branch
+  set), and its published *nodal* realization loses DC information
+  (see :mod:`repro.kelement.nodal`).
+
+This module builds the K-element model on the shared electrical
+skeleton using this package's :class:`SusceptanceSet` MNA element, so
+the baseline can be simulated and compared against PEEC and VPEC on the
+same engine.  Sparsified K models reuse the exact matrices of the VPEC
+sparsifications (``K' = S'`` per direction, sign-corrected for wire
+traversal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.circuit.netlist import Circuit
+from repro.extraction.parasitics import Parasitics
+from repro.peec.builder import ElectricalSkeleton, build_skeleton
+from repro.vpec.effective import VpecNetwork
+from repro.vpec.full import full_vpec_networks
+
+
+@dataclass
+class KElementModel:
+    """A built K-element circuit plus bookkeeping."""
+
+    circuit: Circuit
+    skeleton: ElectricalSkeleton
+    networks: List[VpecNetwork]
+    set_names: List[str]
+
+    @property
+    def parasitics(self) -> Parasitics:
+        return self.skeleton.parasitics
+
+
+def build_kelement(
+    parasitics: Parasitics,
+    networks: Optional[List[VpecNetwork]] = None,
+    title: Optional[str] = None,
+) -> KElementModel:
+    """Build the K-element model from (optionally sparsified) networks.
+
+    Parameters
+    ----------
+    parasitics:
+        Extraction results (provides the shared electrical skeleton).
+    networks:
+        Per-direction networks whose ``Ghat = D S D`` supplies the K
+        matrices (``K = D^-1 Ghat D^-1``); defaults to the full
+        inversion.  Pass truncated / windowed networks to build the
+        sparsified K model the truncation literature [10]-[13] uses.
+    """
+    if networks is None:
+        networks = full_vpec_networks(parasitics)
+    system = parasitics.system
+    skeleton = build_skeleton(parasitics, title or f"kelement:{system.name}")
+    circuit = skeleton.circuit
+    signs = skeleton.signs
+
+    set_names: List[str] = []
+    for group, network in enumerate(networks):
+        # K in wire-forward branch orientation: K_wf = D_s S D_s, where
+        # S = D_l^-1 Ghat D_l^-1 and D_s the traversal signs.
+        lengths = network.lengths
+        scale = np.array(
+            [float(signs[i]) / length for i, length in zip(network.indices, lengths)]
+        )
+        diag = sparse.diags(scale)
+        k_matrix = (diag @ network.ghat @ diag).tocsr()
+        branches = tuple(
+            skeleton.slot_nodes[i] for i in network.indices
+        )
+        name = f"KSET{group}"
+        circuit.add_susceptance_set(branches, k_matrix, name=name)
+        set_names.append(name)
+    return KElementModel(
+        circuit=circuit,
+        skeleton=skeleton,
+        networks=networks,
+        set_names=set_names,
+    )

@@ -1,0 +1,75 @@
+"""The nodal K-element formulation and its DC pathology.
+
+Section II-B, discussing [13]: "the current K element simulator is
+based on nodal analysis, where the admittance form of the K element is
+``Gamma = A_l L^-1 A_l^T / s`` ... Clearly, the Gamma matrix becomes
+indefinite when s -> 0.  Therefore, it will lose correct dc
+information."
+
+This module constructs that admittance matrix explicitly so the claim
+can be demonstrated numerically (see ``tests/kelement``): as the complex
+frequency ``s`` approaches zero the nodal matrix blows up (the 1/s
+factor) while its zero-space structure prevents recovering branch
+currents -- in contrast to the MNA stamping of
+:mod:`repro.kelement.model` and the VPEC model, both of which keep exact
+DC operating points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.extraction.parasitics import Parasitics
+from repro.vpec.full import invert_spd
+
+
+def inductive_incidence(
+    parasitics: Parasitics,
+) -> Tuple[sparse.csr_matrix, List[Tuple[int, int]]]:
+    """Node-branch incidence matrix ``A_l`` of the inductive branches.
+
+    One branch per filament, oriented along the positive axis; node ids
+    are synthetic (two per filament, shared along each wire according to
+    the skeleton's connectivity is not needed for the pathology
+    demonstration -- the filaments' own end nodes suffice and keep the
+    construction self-contained).
+    """
+    n = len(parasitics.system)
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    pairs: List[Tuple[int, int]] = []
+    for k in range(n):
+        node_a, node_b = 2 * k, 2 * k + 1
+        pairs.append((node_a, node_b))
+        rows.extend((node_a, node_b))
+        cols.extend((k, k))
+        vals.extend((1.0, -1.0))
+    a_l = sparse.coo_matrix((vals, (rows, cols)), shape=(2 * n, n)).tocsr()
+    return a_l, pairs
+
+
+def nodal_inductive_admittance(
+    parasitics: Parasitics, s: complex
+) -> np.ndarray:
+    """The nodal K-element admittance ``Gamma(s) = A_l K A_l^T / s``.
+
+    Defined for ``s != 0``; the interesting behavior is the divergence
+    and rank deficiency as ``|s| -> 0``.
+    """
+    if s == 0:
+        raise ZeroDivisionError(
+            "Gamma(s) = A K A^T / s is undefined at s = 0 -- the DC "
+            "pathology the paper criticizes"
+        )
+    blocks = parasitics.inductance_blocks
+    n = len(parasitics.system)
+    k_full = np.zeros((n, n))
+    for indices, block in blocks.values():
+        k_full[np.ix_(indices, indices)] = invert_spd(block)
+    a_l, _ = inductive_incidence(parasitics)
+    gamma = (a_l @ k_full @ a_l.T) / s
+    return np.asarray(gamma.todense() if sparse.issparse(gamma) else gamma)

@@ -1,0 +1,19 @@
+"""Moment-matching model order reduction (the paper's future work).
+
+The paper closes with: "To further reduce the complexity of the
+resulting sparsified VPEC models, the authors intend to develop model
+order reduction for the VPEC model" (refs [16], [17]).  This package
+provides that layer: a block-Arnoldi (PRIMA-style) projection of any
+circuit's descriptor MNA form onto a small Krylov subspace, matching
+the port transfer function's moments around an expansion point.
+
+Public API
+----------
+- :func:`~repro.mor.prima.reduce_circuit` /
+  :class:`~repro.mor.prima.ReducedModel`;
+- :func:`~repro.mor.prima.block_arnoldi` (the projection basis builder).
+"""
+
+from repro.mor.prima import ReducedModel, block_arnoldi, reduce_circuit
+
+__all__ = ["ReducedModel", "reduce_circuit", "block_arnoldi"]

@@ -1,0 +1,272 @@
+"""Block-Arnoldi (PRIMA-style) reduction of descriptor MNA systems.
+
+Given a circuit in the simulator's descriptor form
+
+    G x(t) + C x'(t) = B u(t),        y(t) = L^T x(t)
+
+with inputs ``u`` = selected voltage-source values and outputs ``y`` =
+selected node voltages, the reduction projects onto the block Krylov
+subspace
+
+    span{ A^k R : k = 0 .. q-1 },  A = (G + s0 C)^-1 C,  R = (G + s0 C)^-1 B
+
+(orthonormalized by block QR with deflation).  The reduced model
+
+    G~ = V^T G V,  C~ = V^T C V,  B~ = V^T B,  L~ = V^T L
+
+matches the first ``q`` block moments of the transfer function
+``H(s) = L^T (G + s C)^-1 B`` around ``s0`` [Odabasioglu et al., PRIMA,
+TCAD 1998 -- the machinery behind the paper's refs 16-17].
+
+Notes
+-----
+PRIMA's passivity proof needs the symmetric-definite RLC structure; the
+general MNA descriptor built here (controlled sources, VPEC magnetic
+blocks) does not satisfy it, so the guarantee carried by this module is
+*moment matching / transfer accuracy*, verified against the full AC
+solution in the tests.  For the RLC-only PEEC netlists the projection
+coincides with classical PRIMA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse.linalg import splu
+
+from repro.circuit.mna import build_mna
+from repro.circuit.netlist import Circuit
+
+#: Default (real) expansion point, rad/s -- mid-band for GHz interconnect.
+DEFAULT_S0 = 2.0 * np.pi * 1.0e9
+
+#: Singular values below this (relative) are deflated from each block.
+_DEFLATION_TOL = 1e-10
+
+
+@dataclass
+class ReducedModel:
+    """A reduced-order port model ``(G~, C~, B~, L~)``.
+
+    ``transfer`` evaluates ``H(s) = L~^T (G~ + s C~)^-1 B~`` -- shape
+    ``(num_outputs, num_inputs)`` per frequency.
+    """
+
+    g: np.ndarray
+    c: np.ndarray
+    b: np.ndarray
+    l: np.ndarray
+    s0: float
+    input_names: List[str]
+    output_nodes: List[str]
+
+    @property
+    def order(self) -> int:
+        """Number of reduced states."""
+        return self.g.shape[0]
+
+    def transfer_at(self, s: complex) -> np.ndarray:
+        """Transfer matrix at one complex frequency ``s``."""
+        solve = np.linalg.solve(self.g + s * self.c, self.b)
+        return self.l.T @ solve
+
+    def transfer(self, frequencies: Iterable[float]) -> np.ndarray:
+        """Transfer matrices over ``j 2 pi f``; shape (nf, n_out, n_in)."""
+        freqs = np.asarray(list(frequencies), dtype=float)
+        result = np.empty(
+            (freqs.size, self.l.shape[1], self.b.shape[1]), dtype=complex
+        )
+        for k, f in enumerate(freqs):
+            result[k] = self.transfer_at(1j * 2.0 * np.pi * f)
+        return result
+
+    def transient(
+        self,
+        inputs: "Sequence[Callable[[float], float]]",
+        t_stop: float,
+        dt: float,
+    ) -> "Tuple[np.ndarray, np.ndarray]":
+        """Integrate the reduced system under time-domain inputs.
+
+        Trapezoidal integration of ``G~ x + C~ x' = B~ u(t)`` from a DC
+        start; returns ``(times, outputs)`` with outputs shaped
+        ``(steps + 1, n_out)``.  This is what makes the macromodel a
+        drop-in for the full netlist in a transient noise loop.
+        """
+        if len(inputs) != self.b.shape[1]:
+            raise ValueError(
+                f"need {self.b.shape[1]} input waveforms, got {len(inputs)}"
+            )
+        if t_stop <= 0 or dt <= 0:
+            raise ValueError("t_stop and dt must be positive")
+        steps = int(np.ceil(t_stop / dt))
+        times = np.arange(steps + 1) * dt
+
+        def u_at(t: float) -> np.ndarray:
+            return np.array([u(t) for u in inputs])
+
+        # DC start: G~ x0 = B~ u(0).
+        x = np.linalg.solve(self.g, self.b @ u_at(0.0))
+        lhs = self.g + (2.0 / dt) * self.c
+        history = (2.0 / dt) * self.c - self.g
+        lu_piv = None
+        try:
+            from scipy.linalg import lu_factor, lu_solve
+
+            lu_piv = lu_factor(lhs)
+
+            def solve(rhs: np.ndarray) -> np.ndarray:
+                return lu_solve(lu_piv, rhs)
+
+        except ImportError:  # pragma: no cover - scipy is a dependency
+
+            def solve(rhs: np.ndarray) -> np.ndarray:
+                return np.linalg.solve(lhs, rhs)
+
+        outputs = np.empty((steps + 1, self.l.shape[1]))
+        outputs[0] = self.l.T @ x
+        u_now = u_at(0.0)
+        for n in range(1, steps + 1):
+            u_next = u_at(times[n])
+            rhs = history @ x + self.b @ (u_now + u_next)
+            x = solve(rhs)
+            outputs[n] = self.l.T @ x
+            u_now = u_next
+        return times, outputs
+
+
+def block_arnoldi(
+    lu_solve,
+    c_matrix,
+    r0: np.ndarray,
+    blocks: int,
+) -> np.ndarray:
+    """Orthonormal basis of the block Krylov subspace.
+
+    Parameters
+    ----------
+    lu_solve:
+        Callable applying ``(G + s0 C)^-1`` to a dense block.
+    c_matrix:
+        The (sparse) ``C`` matrix.
+    r0:
+        The starting block ``(G + s0 C)^-1 B``.
+    blocks:
+        Number of block moments to span (>= 1).
+    """
+    if blocks < 1:
+        raise ValueError("need at least one block moment")
+    basis: List[np.ndarray] = []
+    block = _orthonormalize(r0, basis)
+    for _ in range(blocks):
+        if block.shape[1] == 0:
+            break
+        basis.append(block)
+        block = lu_solve(c_matrix @ block)
+        block = _orthonormalize(block, basis)
+    if not basis:
+        raise ValueError("starting block is numerically empty")
+    return np.hstack(basis)
+
+
+def _orthonormalize(block: np.ndarray, basis: List[np.ndarray]) -> np.ndarray:
+    """Two-pass modified Gram-Schmidt against the basis, then QR deflate.
+
+    Columns whose norm collapses during orthogonalization (the Krylov
+    space has saturated) are dropped *before* QR -- re-normalizing them
+    would inject numerical noise into the basis and destabilize the
+    projected model.
+    """
+    block = np.array(block, dtype=float)
+    if block.size == 0:
+        return block
+    original = np.linalg.norm(block, axis=0)
+    for _ in range(2):
+        for previous in basis:
+            block -= previous @ (previous.T @ block)
+    remaining = np.linalg.norm(block, axis=0)
+    alive = remaining > _DEFLATION_TOL * np.maximum(original, 1e-300)
+    block = block[:, alive]
+    if block.shape[1] == 0:
+        return block
+    q, r = np.linalg.qr(block)
+    keep = np.abs(np.diag(r)) > _DEFLATION_TOL * max(
+        np.abs(np.diag(r)).max(), 1e-300
+    )
+    return q[:, keep]
+
+
+def reduce_circuit(
+    circuit: Circuit,
+    inputs: Sequence[str],
+    outputs: Sequence[str],
+    order: int,
+    s0: float = DEFAULT_S0,
+) -> ReducedModel:
+    """Reduce a circuit to a moment-matched port model.
+
+    Parameters
+    ----------
+    circuit:
+        Any circuit accepted by the simulator.
+    inputs:
+        Names of voltage sources acting as ports (their stimulus values
+        become the inputs ``u``).
+    outputs:
+        Node names whose voltages form the outputs ``y``.
+    order:
+        Number of block moments to match; the reduced size is at most
+        ``order * len(inputs)`` (deflation may shrink it).
+    s0:
+        Real expansion point in rad/s.
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    if not inputs:
+        raise ValueError("at least one input source is required")
+    if not outputs:
+        raise ValueError("at least one output node is required")
+    system = build_mna(circuit)
+
+    b_matrix = np.zeros((system.size, len(inputs)))
+    for col, name in enumerate(inputs):
+        b_matrix[system.branch_row(name), col] = 1.0
+    l_matrix = np.zeros((system.size, len(outputs)))
+    for col, node in enumerate(outputs):
+        row = system.node_row(node)
+        if row < 0:
+            raise ValueError("ground is not a meaningful output")
+        l_matrix[row, col] = 1.0
+
+    # PRIMA's passivity/stability argument needs the *semidefinite* MNA
+    # form: with branch equations negated, G + G^T >= 0 (conductances on
+    # the node block, skew incidence coupling) and C = diag(caps, L) >= 0
+    # for RLC circuits, and both properties survive the congruence
+    # V^T (.) V.  The sign flip does not change the Krylov space (the
+    # diagonal sign cancels inside (G + s0 C)^-1 S^-1 S B), only the
+    # projected matrices -- i.e. it is exactly what keeps the reduced
+    # model stable where the raw-MNA projection blows up.
+    from scipy import sparse as _sparse
+
+    signs = np.ones(system.size)
+    signs[system.num_nodes :] = -1.0
+    flip = _sparse.diags(signs).tocsc()
+    g_mat = (flip @ system.G).tocsc()
+    c_mat = (flip @ system.C).tocsc()
+    b_flipped = flip @ b_matrix
+
+    shifted = splu((g_mat + s0 * c_mat).tocsc())
+    r0 = shifted.solve(b_flipped)
+    v = block_arnoldi(shifted.solve, c_mat, r0, order)
+
+    return ReducedModel(
+        g=v.T @ (g_mat @ v),
+        c=v.T @ (c_mat @ v),
+        b=v.T @ b_flipped,
+        l=v.T @ l_matrix,
+        s0=s0,
+        input_names=list(inputs),
+        output_nodes=list(outputs),
+    )

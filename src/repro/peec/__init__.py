@@ -1,0 +1,29 @@
+"""Partial element equivalent circuit (PEEC) model -- the baseline.
+
+Public API
+----------
+- :func:`~repro.peec.model.build_peec` / :class:`~repro.peec.model.PeecModel`;
+- the shared electrical skeleton and testbench helpers in
+  :mod:`repro.peec.builder` (used by the VPEC builders as well).
+"""
+
+from repro.peec.builder import (
+    ElectricalSkeleton,
+    WirePorts,
+    attach_bus_testbench,
+    attach_multi_aggressor_testbench,
+    attach_two_port_testbench,
+    build_skeleton,
+)
+from repro.peec.model import PeecModel, build_peec
+
+__all__ = [
+    "PeecModel",
+    "build_peec",
+    "ElectricalSkeleton",
+    "WirePorts",
+    "build_skeleton",
+    "attach_bus_testbench",
+    "attach_multi_aggressor_testbench",
+    "attach_two_port_testbench",
+]

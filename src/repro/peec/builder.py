@@ -1,0 +1,336 @@
+"""Electrical-skeleton construction shared by the PEEC and VPEC models.
+
+Both models have the *same* electrical backbone (the paper, Fig. 1: "the
+resistance and capacitance in the electrical circuit are the same as those
+in the PEEC model"): every filament contributes a series resistance and an
+"inductive slot" between two wire nodes, plus distributed pi-type
+capacitance.  The models differ only in what fills the slot:
+
+- PEEC: the filament's partial self inductance, densely coupled to every
+  other inductor through mutual-inductance stamps;
+- VPEC: a current-sense source plus a controlled voltage source tied to
+  the magnetic (vector-potential) circuit.
+
+The skeleton builder also resolves each wire's traversal: filaments of a
+wire are connected in series through shared centerline endpoints, and each
+filament records whether the wire walks it along the positive axis
+(``sign = +1``) or backwards (``sign = -1``).  Mutual inductances and the
+VPEC controlled-source gains are corrected by that sign, reproducing
+FastHenry's convention of orienting every branch along the positive axis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import Stimulus
+from repro.constants import DRIVER_RESISTANCE, LOAD_CAPACITANCE
+from repro.extraction.parasitics import Parasitics
+
+#: Matching tolerance for shared centerline endpoints, meters.
+_NODE_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class WirePorts:
+    """The two terminal nodes of a wire after skeleton construction."""
+
+    near: str
+    far: str
+
+
+@dataclass
+class ElectricalSkeleton:
+    """The R / C backbone plus the per-filament inductive slots.
+
+    Attributes
+    ----------
+    circuit:
+        The circuit under construction (shared with the model builder).
+    slot_nodes:
+        Per filament, the ``(a, b)`` nodes its inductive element must
+        connect, oriented in the wire-forward direction.
+    signs:
+        Per filament, +1 when wire-forward follows the positive axis.
+    ports:
+        Terminal nodes of each wire.
+    """
+
+    circuit: Circuit
+    parasitics: Parasitics
+    slot_nodes: List[Tuple[str, str]]
+    signs: np.ndarray
+    ports: Dict[int, WirePorts]
+
+
+def _oriented_paths(
+    parasitics: Parasitics,
+) -> Tuple[List[int], np.ndarray, List[Tuple[int, int]]]:
+    """Resolve wire traversal: per-filament sign and endpoint node ids.
+
+    Returns ``(node_of_point, signs, endpoints)`` where ``endpoints[f]``
+    is the pair of integer node ids (into a shared point table) of
+    filament ``f`` in wire-forward orientation.
+    """
+    system = parasitics.system
+    signs = np.ones(len(system))
+    endpoints: List[Tuple[int, int]] = [(-1, -1)] * len(system)
+    points: List[Tuple[float, float, float]] = []
+    grid: Dict[Tuple[int, int, int], int] = {}
+
+    def point_id(p: Tuple[float, float, float]) -> int:
+        # Quantize to a half-tolerance grid; probe neighbor cells so points
+        # straddling a cell boundary still match.
+        base = tuple(int(round(c / (_NODE_TOL / 2.0))) for c in p)
+        for dx in (0, -1, 1):
+            for dy in (0, -1, 1):
+                for dz in (0, -1, 1):
+                    key = (base[0] + dx, base[1] + dy, base[2] + dz)
+                    pid = grid.get(key)
+                    if pid is not None and math.dist(p, points[pid]) < _NODE_TOL:
+                        return pid
+        points.append(p)
+        grid[base] = len(points) - 1
+        return len(points) - 1
+
+    for wire in system.wire_ids:
+        members = system.wire_filaments(wire)
+        orientation = _wire_orientation(system, members)
+        for filament_index, forward in zip(members, orientation):
+            f = system[filament_index]
+            first, second = (f.start, f.end) if forward else (f.end, f.start)
+            signs[filament_index] = 1.0 if forward else -1.0
+            endpoints[filament_index] = (point_id(first), point_id(second))
+    return list(range(len(points))), signs, endpoints
+
+
+def _wire_orientation(system, members: Sequence[int]) -> List[bool]:
+    """Whether each wire filament is traversed start->end (positive axis)."""
+    if len(members) == 1:
+        return [True]
+    orientation: List[bool] = []
+    first, second = system[members[0]], system[members[1]]
+    # Orient the first filament so its exit endpoint touches the second.
+    if _touches(first.end, second):
+        orientation.append(True)
+        cursor = first.end
+    elif _touches(first.start, second):
+        orientation.append(False)
+        cursor = first.start
+    else:
+        raise ValueError(
+            f"wire {first.wire}: segments 0 and 1 do not share an endpoint"
+        )
+    for filament_index in members[1:]:
+        f = system[filament_index]
+        if math.dist(f.start, cursor) < _NODE_TOL:
+            orientation.append(True)
+            cursor = f.end
+        elif math.dist(f.end, cursor) < _NODE_TOL:
+            orientation.append(False)
+            cursor = f.start
+        else:
+            raise ValueError(
+                f"wire {f.wire}: segment {f.segment} does not touch the "
+                "previous segment"
+            )
+    return orientation
+
+
+def _touches(point: Tuple[float, float, float], filament) -> bool:
+    return (
+        math.dist(point, filament.start) < _NODE_TOL
+        or math.dist(point, filament.end) < _NODE_TOL
+    )
+
+
+def build_skeleton(
+    parasitics: Parasitics, title: Optional[str] = None
+) -> ElectricalSkeleton:
+    """Build the shared electrical backbone (R and C; slots left open).
+
+    Creates the wire nodes, the per-filament series resistances, the
+    accumulated pi-type ground capacitances, and the adjacent-pair
+    coupling capacitances.  The inductive slot of each filament is left
+    for the model builder (PEEC inductors or VPEC controlled sources).
+    """
+    system = parasitics.system
+    circuit = Circuit(title or f"skeleton:{system.name}")
+    _, signs, endpoints = _oriented_paths(parasitics)
+
+    node_names: Dict[int, str] = {}
+
+    def node_name(pid: int) -> str:
+        if pid not in node_names:
+            node_names[pid] = f"n{pid}"
+        return node_names[pid]
+
+    slot_nodes: List[Tuple[str, str]] = []
+    ground_cap: Dict[str, float] = {}
+    for index, filament in enumerate(system):
+        pid_in, pid_out = endpoints[index]
+        n_in, n_out = node_name(pid_in), node_name(pid_out)
+        mid = f"x{index}"
+        circuit.add_resistor(
+            n_in, mid, float(parasitics.resistance[index]), name=f"R{index}"
+        )
+        slot_nodes.append((mid, n_out))
+        half_c = float(parasitics.ground_capacitance[index]) / 2.0
+        ground_cap[n_in] = ground_cap.get(n_in, 0.0) + half_c
+        ground_cap[n_out] = ground_cap.get(n_out, 0.0) + half_c
+
+    for node, value in ground_cap.items():
+        if value > 0:
+            circuit.add_capacitor(node, "0", value, name=f"Cg_{node}")
+
+    def geometric_ends(index: int) -> Tuple[int, int]:
+        forward = endpoints[index]
+        return forward if signs[index] > 0 else (forward[1], forward[0])
+
+    for (i, j), value in parasitics.coupling_capacitance.items():
+        pairs = _pair_endpoints(system, i, j, geometric_ends(i), geometric_ends(j))
+        for pos, (pid_a, pid_b) in enumerate(pairs):
+            circuit.add_capacitor(
+                node_name(pid_a),
+                node_name(pid_b),
+                value / 2.0,
+                name=f"Cc_{i}_{j}_{pos}",
+            )
+
+    ports: Dict[int, WirePorts] = {}
+    for wire in system.wire_ids:
+        members = system.wire_filaments(wire)
+        first_pid = endpoints[members[0]][0]
+        last_pid = endpoints[members[-1]][1]
+        ports[wire] = WirePorts(near=node_name(first_pid), far=node_name(last_pid))
+
+    return ElectricalSkeleton(
+        circuit=circuit,
+        parasitics=parasitics,
+        slot_nodes=slot_nodes,
+        signs=signs,
+        ports=ports,
+    )
+
+
+def _pair_endpoints(
+    system,
+    i: int,
+    j: int,
+    ends_i: Tuple[int, int],
+    ends_j: Tuple[int, int],
+) -> List[Tuple[int, int]]:
+    """Pair geometric endpoints of two coupled filaments for split caps.
+
+    The coupling capacitance is split half/half between the two endpoint
+    pairs; geometric proximity decides which endpoint of ``j`` faces which
+    endpoint of ``i`` (wires may be traversed in opposite directions).
+    """
+    f_i, f_j = system[i], system[j]
+    straight = math.dist(f_i.start, f_j.start) + math.dist(f_i.end, f_j.end)
+    crossed = math.dist(f_i.start, f_j.end) + math.dist(f_i.end, f_j.start)
+    if straight <= crossed:
+        return [(ends_i[0], ends_j[0]), (ends_i[1], ends_j[1])]
+    return [(ends_i[0], ends_j[1]), (ends_i[1], ends_j[0])]
+
+
+def attach_bus_testbench(
+    skeleton: ElectricalSkeleton,
+    stimulus: Stimulus,
+    aggressor: int = 0,
+    driver_resistance: float = DRIVER_RESISTANCE,
+    load_capacitance: float = LOAD_CAPACITANCE,
+) -> None:
+    """The paper's standard bus excitation (Section II-C).
+
+    The aggressor wire is driven through ``Rd = 120 ohm`` by the stimulus;
+    every other wire is quiet (its driver holds it low through ``Rd``);
+    every far end carries the ``CL = 10 fF`` receiver load.
+    """
+    if aggressor not in skeleton.ports:
+        raise ValueError(f"wire {aggressor} does not exist")
+    for wire, ports in skeleton.ports.items():
+        if wire == aggressor:
+            source_node = f"drv{wire}"
+            skeleton.circuit.add_voltage_source(
+                source_node, "0", stimulus, name=f"Vdrv{wire}"
+            )
+            skeleton.circuit.add_resistor(
+                source_node, ports.near, driver_resistance, name=f"Rd{wire}"
+            )
+        else:
+            skeleton.circuit.add_resistor(
+                ports.near, "0", driver_resistance, name=f"Rd{wire}"
+            )
+        if load_capacitance > 0:
+            skeleton.circuit.add_capacitor(
+                ports.far, "0", load_capacitance, name=f"CL{wire}"
+            )
+
+
+def attach_multi_aggressor_testbench(
+    skeleton: ElectricalSkeleton,
+    drives: "Dict[int, Stimulus]",
+    driver_resistance: float = DRIVER_RESISTANCE,
+    load_capacitance: float = LOAD_CAPACITANCE,
+) -> None:
+    """Simultaneous-switching testbench: several driven wires at once.
+
+    Generalizes :func:`attach_bus_testbench` to the SSN scenario: every
+    wire in ``drives`` gets its own stimulus behind ``Rd``; the rest are
+    quiet; all far ends carry ``CL``.  In-phase neighbors superpose their
+    victim noise (the circuit is linear); anti-phase drives cancel on a
+    symmetric victim -- both verified in the tests.
+    """
+    if not drives:
+        raise ValueError("drives must name at least one aggressor")
+    unknown = set(drives) - set(skeleton.ports)
+    if unknown:
+        raise ValueError(f"unknown wires in drives: {sorted(unknown)}")
+    for wire, ports in skeleton.ports.items():
+        if wire in drives:
+            source_node = f"drv{wire}"
+            skeleton.circuit.add_voltage_source(
+                source_node, "0", drives[wire], name=f"Vdrv{wire}"
+            )
+            skeleton.circuit.add_resistor(
+                source_node, ports.near, driver_resistance, name=f"Rd{wire}"
+            )
+        else:
+            skeleton.circuit.add_resistor(
+                ports.near, "0", driver_resistance, name=f"Rd{wire}"
+            )
+        if load_capacitance > 0:
+            skeleton.circuit.add_capacitor(
+                ports.far, "0", load_capacitance, name=f"CL{wire}"
+            )
+
+
+def attach_two_port_testbench(
+    skeleton: ElectricalSkeleton,
+    stimulus: Stimulus,
+    wire: int = 0,
+    driver_resistance: float = DRIVER_RESISTANCE,
+    load_capacitance: float = LOAD_CAPACITANCE,
+) -> Tuple[str, str]:
+    """Drive one wire's near port, load its far port (spiral experiment).
+
+    Returns ``(input node, output node)``.
+    """
+    ports = skeleton.ports[wire]
+    skeleton.circuit.add_voltage_source(
+        f"in{wire}", "0", stimulus, name=f"Vin{wire}"
+    )
+    skeleton.circuit.add_resistor(
+        f"in{wire}", ports.near, driver_resistance, name=f"Rin{wire}"
+    )
+    if load_capacitance > 0:
+        skeleton.circuit.add_capacitor(
+            ports.far, "0", load_capacitance, name=f"CL{wire}"
+        )
+    return ports.near, ports.far

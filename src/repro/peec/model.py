@@ -1,0 +1,98 @@
+"""The distributed RLCM PEEC model (the paper's baseline).
+
+The PEEC netlist is the electrical skeleton plus one inductor per
+filament and one mutual-inductance stamp per coupled pair -- a *dense*
+coupling set, which is exactly the scalability problem the VPEC
+sparsifications attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.extraction.parasitics import Parasitics
+from repro.peec.builder import ElectricalSkeleton, build_skeleton
+
+
+@dataclass
+class PeecModel:
+    """A built PEEC circuit plus its bookkeeping.
+
+    Attributes
+    ----------
+    circuit:
+        The complete netlist (before testbench attachment the wire ports
+        are open; use the testbench helpers in :mod:`repro.peec.builder`).
+    skeleton:
+        The shared electrical backbone (exposes wire ports and slots).
+    inductor_names:
+        Per filament, the name of its partial self inductor.
+    mutual_count:
+        Number of mutual-inductance stamps emitted.
+    """
+
+    circuit: Circuit
+    skeleton: ElectricalSkeleton
+    inductor_names: List[str]
+    mutual_count: int
+
+    @property
+    def parasitics(self) -> Parasitics:
+        return self.skeleton.parasitics
+
+
+def build_peec(
+    parasitics: Parasitics,
+    title: Optional[str] = None,
+) -> PeecModel:
+    """Build the full PEEC netlist from extracted parasitics.
+
+    Every nonzero partial mutual inductance is stamped (the paper's
+    setting considers "coupling between any pair of segments, including
+    segments in a same line").  Signs follow the wire-forward orientation
+    of each inductor branch.
+    """
+    system = parasitics.system
+    skeleton = build_skeleton(
+        parasitics, title or f"peec:{system.name}"
+    )
+    circuit = skeleton.circuit
+    inductance = parasitics.inductance
+    signs = skeleton.signs
+
+    inductor_names: List[str] = []
+    for index, (slot_a, slot_b) in enumerate(skeleton.slot_nodes):
+        name = f"Lf{index}"
+        circuit.add_inductor(
+            slot_a, slot_b, float(inductance[index, index]), name=name
+        )
+        inductor_names.append(name)
+
+    mutual_count = 0
+    for _, (indices, block) in parasitics.inductance_blocks.items():
+        block_size = len(indices)
+        for a in range(block_size):
+            i = indices[a]
+            for b_pos in range(a + 1, block_size):
+                j = indices[b_pos]
+                value = float(block[a, b_pos]) * float(signs[i] * signs[j])
+                if value == 0.0:
+                    continue
+                circuit.add_mutual(
+                    inductor_names[i],
+                    inductor_names[j],
+                    value,
+                    name=f"K{i}_{j}",
+                )
+                mutual_count += 1
+
+    return PeecModel(
+        circuit=circuit,
+        skeleton=skeleton,
+        inductor_names=inductor_names,
+        mutual_count=mutual_count,
+    )

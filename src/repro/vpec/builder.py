@@ -1,0 +1,168 @@
+"""SPICE-compatible VPEC circuit construction (Fig. 1 of the paper).
+
+Every filament contributes two coupled blocks:
+
+*Electrical block* -- the PEEC resistance / capacitance skeleton, with
+the filament's inductive slot filled by
+
+1. a 0-V *sense* voltage source (component 2 of Fig. 1: it measures the
+   branch current ``I_i``), and
+2. a controlled voltage source realizing the inductive drop
+   ``V_i = l_i * Vhat_i`` (component 4).
+
+*Magnetic block* -- a vector-potential node ``m_i`` whose voltage is the
+filament's average vector potential ``A_i``:
+
+3. a CCCS injecting ``Ihat_i = l_i I_i`` into ``m_i`` (component 2/3);
+4. the effective-resistance network: ``Rhat_i0`` from ``m_i`` to the
+   vector-potential ground and ``Rhat_ij`` between coupled nodes
+   (component 5, from the :class:`~repro.vpec.effective.VpecNetwork`);
+5. a unit inductor fed by a unity-gain VCCS (component 3/6): the VCCS
+   forces the inductor current to equal ``A_i``, so the voltage across
+   the unit inductor is exactly ``d A_i / d t = Vhat_i`` (eq. 2), which
+   the electrical block's controlled source picks up.
+
+Wire-traversal signs (legs walked against the positive axis) multiply
+the two ``l_i`` gains, mirroring how FastHenry orients branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.extraction.parasitics import Parasitics
+from repro.peec.builder import ElectricalSkeleton, build_skeleton
+from repro.vpec.effective import VpecNetwork
+
+#: Unit inductance of the magnetic circuit's differentiator, henries.
+UNIT_INDUCTANCE = 1.0
+
+#: Ground conductances below this (siemens) are treated as an open
+#: (eq. 19 allows the windowed row sum to reach zero exactly).
+_MIN_GROUND_CONDUCTANCE = 1e-30
+
+
+@dataclass
+class VpecModel:
+    """A built VPEC circuit plus its bookkeeping.
+
+    Attributes
+    ----------
+    circuit:
+        The complete netlist (testbench attached separately, exactly as
+        for PEEC -- the wire ports live on the shared skeleton).
+    skeleton:
+        The shared electrical backbone.
+    networks:
+        The per-direction effective-resistance networks stamped into the
+        magnetic circuit.
+    sense_names:
+        Per filament, the current-sense source name (useful for probing
+        filament currents).
+    coupling_resistor_count:
+        Number of coupling resistors emitted (the sparsification metric).
+    """
+
+    circuit: Circuit
+    skeleton: ElectricalSkeleton
+    networks: List[VpecNetwork]
+    sense_names: List[str]
+    coupling_resistor_count: int
+
+    @property
+    def parasitics(self) -> Parasitics:
+        return self.skeleton.parasitics
+
+    def sparse_factor(self) -> float:
+        """Kept couplings / full couplings, over all directions."""
+        kept = sum(network.coupling_count() for network in self.networks)
+        full = sum(network.full_coupling_count() for network in self.networks)
+        return 1.0 if full == 0 else kept / full
+
+
+def build_vpec(
+    parasitics: Parasitics,
+    networks: List[VpecNetwork],
+    title: Optional[str] = None,
+) -> VpecModel:
+    """Assemble the SPICE-compatible VPEC netlist.
+
+    Parameters
+    ----------
+    parasitics:
+        Extraction results (provides the electrical skeleton).
+    networks:
+        Effective-resistance networks -- full
+        (:func:`~repro.vpec.full.full_vpec_networks`), truncated
+        (:mod:`repro.vpec.truncation`), or windowed
+        (:mod:`repro.vpec.windowing`).
+    """
+    _validate_networks(parasitics, networks)
+    system = parasitics.system
+    skeleton = build_skeleton(parasitics, title or f"vpec:{system.name}")
+    circuit = skeleton.circuit
+    lengths = system.lengths()
+    signs = skeleton.signs
+
+    sense_names: List[str] = [""] * len(system)
+    for index, (slot_a, slot_b) in enumerate(skeleton.slot_nodes):
+        gain = float(lengths[index] * signs[index])
+        sense = f"Vs{index}"
+        circuit.add_voltage_source(slot_a, f"s{index}", name=sense)
+        sense_names[index] = sense
+        # Electrical inductive drop: V_i = (l s) * Vhat_i, with Vhat_i the
+        # voltage on the derivative node d{index}.
+        circuit.add_vcvs(
+            f"s{index}", slot_b, f"d{index}", "0", gain, name=f"Ev{index}"
+        )
+        # Magnetic injection: Ihat_i = (l s) * I_i into node m{index}.
+        circuit.add_cccs("0", f"m{index}", sense, gain, name=f"Fi{index}")
+        # Differentiator: unity VCCS forces the unit inductor current to
+        # A_i, so v(d{index}) = dA_i/dt = Vhat_i.
+        circuit.add_vccs("0", f"d{index}", f"m{index}", "0", 1.0, name=f"Ga{index}")
+        circuit.add_inductor(f"d{index}", "0", UNIT_INDUCTANCE, name=f"Lu{index}")
+
+    coupling_count = 0
+    for network in networks:
+        ground = network.ground_conductances()
+        for position, global_index in enumerate(network.indices):
+            conductance = float(ground[position])
+            if conductance > _MIN_GROUND_CONDUCTANCE:
+                circuit.add_resistor(
+                    f"m{global_index}",
+                    "0",
+                    1.0 / conductance,
+                    name=f"Rg{global_index}",
+                )
+        for a, b, ghat_ab in network.coupling_entries():
+            i, j = network.indices[a], network.indices[b]
+            circuit.add_resistor(
+                f"m{i}", f"m{j}", -1.0 / ghat_ab, name=f"Rc{i}_{j}"
+            )
+            coupling_count += 1
+
+    return VpecModel(
+        circuit=circuit,
+        skeleton=skeleton,
+        networks=networks,
+        sense_names=sense_names,
+        coupling_resistor_count=coupling_count,
+    )
+
+
+def _validate_networks(
+    parasitics: Parasitics, networks: List[VpecNetwork]
+) -> None:
+    covered: List[int] = []
+    for network in networks:
+        covered.extend(network.indices)
+    expected = list(range(len(parasitics.system)))
+    if sorted(covered) != expected:
+        raise ValueError(
+            "networks must cover every filament exactly once; got "
+            f"{len(covered)} entries for {len(expected)} filaments"
+        )

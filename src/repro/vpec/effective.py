@@ -1,0 +1,135 @@
+"""The VPEC effective-resistance network (circuit matrix ``Ghat``).
+
+Section II-B of the paper derives the full VPEC model from the inverse of
+the partial inductance matrix: with ``S = L^-1`` and filament length
+``l``,
+
+    Ghat = l^2 S                                  (eq. 9)
+    Rhat_ij = -1 / Ghat_ij          (coupling resistance, eq. 10)
+    Rhat_i0 = 1 / sum_j Ghat_ij     (ground resistance, eq. 10)
+
+For structures whose filaments have different lengths (the spiral), the
+natural generalization follows from ``Ihat_i = l_i I_i`` and
+``Vhat_i = V_i / l_i``:  ``Ghat = D S D`` with ``D = diag(l_i)`` --
+which reduces to ``l^2 S`` in the uniform case the paper treats.
+
+A :class:`VpecNetwork` holds one per-direction ``Ghat`` (the ``k`` spatial
+components decouple) in sparse form, plus the mapping back to global
+filament indices.  Both the full model (dense ``Ghat``) and every
+sparsified variant are instances of the same class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+
+@dataclass
+class VpecNetwork:
+    """One direction's effective-resistance network.
+
+    Attributes
+    ----------
+    indices:
+        Global filament indices of this axis group, in block order.
+    lengths:
+        Filament lengths, meters, aligned with ``indices``.
+    ghat:
+        The circuit matrix ``Ghat`` (CSR, symmetric).  Off-diagonal
+        entries are the negated coupling conductances; the diagonal is
+        the self term of eq. 6.
+    """
+
+    indices: List[int]
+    lengths: np.ndarray
+    ghat: sparse.csr_matrix
+
+    def __post_init__(self) -> None:
+        n = len(self.indices)
+        self.lengths = np.asarray(self.lengths, dtype=float)
+        if self.lengths.shape != (n,):
+            raise ValueError("lengths must align with indices")
+        if not sparse.issparse(self.ghat):
+            self.ghat = sparse.csr_matrix(np.asarray(self.ghat))
+        else:
+            self.ghat = self.ghat.tocsr()
+        if self.ghat.shape != (n, n):
+            raise ValueError("ghat must be square over the group")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_inverse(
+        cls,
+        indices: Sequence[int],
+        lengths: Sequence[float],
+        s_matrix: "np.ndarray | sparse.spmatrix",
+    ) -> "VpecNetwork":
+        """Build ``Ghat = D S D`` from an (approximate) inverse of ``L``."""
+        d = np.asarray(lengths, dtype=float)
+        if sparse.issparse(s_matrix):
+            scale = sparse.diags(d)
+            ghat = (scale @ s_matrix @ scale).tocsr()
+        else:
+            ghat = sparse.csr_matrix(d[:, None] * np.asarray(s_matrix) * d[None, :])
+        return cls(indices=list(indices), lengths=d, ghat=ghat)
+
+    # ------------------------------------------------------------------
+    # Effective resistances (eq. 10)
+    # ------------------------------------------------------------------
+    def ground_conductances(self) -> np.ndarray:
+        """Row sums of ``Ghat``: the conductance of each ``Rhat_i0``."""
+        return np.asarray(self.ghat.sum(axis=1)).ravel()
+
+    def ground_resistances(self) -> np.ndarray:
+        """``Rhat_i0`` per filament (``inf`` where the row sum vanishes)."""
+        sums = self.ground_conductances()
+        with np.errstate(divide="ignore"):
+            return np.where(sums != 0.0, 1.0 / sums, np.inf)
+
+    def coupling_entries(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield ``(a, b, Ghat_ab)`` for each stored pair ``a < b``.
+
+        Positions are block-local; map through :attr:`indices` for global
+        filament ids.  The coupling resistance is ``-1 / Ghat_ab``.
+        """
+        upper = sparse.triu(self.ghat, k=1).tocoo()
+        for a, b, value in zip(upper.row, upper.col, upper.data):
+            if value != 0.0:
+                yield int(a), int(b), float(value)
+
+    def coupling_resistance(self, a: int, b: int) -> float:
+        """``Rhat_ab = -1 / Ghat_ab`` for a stored pair (block-local)."""
+        value = self.ghat[a, b]
+        if value == 0.0:
+            raise KeyError(f"no coupling between block positions {a} and {b}")
+        return -1.0 / float(value)
+
+    # ------------------------------------------------------------------
+    # Size statistics (sparse-factor bookkeeping)
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.indices)
+
+    def coupling_count(self) -> int:
+        """Number of stored off-diagonal coupling pairs (a < b)."""
+        return int(sparse.triu(self.ghat, k=1).count_nonzero())
+
+    def full_coupling_count(self) -> int:
+        """Pair count of the dense (full VPEC) network of this size."""
+        return self.size * (self.size - 1) // 2
+
+    def sparse_factor(self) -> float:
+        """Kept couplings / full couplings (1.0 for the full model)."""
+        full = self.full_coupling_count()
+        return 1.0 if full == 0 else self.coupling_count() / full
+
+    def dense_ghat(self) -> np.ndarray:
+        """Dense copy of ``Ghat`` (tests and passivity checks)."""
+        return self.ghat.toarray()

@@ -1,0 +1,149 @@
+"""Unit tests for the eye-diagram analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.eye import (
+    bit_stream_stimulus,
+    channel_eye,
+    eye_metrics,
+    prbs_bits,
+)
+from repro.circuit.waveform import Waveform
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.peec.model import build_peec
+
+
+class TestPrbs:
+    def test_deterministic(self):
+        assert np.array_equal(prbs_bits(32, seed=5), prbs_bits(32, seed=5))
+
+    def test_seed_changes_sequence(self):
+        assert not np.array_equal(prbs_bits(32, seed=5), prbs_bits(32, seed=9))
+
+    def test_balanced_over_full_period(self):
+        bits = prbs_bits(127)
+        # PRBS-7: 64 ones, 63 zeros per period.
+        assert bits.sum() == 64
+
+    def test_full_period_repeats(self):
+        bits = prbs_bits(254)
+        assert np.array_equal(bits[:127], bits[127:])
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            prbs_bits(8, seed=0)
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            prbs_bits(0)
+
+
+class TestBitStream:
+    def test_levels_and_edges(self):
+        stim = bit_stream_stimulus([0, 1, 1, 0], 100e-12, 10e-12)
+        assert stim.at(50e-12) == 0.0
+        assert stim.at(105e-12) == pytest.approx(0.5)  # mid-transition
+        assert stim.at(150e-12) == 1.0
+        assert stim.at(250e-12) == 1.0  # no edge between equal bits
+        assert stim.at(305e-12) == pytest.approx(0.5)
+        assert stim.at(390e-12) == 0.0
+
+    def test_holds_last_bit(self):
+        stim = bit_stream_stimulus([1, 0], 100e-12, 10e-12)
+        assert stim.at(1e-9) == 0.0
+
+    def test_dc_start_matches_first_bit(self):
+        assert bit_stream_stimulus([1, 0], 1e-10, 1e-11).dc == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bit_stream_stimulus([1], 1e-10, 2e-10)  # rise > bit
+        with pytest.raises(ValueError):
+            bit_stream_stimulus([], 1e-10, 1e-11)
+
+
+class TestEyeMetrics:
+    def make_clean_wave(self, bits, bit_time=100e-12, swing=1.0):
+        stim = bit_stream_stimulus(bits, bit_time, 10e-12, v_high=swing)
+        t = np.arange(0, len(bits) * bit_time, 1e-12)
+        return Waveform(t, np.array([stim.at(x) for x in t]))
+
+    def test_clean_eye_fully_open(self):
+        bits = prbs_bits(24)
+        wave = self.make_clean_wave(bits)
+        eye = eye_metrics(wave, bits, 100e-12)
+        assert eye.is_open
+        assert eye.height == pytest.approx(1.0, abs=1e-9)
+
+    def test_noise_closes_eye_proportionally(self):
+        bits = prbs_bits(24)
+        wave = self.make_clean_wave(bits)
+        rng = np.random.default_rng(3)
+        noisy = Waveform(wave.t, wave.v + rng.uniform(-0.2, 0.2, wave.t.size))
+        eye = eye_metrics(noisy, bits, 100e-12)
+        assert 0.4 < eye.height < 1.0
+
+    def test_too_short_rejected(self):
+        bits = [0, 1, 0]
+        wave = self.make_clean_wave(bits)
+        with pytest.raises(ValueError):
+            eye_metrics(wave, bits, 100e-12, skip_bits=2)
+
+    def test_constant_pattern_rejected(self):
+        bits = [1] * 10
+        wave = self.make_clean_wave(bits)
+        with pytest.raises(ValueError):
+            eye_metrics(wave, bits, 100e-12)
+
+    def test_bad_phase_rejected(self):
+        bits = prbs_bits(10)
+        wave = self.make_clean_wave(bits)
+        with pytest.raises(ValueError):
+            eye_metrics(wave, bits, 100e-12, sample_phase=2e-10)
+
+
+class TestChannelEye:
+    def test_quiet_channel_eye_open(self):
+        model = build_peec(extract(aligned_bus(4)))
+        bits = prbs_bits(16)
+        eye = channel_eye(model.skeleton, victim=1, victim_bits=bits)
+        assert eye.is_open
+        assert eye.height > 0.5
+
+    def test_aggressors_shrink_the_eye(self):
+        bits = prbs_bits(16)
+        noise_bits = prbs_bits(16, seed=0b1010101)
+
+        quiet = channel_eye(
+            build_peec(extract(aligned_bus(4))).skeleton,
+            victim=1,
+            victim_bits=bits,
+        )
+        noisy = channel_eye(
+            build_peec(extract(aligned_bus(4))).skeleton,
+            victim=1,
+            victim_bits=bits,
+            aggressor_bits={0: noise_bits, 2: noise_bits},
+        )
+        assert noisy.height < quiet.height
+
+    def test_vpec_channel_matches_peec(self):
+        from repro.vpec.flow import full_vpec
+
+        bits = prbs_bits(12)
+        noise = prbs_bits(12, seed=0b0110011)
+        peec_eye = channel_eye(
+            build_peec(extract(aligned_bus(3))).skeleton,
+            victim=1,
+            victim_bits=bits,
+            aggressor_bits={0: noise},
+        )
+        vpec_eye = channel_eye(
+            full_vpec(extract(aligned_bus(3))).model.skeleton,
+            victim=1,
+            victim_bits=bits,
+            aggressor_bits={0: noise},
+        )
+        assert vpec_eye.height == pytest.approx(peec_eye.height, abs=1e-6)

@@ -1,0 +1,87 @@
+"""Unit tests for waveform metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    delay_crossing,
+    delay_difference,
+    waveform_difference,
+)
+from repro.circuit.waveform import Waveform
+
+
+def wave(values, t_stop=1.0):
+    values = np.asarray(values, dtype=float)
+    return Waveform(np.linspace(0.0, t_stop, values.size), values)
+
+
+class TestWaveformDifference:
+    def test_identical_waveforms(self):
+        w = wave([0.0, 1.0, 0.5, 0.2])
+        diff = waveform_difference(w, w)
+        assert diff.mean_abs == 0.0
+        assert diff.std_abs == 0.0
+        assert diff.max_abs == 0.0
+
+    def test_constant_offset(self):
+        a = wave([0.0, 1.0, 2.0])
+        b = wave([0.1, 1.1, 2.1])
+        diff = waveform_difference(a, b)
+        assert diff.mean_abs == pytest.approx(0.1)
+        assert diff.std_abs == pytest.approx(0.0, abs=1e-12)
+        assert diff.max_abs == pytest.approx(0.1)
+
+    def test_reference_peak(self):
+        a = wave([0.0, -2.0, 1.0])
+        diff = waveform_difference(a, a)
+        assert diff.reference_peak == pytest.approx(2.0)
+
+    def test_relative_to_peak(self):
+        a = wave([0.0, 2.0])
+        b = wave([0.0, 1.0])
+        diff = waveform_difference(a, b)
+        assert diff.max_relative_to_peak == pytest.approx(0.5)
+        assert diff.mean_relative_to_peak == pytest.approx(0.25)
+
+    def test_resamples_candidate(self):
+        reference = wave([0.0, 0.5, 1.0])  # t = 0, .5, 1
+        candidate = Waveform(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        diff = waveform_difference(reference, candidate)
+        assert diff.max_abs == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_peak_edge_case(self):
+        a = wave([0.0, 0.0])
+        b = wave([0.0, 1.0])
+        diff = waveform_difference(a, b)
+        assert diff.mean_relative_to_peak == float("inf")
+
+
+class TestDelay:
+    def test_crossing_interpolates(self):
+        w = wave([0.0, 1.0], t_stop=2.0)
+        assert delay_crossing(w, 0.5) == pytest.approx(1.0)
+
+    def test_crossing_falling(self):
+        w = wave([1.0, 0.0], t_stop=2.0)
+        assert delay_crossing(w, 0.5, rising=False) == pytest.approx(1.0)
+
+    def test_never_crosses_raises(self):
+        w = wave([0.0, 0.1])
+        with pytest.raises(ValueError):
+            delay_crossing(w, 0.5)
+
+    def test_crossing_at_first_sample(self):
+        w = wave([1.0, 1.0])
+        assert delay_crossing(w, 0.5) == 0.0
+
+    def test_delay_difference_relative(self):
+        reference = wave([0.0, 1.0], t_stop=2.0)  # crosses 0.5 at t=1
+        candidate = Waveform(
+            np.array([0.0, 1.0, 2.0]), np.array([0.0, 0.0, 2.0])
+        )  # crosses 0.5 at t=1.25
+        assert delay_difference(reference, candidate, 0.5) == pytest.approx(0.25)
+
+    def test_delay_difference_identical(self):
+        w = wave([0.0, 1.0])
+        assert delay_difference(w, w, 0.5) == 0.0

@@ -1,0 +1,100 @@
+"""Unit tests for the crosstalk reporting layer."""
+
+import pytest
+
+from repro.analysis.signal_integrity import crosstalk_report
+from repro.circuit.sources import step
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.peec.model import build_peec
+from repro.vpec.flow import windowed_vpec
+
+
+def make_report(bits=6, aggressor=0, **kwargs):
+    model = build_peec(extract(aligned_bus(bits)))
+    return crosstalk_report(
+        model.skeleton,
+        step(1.0, rise_time=10e-12),
+        aggressor=aggressor,
+        t_stop=200e-12,
+        **kwargs,
+    )
+
+
+class TestCrosstalkReport:
+    def test_all_victims_reported(self):
+        report = make_report()
+        assert sorted(v.wire for v in report.victims) == [1, 2, 3, 4, 5]
+
+    def test_worst_victim_is_near_the_aggressor(self):
+        # Inductive coupling is long range, so the peak is NOT always
+        # the immediate neighbor (capacitive intuition) -- but it stays
+        # within the aggressor's vicinity.
+        report = make_report()
+        assert report.worst().wire in (1, 2)
+
+    def test_noise_spreads_far(self):
+        """The paper's motivation: inductive noise barely decays.
+
+        The farthest victim still sees a large fraction of the worst
+        victim's noise -- which is why adjacent-only (localized) models
+        fail and why truncation windows must be wide.
+        """
+        report = make_report()
+        assert report.victim(5).peak > 0.5 * report.worst().peak
+
+    def test_failing_threshold(self):
+        report = make_report()
+        assert report.failing(0.9) == []
+        assert len(report.failing(0.001)) == 5
+
+    def test_victim_subset(self):
+        report = make_report(victims=[2, 4])
+        assert sorted(v.wire for v in report.victims) == [2, 4]
+
+    def test_aggressor_timing_extracted(self):
+        report = make_report()
+        assert report.aggressor_delay is not None
+        assert 0 < report.aggressor_delay < 200e-12
+        assert report.aggressor_slew is not None
+        assert report.aggressor_slew > 0
+
+    def test_middle_aggressor(self):
+        report = make_report(aggressor=3)
+        assert report.aggressor == 3
+        # Symmetric neighbors see comparable noise.
+        assert report.victim(2).peak == pytest.approx(
+            report.victim(4).peak, rel=0.05
+        )
+
+    def test_unknown_victim_lookup(self):
+        report = make_report()
+        with pytest.raises(KeyError):
+            report.victim(99)
+
+    def test_table_renders(self):
+        report = make_report()
+        text = report.to_table()
+        assert "noise peak" in text
+        assert "aggressor 50% delay" in text
+
+    def test_works_on_vpec_models(self):
+        model = windowed_vpec(extract(aligned_bus(6)), window_size=4).model
+        report = crosstalk_report(
+            model.skeleton,
+            step(1.0, rise_time=10e-12),
+            t_stop=200e-12,
+        )
+        assert report.worst().wire == 1
+
+    def test_peec_and_vpec_reports_agree(self):
+        peec_report = make_report(bits=5)
+        from repro.vpec.flow import full_vpec
+
+        vpec_model = full_vpec(extract(aligned_bus(5))).model
+        vpec_report = crosstalk_report(
+            vpec_model.skeleton, step(1.0, rise_time=10e-12), t_stop=200e-12
+        )
+        assert vpec_report.worst().peak == pytest.approx(
+            peec_report.worst().peak, rel=1e-6
+        )

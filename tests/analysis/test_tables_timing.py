@@ -1,0 +1,45 @@
+"""Unit tests for table formatting and timing helpers."""
+
+import time
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.analysis.timing import Timer, time_call
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert lines[2].split() == ["1", "2"]
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_column_width_adapts(self):
+        text = format_table(["h"], [["wide-cell"]])
+        separator = text.splitlines()[1]
+        assert len(separator) >= len("wide-cell")
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.009
+
+    def test_time_call_returns_result(self):
+        result, seconds = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert seconds >= 0.0

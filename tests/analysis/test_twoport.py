@@ -1,0 +1,133 @@
+"""Unit tests for network-parameter measurement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.twoport import measure_z_parameters
+from repro.circuit.netlist import Circuit
+
+
+def series_resistor(r=100.0):
+    def factory():
+        circuit = Circuit("r2port")
+        circuit.add_resistor("p1", "p2", r)
+        # Shunts keep both ports well-defined at DC-ish frequencies.
+        circuit.add_resistor("p1", "0", 1e9)
+        circuit.add_resistor("p2", "0", 1e9)
+        return circuit
+
+    return factory
+
+
+def shunt_inductor(l=1e-9):
+    def factory():
+        circuit = Circuit("l1port")
+        circuit.add_inductor("p1", "0", l, name="L1")
+        circuit.add_resistor("p1", "0", 1e9)
+        return circuit
+
+    return factory
+
+
+class TestZParameters:
+    def test_series_resistor_z_matrix(self):
+        params = measure_z_parameters(
+            series_resistor(100.0), [("p1", "0"), ("p2", "0")], [1e6]
+        )
+        # A floating series resistor is cleanest in admittance form:
+        # Y11 = 1/R + shunt, Y12 = -1/R.
+        y = params.y()[0]
+        assert y[0, 0] == pytest.approx(1 / 100.0 + 1e-9, rel=1e-3)
+        assert y[0, 1] == pytest.approx(-1 / 100.0, rel=1e-3)
+
+    def test_shunt_inductor_impedance(self):
+        f = 1e9
+        params = measure_z_parameters(shunt_inductor(1e-9), [("p1", "0")], [f])
+        expected = 1j * 2 * np.pi * f * 1e-9
+        assert params.z[0, 0, 0] == pytest.approx(expected, rel=1e-6)
+
+    def test_input_inductance(self):
+        params = measure_z_parameters(
+            shunt_inductor(2e-9), [("p1", "0")], [1e8, 1e9]
+        )
+        assert np.allclose(params.input_inductance(), 2e-9, rtol=1e-6)
+
+    def test_quality_factor_of_ideal_inductor_is_huge(self):
+        params = measure_z_parameters(shunt_inductor(), [("p1", "0")], [1e9])
+        assert params.quality_factor()[0] > 1e6
+
+    def test_reciprocity(self):
+        params = measure_z_parameters(
+            series_resistor(), [("p1", "0"), ("p2", "0")], [1e6, 1e9]
+        )
+        assert np.allclose(params.z[:, 0, 1], params.z[:, 1, 0], rtol=1e-9)
+
+    def test_needs_ports(self):
+        with pytest.raises(ValueError):
+            measure_z_parameters(series_resistor(), [], [1e6])
+
+
+class TestSParameters:
+    def test_matched_load_s11(self):
+        def factory():
+            circuit = Circuit("match")
+            circuit.add_resistor("p1", "0", 50.0)
+            return circuit
+
+        params = measure_z_parameters(factory, [("p1", "0")], [1e9])
+        assert abs(params.s()[0, 0, 0]) < 1e-9
+
+    def test_open_port_s11_is_plus_one(self):
+        def factory():
+            circuit = Circuit("open")
+            circuit.add_resistor("p1", "0", 1e12)
+            return circuit
+
+        params = measure_z_parameters(factory, [("p1", "0")], [1e9])
+        assert params.s()[0, 0, 0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_short_port_s11_is_minus_one(self):
+        def factory():
+            circuit = Circuit("short")
+            circuit.add_resistor("p1", "0", 1e-6)
+            return circuit
+
+        params = measure_z_parameters(factory, [("p1", "0")], [1e9])
+        assert params.s()[0, 0, 0] == pytest.approx(-1.0, rel=1e-6)
+
+    def test_s_passivity_of_passive_network(self):
+        params = measure_z_parameters(
+            series_resistor(), [("p1", "0"), ("p2", "0")], [1e8, 1e9]
+        )
+        for s in params.s():
+            singular_values = np.linalg.svd(s, compute_uv=False)
+            assert np.all(singular_values <= 1.0 + 1e-9)
+
+
+class TestSpiralNetwork:
+    def test_spiral_two_port(self):
+        """The RF deliverable: Z/Q of the spiral through its two ports."""
+        from repro.extraction.parasitics import extract
+        from repro.geometry.spiral import square_spiral
+        from repro.peec.model import build_peec
+
+        def factory():
+            return build_peec(
+                extract(square_spiral(turns=2, total_segments=20))
+            ).circuit
+
+        # Recover the port node names once, then rebuild per measurement.
+        reference = build_peec(
+            extract(square_spiral(turns=2, total_segments=20))
+        )
+        near = reference.skeleton.ports[0].near
+        far = reference.skeleton.ports[0].far
+        params = measure_z_parameters(
+            factory, [(near, "0"), (far, "0")], [1e8, 1e9]
+        )
+        assert np.allclose(params.z[:, 0, 1], params.z[:, 1, 0], rtol=1e-6)
+        # Between the ports sits the spiral's series R + L.
+        series = params.z[:, 0, 0] - params.z[:, 0, 1]
+        assert np.all(np.real(series) > 0)
+        l_series = np.imag(series) / (2 * np.pi * params.frequencies)
+        assert 0.5e-9 < l_series[0] < 20e-9

@@ -1,0 +1,78 @@
+"""Unit tests for corner / Monte Carlo variation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.variation import (
+    FAST,
+    SLOW,
+    TYPICAL,
+    GeometryCorner,
+    GeometryVariation,
+    analyze_corner,
+    monte_carlo,
+)
+from repro.experiments.runner import gw_spec, peec_spec
+
+
+class TestCorners:
+    def test_apply_preserves_pitch(self):
+        corner = GeometryCorner(etch=0.1)
+        w, s, t = corner.apply(1e-6, 2e-6, 1e-6)
+        assert w + s == pytest.approx(3e-6)
+        assert w == pytest.approx(1.1e-6)
+
+    def test_collapse_rejected(self):
+        with pytest.raises(ValueError):
+            GeometryCorner(etch=3.0).apply(1e-6, 2e-6, 1e-6)
+
+    def test_slow_corner_has_more_noise_than_fast(self):
+        model = peec_spec()
+        slow = analyze_corner(SLOW, 5, model, t_stop=150e-12)
+        fast = analyze_corner(FAST, 5, model, t_stop=150e-12)
+        assert slow.worst().peak > fast.worst().peak
+
+    def test_typical_between_extremes(self):
+        model = peec_spec()
+        peaks = {
+            name: analyze_corner(c, 5, model, t_stop=150e-12).worst().peak
+            for name, c in (("fast", FAST), ("typ", TYPICAL), ("slow", SLOW))
+        }
+        assert peaks["fast"] < peaks["typ"] < peaks["slow"]
+
+
+class TestMonteCarlo:
+    def test_deterministic_for_seed(self):
+        variation = GeometryVariation(etch_sigma=0.03, thickness_sigma=0.03)
+        a = monte_carlo(variation, 4, peec_spec(), samples=4, seed=7, t_stop=100e-12)
+        b = monte_carlo(variation, 4, peec_spec(), samples=4, seed=7, t_stop=100e-12)
+        assert np.allclose(a.worst_noise, b.worst_noise)
+
+    def test_summary_statistics(self):
+        variation = GeometryVariation(etch_sigma=0.03)
+        result = monte_carlo(
+            variation, 4, peec_spec(), samples=6, seed=1, t_stop=100e-12
+        )
+        summary = result.summary()
+        assert result.samples == 6
+        assert summary["noise_std"] > 0
+        assert summary["noise_p95"] >= summary["noise_mean"]
+        assert summary["delay_spread"] >= 0
+
+    def test_zero_variation_gives_zero_spread(self):
+        variation = GeometryVariation(etch_sigma=0.0, thickness_sigma=0.0)
+        result = monte_carlo(
+            variation, 4, peec_spec(), samples=3, seed=2, t_stop=100e-12
+        )
+        assert np.ptp(result.worst_noise) == pytest.approx(0.0, abs=1e-15)
+
+    def test_works_on_sparsified_model(self):
+        variation = GeometryVariation(etch_sigma=0.05)
+        result = monte_carlo(
+            variation, 6, gw_spec(4), samples=3, seed=3, t_stop=100e-12
+        )
+        assert np.all(result.worst_noise > 0)
+
+    def test_sample_count_validated(self):
+        with pytest.raises(ValueError):
+            monte_carlo(GeometryVariation(), 4, peec_spec(), samples=0)

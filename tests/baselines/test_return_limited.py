@@ -1,0 +1,146 @@
+"""Tests for the return-limited baseline (Shepard-Tian, ref [8])."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.return_limited import (
+    build_reduced_peec,
+    exact_shielded_inductance,
+    return_limited_inductance,
+    signal_only_system,
+)
+from repro.circuit.sources import step
+from repro.circuit.transient import transient_analysis
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import shielded_bus
+from repro.peec.builder import attach_bus_testbench
+
+
+@pytest.fixture(scope="module")
+def dense_shields():
+    system, signals, shields = shielded_bus(6, shields_every=1)
+    return extract(system), signals, shields
+
+
+@pytest.fixture(scope="module")
+def sparse_shields():
+    system, signals, shields = shielded_bus(6, shields_every=6)
+    return extract(system), signals, shields
+
+
+class TestShieldedBusGeometry:
+    def test_layout_counts(self):
+        system, signals, shields = shielded_bus(6, shields_every=2)
+        assert len(signals) == 6
+        assert len(shields) == 4  # edges + two interior
+        assert len(system) == 10
+
+    def test_every_signal_between_shields(self):
+        system, signals, shields = shielded_bus(4, shields_every=1)
+        ys = {w: system[system.wire_filaments(w)[0]].center[1] for w in range(len(system.wire_ids))}
+        for s in signals:
+            assert any(ys[g] < ys[s] for g in shields)
+            assert any(ys[g] > ys[s] for g in shields)
+
+    def test_shield_width_default(self):
+        system, signals, shields = shielded_bus(2, shields_every=1)
+        shield_f = system[system.wire_filaments(shields[0])[0]]
+        signal_f = system[system.wire_filaments(signals[0])[0]]
+        assert shield_f.width == pytest.approx(2 * signal_f.width)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shielded_bus(0, 1)
+        with pytest.raises(ValueError):
+            shielded_bus(4, 0)
+
+
+class TestExactReduction:
+    def test_spd(self, dense_shields):
+        parasitics, signals, shields = dense_shields
+        reduced = exact_shielded_inductance(parasitics, signals, shields)
+        assert np.all(np.linalg.eigvalsh(reduced) > 0)
+
+    def test_smaller_than_partial(self, dense_shields):
+        """Ideal returns always reduce the effective self inductance."""
+        parasitics, signals, shields = dense_shields
+        reduced = exact_shielded_inductance(parasitics, signals, shields)
+        system = parasitics.system
+        for row, wire in enumerate(signals):
+            partial = parasitics.inductance[
+                system.wire_filaments(wire)[0], system.wire_filaments(wire)[0]
+            ]
+            assert reduced[row, row] < partial
+
+    def test_dense_shields_kill_far_coupling(self, dense_shields):
+        parasitics, signals, shields = dense_shields
+        reduced = exact_shielded_inductance(parasitics, signals, shields)
+        near = abs(reduced[0, 1])
+        far = abs(reduced[0, 5])
+        assert far < 0.2 * near
+
+
+class TestReturnLimited:
+    def test_matches_exact_when_dense(self, dense_shields):
+        parasitics, signals, shields = dense_shields
+        exact = exact_shielded_inductance(parasitics, signals, shields)
+        approx, _ = return_limited_inductance(parasitics, signals, shields)
+        error = np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+        assert error < 0.25
+
+    def test_degrades_when_sparse(self, dense_shields, sparse_shields):
+        """The paper's claim: accuracy is lost with a sparse P/G grid."""
+
+        def relative_error(bundle):
+            parasitics, signals, shields = bundle
+            exact = exact_shielded_inductance(parasitics, signals, shields)
+            approx, _ = return_limited_inductance(parasitics, signals, shields)
+            return np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+
+        assert relative_error(sparse_shields) > 2.0 * relative_error(
+            dense_shields
+        )
+
+    def test_mask_reflects_shield_bays(self, sparse_shields):
+        parasitics, signals, shields = sparse_shields
+        _, mask = return_limited_inductance(parasitics, signals, shields)
+        # One big bay: every signal shares it.
+        assert np.all(mask)
+
+    def test_mask_blocks_cross_bay(self, dense_shields):
+        parasitics, signals, shields = dense_shields
+        _, mask = return_limited_inductance(parasitics, signals, shields)
+        assert not mask[0, 5]
+
+    def test_requires_shields(self, dense_shields):
+        parasitics, signals, _ = dense_shields
+        with pytest.raises(ValueError):
+            return_limited_inductance(parasitics, signals, [])
+
+
+class TestReducedModels:
+    def test_signal_only_system(self, dense_shields):
+        parasitics, signals, _ = dense_shields
+        reduced = signal_only_system(parasitics, signals)
+        assert len(reduced) == len(signals)
+        assert reduced.wire_ids == list(range(len(signals)))
+
+    def test_waveform_error_grows_with_sparse_shields(self):
+        def victim_error(shields_every):
+            system, signals, shields = shielded_bus(6, shields_every)
+            parasitics = extract(system)
+            exact = exact_shielded_inductance(parasitics, signals, shields)
+            approx, _ = return_limited_inductance(parasitics, signals, shields)
+            waves = []
+            for matrix, label in ((exact, "exact"), (approx, "rl")):
+                model = build_reduced_peec(parasitics, signals, matrix, label)
+                attach_bus_testbench(model.skeleton, step(1.0, 10e-12))
+                victim = model.skeleton.ports[1].far
+                waves.append(
+                    transient_analysis(
+                        model.circuit, 200e-12, 1e-12, probe_nodes=[victim]
+                    ).voltage(victim)
+                )
+            return float(np.max(np.abs(waves[0].v - waves[1].v)))
+
+        assert victim_error(6) > 1.5 * victim_error(1)

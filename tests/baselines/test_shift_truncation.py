@@ -1,0 +1,89 @@
+"""Tests for the shift-truncation baseline (Krauter-Pileggi, ref [9])."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.shift_truncation import (
+    build_shift_truncated_peec,
+    shift_truncated_inductance,
+)
+from repro.circuit.sources import step
+from repro.circuit.transient import transient_analysis
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.peec.builder import attach_bus_testbench
+from repro.peec.model import build_peec
+
+
+class TestMatrixProperties:
+    def test_positive_semidefinite(self, bus16):
+        """The selling point of [9]: stability is guaranteed."""
+        for r0 in (5e-6, 20e-6, 100e-6):
+            shifted = shift_truncated_inductance(bus16, r0)
+            eigenvalues = np.linalg.eigvalsh(shifted)
+            assert eigenvalues.min() > -1e-18 * abs(eigenvalues.max())
+
+    def test_sparsity_grows_as_shell_shrinks(self, bus16):
+        def kept(r0):
+            shifted = shift_truncated_inductance(bus16, r0)
+            return np.count_nonzero(shifted) - 16
+
+        assert kept(4e-6) < kept(20e-6) < kept(100e-6)
+
+    def test_shell_beyond_bus_keeps_all_pairs(self, bus5):
+        shifted = shift_truncated_inductance(bus5, 1e-3)
+        off = shifted[~np.eye(5, dtype=bool)]
+        assert np.count_nonzero(off) == 20
+
+    def test_diagonal_reduced_by_shell_mutual(self, bus5):
+        shifted = shift_truncated_inductance(bus5, 50e-6)
+        assert np.all(np.diag(shifted) < np.diag(bus5.inductance))
+
+    def test_shell_inside_conductor_rejected(self, bus5):
+        # A shell tighter than the conductor's own GMD would shift the
+        # diagonal negative (the shell mutual exceeds the self
+        # inductance) -- nonphysical, so it must raise.
+        with pytest.raises(ValueError):
+            shift_truncated_inductance(bus5, 0.3e-6)
+
+    def test_nonpositive_radius_rejected(self, bus5):
+        with pytest.raises(ValueError):
+            shift_truncated_inductance(bus5, 0.0)
+
+
+class TestAccuracyBehavior:
+    def test_simulates_stably(self, fresh_bus5):
+        model = build_shift_truncated_peec(fresh_bus5, 30e-6)
+        attach_bus_testbench(model.skeleton, step(1.0, rise_time=10e-12))
+        victim = model.skeleton.ports[1].far
+        result = transient_analysis(
+            model.circuit, 200e-12, 1e-12, probe_nodes=[victim]
+        )
+        assert result.voltage(victim).peak < 1.0  # bounded, no blow-up
+
+    def test_accuracy_depends_strongly_on_radius(self):
+        """The paper's criticism: r0 is hard to choose.
+
+        Sweeping the shell radius swings the victim noise peak by tens
+        of percent -- there is no safe default, unlike the VPEC
+        truncations whose error shrinks monotonically as more coupling
+        is kept.
+        """
+        reference_model = build_peec(extract(aligned_bus(8)))
+        attach_bus_testbench(reference_model.skeleton, step(1.0, 10e-12))
+        victim = reference_model.skeleton.ports[1].far
+        reference = transient_analysis(
+            reference_model.circuit, 200e-12, 1e-12, probe_nodes=[victim]
+        ).voltage(victim)
+
+        errors = []
+        for r0 in (6e-6, 12e-6, 24e-6, 48e-6):
+            model = build_shift_truncated_peec(extract(aligned_bus(8)), r0)
+            attach_bus_testbench(model.skeleton, step(1.0, 10e-12))
+            node = model.skeleton.ports[1].far
+            wave = transient_analysis(
+                model.circuit, 200e-12, 1e-12, probe_nodes=[node]
+            ).voltage(node)
+            errors.append(abs(wave.peak - reference.peak) / reference.peak)
+        assert max(errors) > 0.15  # some radii are badly wrong
+        assert min(errors) < max(errors) / 2  # ... and some much better

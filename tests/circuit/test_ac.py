@@ -1,0 +1,96 @@
+"""Unit tests for AC analysis against analytic transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ac_analysis, logspace_frequencies
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import ac_unit, dc
+
+
+def rc_lowpass(r=1e3, c=1e-12):
+    circuit = Circuit()
+    circuit.add_voltage_source("in", "0", ac_unit(), name="V1")
+    circuit.add_resistor("in", "out", r)
+    circuit.add_capacitor("out", "0", c)
+    return circuit
+
+
+class TestFrequencyGrid:
+    def test_logspace_endpoints(self):
+        f = logspace_frequencies(1.0, 1e9, 10)
+        assert f[0] == pytest.approx(1.0)
+        assert f[-1] == pytest.approx(1e9)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            logspace_frequencies(10.0, 1.0)
+        with pytest.raises(ValueError):
+            logspace_frequencies(0.0, 1.0)
+
+
+class TestAcAnalysis:
+    def test_rc_lowpass_matches_analytic(self):
+        r, c = 1e3, 1e-12
+        freqs = logspace_frequencies(1e6, 1e12, 5)
+        result = ac_analysis(rc_lowpass(r, c), freqs, probe_nodes=["out"])
+        measured = result.voltage("out")
+        expected = 1.0 / (1.0 + 1j * 2 * np.pi * freqs * r * c)
+        assert np.allclose(measured, expected, rtol=1e-9)
+
+    def test_corner_frequency_minus_3db(self):
+        r, c = 1e3, 1e-12
+        f_c = 1.0 / (2 * np.pi * r * c)
+        result = ac_analysis(rc_lowpass(r, c), [f_c], probe_nodes=["out"])
+        assert abs(result.voltage("out")[0]) == pytest.approx(1 / np.sqrt(2), rel=1e-9)
+
+    def test_inductor_impedance(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("in", "0", ac_unit(), name="V1")
+        circuit.add_resistor("in", "out", 100.0)
+        circuit.add_inductor("out", "0", 1e-6, name="L1")
+        f = 100.0 / (2 * np.pi * 1e-6)  # |Z_L| = R at this frequency
+        result = ac_analysis(circuit, [f], probe_nodes=["out"])
+        assert abs(result.voltage("out")[0]) == pytest.approx(1 / np.sqrt(2), rel=1e-9)
+
+    def test_series_rlc_resonance_peak(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("in", "0", ac_unit(), name="V1")
+        circuit.add_resistor("in", "a", 1.0)
+        circuit.add_inductor("a", "b", 1e-6, name="L1")
+        circuit.add_capacitor("b", "0", 1e-12)
+        f0 = 1.0 / (2 * np.pi * np.sqrt(1e-6 * 1e-12))
+        q = np.sqrt(1e-6 / 1e-12) / 1.0
+        result = ac_analysis(circuit, [f0], probe_nodes=["b"])
+        assert abs(result.voltage("b")[0]) == pytest.approx(q, rel=1e-6)
+
+    def test_quiet_dc_source_has_no_ac_response(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("in", "0", dc(1.0), name="V1")
+        circuit.add_resistor("in", "out", 1e3)
+        circuit.add_resistor("out", "0", 1e3)
+        result = ac_analysis(circuit, [1e6], probe_nodes=["out"])
+        assert abs(result.voltage("out")[0]) == 0.0
+
+    def test_magnitude_db(self):
+        result = ac_analysis(rc_lowpass(), [1.0, 10.0], probe_nodes=["out"])
+        db = result.magnitude_db("out")
+        assert db.v[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            ac_analysis(rc_lowpass(), [])
+
+    def test_unprobed_node_raises(self):
+        result = ac_analysis(rc_lowpass(), [1e6], probe_nodes=["out"])
+        with pytest.raises(KeyError):
+            result.voltage("in")
+
+    def test_zero_frequency_matches_dc(self):
+        # At f = 0 the AC solve reduces to the conductance system.
+        circuit = Circuit()
+        circuit.add_voltage_source("in", "0", ac_unit(), name="V1")
+        circuit.add_resistor("in", "out", 1e3)
+        circuit.add_resistor("out", "0", 1e3)
+        result = ac_analysis(circuit, [0.0], probe_nodes=["out"])
+        assert result.voltage("out")[0] == pytest.approx(0.5 + 0j)

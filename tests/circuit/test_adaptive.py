@@ -1,0 +1,102 @@
+"""Unit tests for the adaptive-timestep transient engine."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.adaptive import adaptive_transient_analysis
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import dc, step
+from repro.circuit.transient import transient_analysis
+
+
+def rc_circuit(r=1e3, c=1e-12, v=1.0):
+    circuit = Circuit()
+    circuit.add_voltage_source("in", "0", dc(v), name="V1")
+    circuit.add_resistor("in", "out", r)
+    circuit.add_capacitor("out", "0", c)
+    return circuit
+
+
+def stepped_rc():
+    circuit = Circuit()
+    circuit.add_voltage_source("in", "0", step(1.0, rise_time=10e-12), name="V1")
+    circuit.add_resistor("in", "out", 1e3)
+    circuit.add_capacitor("out", "0", 1e-12)
+    return circuit
+
+
+class TestAccuracy:
+    def test_matches_analytic_rc(self):
+        result, stats = adaptive_transient_analysis(
+            rc_circuit(), 5e-9, dt_max=0.5e-9, rel_tol=1e-6, x0=np.zeros(3)
+        )
+        wave = result.voltage("out")
+        expected = 1.0 - np.exp(-wave.t / 1e-9)
+        assert np.max(np.abs(wave.v - expected)) < 1e-5
+        assert stats.accepted == len(wave) - 1
+
+    def test_matches_fixed_step(self):
+        circuit_a, circuit_b = stepped_rc(), stepped_rc()
+        fixed = transient_analysis(circuit_a, 3e-9, 1e-12)
+        adaptive, _ = adaptive_transient_analysis(
+            circuit_b, 3e-9, dt_max=0.2e-9, rel_tol=1e-6
+        )
+        fixed_wave = fixed.voltage("out")
+        adaptive_wave = adaptive.voltage("out")
+        resampled = adaptive_wave.at(fixed_wave.t)
+        # Bound includes the linear-interpolation error of the coarser
+        # adaptive grid against the 1 ps uniform one during the ramp.
+        assert np.max(np.abs(resampled - fixed_wave.v)) < 5e-4
+
+    def test_tightening_tolerance_reduces_error(self):
+        def max_error(rel_tol):
+            result, _ = adaptive_transient_analysis(
+                rc_circuit(), 5e-9, dt_max=1e-9, rel_tol=rel_tol, x0=np.zeros(3)
+            )
+            wave = result.voltage("out")
+            return np.max(np.abs(wave.v - (1.0 - np.exp(-wave.t / 1e-9))))
+
+        assert max_error(1e-7) < max_error(1e-3)
+
+
+class TestStepControl:
+    def test_refines_at_the_step_edge(self):
+        _, stats = adaptive_transient_analysis(
+            stepped_rc(), 3e-9, dt_max=0.5e-9, rel_tol=1e-5
+        )
+        # The 10 ps ramp forces small steps; the flat tail grows them.
+        assert stats.min_dt_used < 0.5e-9 / 8
+        assert stats.max_dt_used > 8 * stats.min_dt_used
+
+    def test_fewer_samples_than_uniform_fine_grid(self):
+        result, _ = adaptive_transient_analysis(
+            stepped_rc(), 3e-9, dt_max=0.5e-9, rel_tol=1e-4
+        )
+        uniform_fine = 3e-9 / 1e-12
+        assert len(result.times) < uniform_fine / 10
+
+    def test_times_strictly_increasing_to_t_stop(self):
+        result, _ = adaptive_transient_analysis(stepped_rc(), 2e-9, dt_max=0.3e-9)
+        assert np.all(np.diff(result.times) > 0)
+        assert result.times[-1] == pytest.approx(2e-9, rel=1e-9)
+
+    def test_stats_accounting(self):
+        result, stats = adaptive_transient_analysis(
+            stepped_rc(), 1e-9, dt_max=0.2e-9
+        )
+        assert stats.accepted == len(result.times) - 1
+        assert stats.rejected >= 0
+
+
+class TestValidation:
+    def test_bad_times(self):
+        with pytest.raises(ValueError):
+            adaptive_transient_analysis(rc_circuit(), 0.0, 1e-12)
+        with pytest.raises(ValueError):
+            adaptive_transient_analysis(rc_circuit(), 1e-9, -1e-12)
+        with pytest.raises(ValueError):
+            adaptive_transient_analysis(rc_circuit(), 1e-9, 1e-12, dt_min=1e-11)
+
+    def test_wrong_x0(self):
+        with pytest.raises(ValueError):
+            adaptive_transient_analysis(rc_circuit(), 1e-9, 1e-12, x0=np.zeros(2))

@@ -1,0 +1,71 @@
+"""Unit tests for DC operating-point analysis."""
+
+import pytest
+
+from repro.circuit.dc import dc_operating_point
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import dc
+
+
+class TestDcAnalysis:
+    def test_voltage_divider(self):
+        c = Circuit()
+        c.add_voltage_source("in", "0", dc(10.0), name="V1")
+        c.add_resistor("in", "mid", 3e3)
+        c.add_resistor("mid", "0", 1e3)
+        sol = dc_operating_point(c)
+        assert sol.voltage("mid") == pytest.approx(2.5)
+        assert sol.current("V1") == pytest.approx(-10.0 / 4e3)
+
+    def test_inductor_is_dc_short(self):
+        c = Circuit()
+        c.add_voltage_source("in", "0", dc(1.0), name="V1")
+        c.add_resistor("in", "a", 1e3)
+        c.add_inductor("a", "b", 1e-9, name="L1")
+        c.add_resistor("b", "0", 1e3)
+        sol = dc_operating_point(c)
+        assert sol.voltage("a") == pytest.approx(sol.voltage("b"))
+        assert sol.current("L1") == pytest.approx(0.5e-3)
+
+    def test_capacitor_is_dc_open(self):
+        c = Circuit()
+        c.add_voltage_source("in", "0", dc(1.0), name="V1")
+        c.add_resistor("in", "a", 1e3)
+        c.add_capacitor("a", "0", 1e-12)
+        # No DC path through the cap: node sits at the source value.
+        sol = dc_operating_point(c)
+        assert sol.voltage("a") == pytest.approx(1.0)
+
+    def test_current_source_through_resistor(self):
+        c = Circuit()
+        c.add_current_source("0", "a", dc(2e-3), name="I1")
+        c.add_resistor("a", "0", 500.0)
+        sol = dc_operating_point(c)
+        assert sol.voltage("a") == pytest.approx(1.0)
+
+    def test_vcvs_amplifier(self):
+        c = Circuit()
+        c.add_voltage_source("in", "0", dc(0.25), name="V1")
+        c.add_resistor("in", "0", 1e3)
+        c.add_vcvs("out", "0", "in", "0", 4.0, name="E1")
+        c.add_resistor("out", "0", 1e3)
+        sol = dc_operating_point(c)
+        assert sol.voltage("out") == pytest.approx(1.0)
+
+    def test_superposition(self):
+        def network(v1, v2):
+            c = Circuit()
+            c.add_voltage_source("a", "0", dc(v1), name="V1")
+            c.add_voltage_source("b", "0", dc(v2), name="V2")
+            c.add_resistor("a", "m", 1e3)
+            c.add_resistor("b", "m", 1e3)
+            c.add_resistor("m", "0", 1e3)
+            return dc_operating_point(c).voltage("m")
+
+        assert network(1.0, 1.0) == pytest.approx(network(1.0, 0.0) + network(0.0, 1.0))
+
+    def test_ground_voltage(self):
+        c = Circuit()
+        c.add_voltage_source("a", "0", dc(1.0), name="V1")
+        c.add_resistor("a", "0", 1.0)
+        assert dc_operating_point(c).voltage("0") == 0.0

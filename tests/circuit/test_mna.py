@@ -1,0 +1,164 @@
+"""Unit tests for MNA stamping: matrices compared against hand stamps."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.mna import build_mna
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import ac_unit, dc
+
+
+class TestResistorStamp:
+    def test_two_node_resistor(self):
+        c = Circuit()
+        c.add_resistor("a", "b", 2.0)
+        system = build_mna(c)
+        expected = np.array([[0.5, -0.5], [-0.5, 0.5]])
+        assert np.allclose(system.G.toarray(), expected)
+
+    def test_grounded_resistor_drops_ground_row(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 4.0)
+        system = build_mna(c)
+        assert np.allclose(system.G.toarray(), [[0.25]])
+
+    def test_parallel_resistors_add(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 2.0)
+        c.add_resistor("a", "0", 2.0)
+        system = build_mna(c)
+        assert np.allclose(system.G.toarray(), [[1.0]])
+
+
+class TestCapacitorStamp:
+    def test_c_matrix_only(self):
+        c = Circuit()
+        c.add_capacitor("a", "b", 3e-12)
+        system = build_mna(c)
+        assert np.allclose(system.G.toarray(), np.zeros((2, 2)))
+        expected = 3e-12 * np.array([[1, -1], [-1, 1]])
+        assert np.allclose(system.C.toarray(), expected)
+
+
+class TestInductorStamp:
+    def test_branch_rows(self):
+        c = Circuit()
+        c.add_inductor("a", "0", 2e-9, name="L1")
+        system = build_mna(c)
+        assert system.size == 2
+        g = system.G.toarray()
+        # KCL: +i at node a; branch: v_a = L di/dt.
+        assert g[0, 1] == 1.0
+        assert g[1, 0] == 1.0
+        assert system.C.toarray()[1, 1] == pytest.approx(-2e-9)
+
+    def test_mutual_stamps_branch_cross_terms(self):
+        c = Circuit()
+        c.add_inductor("a", "0", 2e-9, name="L1")
+        c.add_inductor("b", "0", 8e-9, name="L2")
+        c.add_mutual("L1", "L2", 1e-9)
+        system = build_mna(c)
+        row1 = system.branch_row("L1")
+        row2 = system.branch_row("L2")
+        c_mat = system.C.toarray()
+        assert c_mat[row1, row2] == pytest.approx(-1e-9)
+        assert c_mat[row2, row1] == pytest.approx(-1e-9)
+
+
+class TestSourceStamps:
+    def test_voltage_source_row(self):
+        c = Circuit()
+        c.add_voltage_source("a", "0", dc(5.0), name="V1")
+        c.add_resistor("a", "0", 1.0)
+        system = build_mna(c)
+        b = system.rhs_dc()
+        assert b[system.branch_row("V1")] == 5.0
+
+    def test_current_source_injection(self):
+        c = Circuit()
+        c.add_current_source("0", "a", dc(1e-3), name="I1")
+        c.add_resistor("a", "0", 1.0)
+        system = build_mna(c)
+        b = system.rhs_dc()
+        assert b[system.node_row("a")] == pytest.approx(1e-3)
+
+    def test_ac_rhs_uses_phasors(self):
+        c = Circuit()
+        c.add_voltage_source("a", "0", ac_unit(2.0, 0.0), name="V1")
+        c.add_resistor("a", "0", 1.0)
+        system = build_mna(c)
+        b = system.rhs_ac()
+        assert b[system.branch_row("V1")] == pytest.approx(2.0 + 0j)
+
+    def test_transient_rhs_tracks_time(self):
+        from repro.circuit.sources import step
+
+        c = Circuit()
+        c.add_voltage_source("a", "0", step(1.0, rise_time=10e-12), name="V1")
+        c.add_resistor("a", "0", 1.0)
+        system = build_mna(c)
+        row = system.branch_row("V1")
+        assert system.rhs_transient(0.0)[row] == 0.0
+        assert system.rhs_transient(5e-12)[row] == pytest.approx(0.5)
+
+
+class TestControlledSourceStamps:
+    def test_vccs_stamp(self):
+        c = Circuit()
+        c.add_vccs("out", "0", "in", "0", 0.1)
+        c.add_resistor("in", "0", 1.0)
+        c.add_resistor("out", "0", 1.0)
+        system = build_mna(c)
+        g = system.G.toarray()
+        n_out = system.node_row("out")
+        n_in = system.node_row("in")
+        assert g[n_out, n_in] == pytest.approx(0.1)
+
+    def test_vcvs_gets_branch(self):
+        c = Circuit()
+        c.add_vcvs("out", "0", "in", "0", 2.0, name="E1")
+        c.add_resistor("in", "0", 1.0)
+        system = build_mna(c)
+        row = system.branch_row("E1")
+        g = system.G.toarray()
+        assert g[row, system.node_row("out")] == 1.0
+        assert g[row, system.node_row("in")] == pytest.approx(-2.0)
+
+    def test_cccs_references_control_branch(self):
+        c = Circuit()
+        c.add_voltage_source("in", "0", dc(1.0), name="Vs")
+        c.add_resistor("in", "0", 1.0)
+        c.add_cccs("0", "out", "Vs", 3.0)
+        c.add_resistor("out", "0", 1.0)
+        system = build_mna(c)
+        g = system.G.toarray()
+        assert g[system.node_row("out"), system.branch_row("Vs")] == pytest.approx(
+            -3.0
+        )
+
+    def test_ccvs_row(self):
+        c = Circuit()
+        c.add_voltage_source("in", "0", dc(1.0), name="Vs")
+        c.add_resistor("in", "0", 1.0)
+        c.add_ccvs("out", "0", "Vs", 10.0, name="H1")
+        c.add_resistor("out", "0", 1.0)
+        system = build_mna(c)
+        g = system.G.toarray()
+        row = system.branch_row("H1")
+        assert g[row, system.branch_row("Vs")] == pytest.approx(-10.0)
+
+
+class TestLookups:
+    def test_branch_row_unknown(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0, name="R1")
+        system = build_mna(c)
+        with pytest.raises(KeyError):
+            system.branch_row("R1")
+
+    def test_voltage_of_ground_is_zero(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0)
+        system = build_mna(c)
+        assert system.voltage_of(np.array([3.0]), "0") == 0.0
+        assert system.voltage_of(np.array([3.0]), "a") == 3.0

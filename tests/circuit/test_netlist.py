@@ -1,0 +1,128 @@
+"""Unit tests for the Circuit container and element validation."""
+
+import pytest
+
+from repro.circuit.elements import Capacitor, Inductor, Resistor
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import dc
+
+
+class TestNodes:
+    def test_ground_always_known(self):
+        assert Circuit().node_index("0") == -1
+
+    def test_lazy_creation_in_order(self):
+        c = Circuit()
+        c.add_resistor("a", "b", 1.0)
+        c.add_resistor("b", "c", 1.0)
+        assert c.nodes == ["a", "b", "c"]
+        assert [c.node_index(n) for n in c.nodes] == [0, 1, 2]
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            Circuit().node_index("nope")
+
+    def test_num_nodes_excludes_ground(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0)
+        assert c.num_nodes == 1
+
+
+class TestElementManagement:
+    def test_duplicate_name_rejected(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0, name="R1")
+        with pytest.raises(ValueError):
+            c.add_resistor("a", "0", 2.0, name="R1")
+
+    def test_auto_names_unique(self):
+        c = Circuit()
+        r1 = c.add_resistor("a", "0", 1.0)
+        r2 = c.add_resistor("a", "0", 2.0)
+        assert r1.name != r2.name
+
+    def test_element_lookup(self):
+        c = Circuit()
+        c.add_capacitor("a", "0", 1e-12, name="Cx")
+        assert isinstance(c.element("Cx"), Capacitor)
+        with pytest.raises(KeyError):
+            c.element("missing")
+
+    def test_elements_of_type(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0)
+        c.add_capacitor("a", "0", 1e-12)
+        c.add_resistor("a", "b", 2.0)
+        assert len(c.elements_of_type(Resistor)) == 2
+
+    def test_element_counts(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0)
+        c.add_inductor("a", "b", 1e-9)
+        c.add_inductor("b", "0", 1e-9)
+        assert c.element_counts() == {"Resistor": 1, "Inductor": 2}
+
+    def test_contains(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0, name="Rz")
+        assert "Rz" in c
+        assert "Rq" not in c
+
+
+class TestElementValidation:
+    def test_zero_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit().add_resistor("a", "0", 0.0)
+
+    def test_negative_resistance_allowed(self):
+        # Windowed VPEC networks may legitimately stamp negative couplings.
+        Circuit().add_resistor("a", "0", -10.0)
+
+    def test_nonpositive_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit().add_capacitor("a", "0", -1e-15)
+
+    def test_nonpositive_inductance_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit().add_inductor("a", "0", 0.0)
+
+    def test_mutual_requires_existing_inductors(self):
+        c = Circuit()
+        c.add_inductor("a", "0", 1e-9, name="L1")
+        with pytest.raises(ValueError):
+            c.add_mutual("L1", "L2", 0.5e-9)
+
+    def test_mutual_rejects_self_coupling(self):
+        c = Circuit()
+        c.add_inductor("a", "0", 1e-9, name="L1")
+        with pytest.raises(ValueError):
+            c.add_mutual("L1", "L1", 0.5e-9)
+
+    def test_mutual_rejects_non_inductor_target(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0, name="R1")
+        c.add_inductor("a", "0", 1e-9, name="L1")
+        with pytest.raises(ValueError):
+            c.add_mutual("L1", "R1", 0.5e-9)
+
+    def test_cccs_requires_voltage_source_control(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0, name="R1")
+        with pytest.raises(ValueError):
+            c.add_cccs("a", "0", "R1", 2.0)
+
+    def test_ccvs_requires_voltage_source_control(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.add_ccvs("a", "0", "Vmissing", 2.0)
+
+    def test_valid_cccs(self):
+        c = Circuit()
+        c.add_voltage_source("in", "0", dc(1.0), name="Vin")
+        c.add_cccs("a", "0", "Vin", 2.0)
+        assert "F1" in c
+
+    def test_stats(self):
+        c = Circuit()
+        c.add_resistor("a", "b", 1.0)
+        assert c.stats() == (2, 1)

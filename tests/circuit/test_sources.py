@@ -1,0 +1,87 @@
+"""Unit tests for source stimuli."""
+
+import cmath
+
+import pytest
+
+from repro.circuit.sources import Stimulus, ac_unit, dc, pulse, step
+
+
+class TestDc:
+    def test_constant_everywhere(self):
+        s = dc(2.5)
+        assert s.at(0.0) == 2.5
+        assert s.at(1e-9) == 2.5
+        assert s.dc == 2.5
+
+    def test_quiet_in_ac(self):
+        assert dc(5.0).ac == 0.0
+
+
+class TestAcUnit:
+    def test_magnitude_and_phase(self):
+        s = ac_unit(2.0, 90.0)
+        assert abs(s.ac) == pytest.approx(2.0)
+        assert cmath.phase(s.ac) == pytest.approx(cmath.pi / 2)
+
+    def test_quiet_in_transient(self):
+        s = ac_unit()
+        assert s.at(0.0) == 0.0
+        assert s.at(1e-9) == 0.0
+
+
+class TestStep:
+    def test_paper_step_profile(self):
+        s = step(1.0, rise_time=10e-12)
+        assert s.at(0.0) == 0.0
+        assert s.at(5e-12) == pytest.approx(0.5)
+        assert s.at(10e-12) == pytest.approx(1.0)
+        assert s.at(1e-9) == 1.0
+
+    def test_delay_shifts_ramp(self):
+        s = step(1.0, rise_time=10e-12, delay=20e-12)
+        assert s.at(20e-12) == 0.0
+        assert s.at(25e-12) == pytest.approx(0.5)
+
+    def test_falling_step(self):
+        s = step(0.0, rise_time=10e-12, v_initial=1.0)
+        assert s.at(0.0) == 1.0
+        assert s.at(10e-12) == pytest.approx(0.0)
+        assert s.ac == pytest.approx(-1.0)
+
+    def test_rejects_zero_rise(self):
+        with pytest.raises(ValueError):
+            step(1.0, rise_time=0.0)
+
+    def test_ac_view_scales_with_swing(self):
+        assert step(3.0, rise_time=1e-12).ac == pytest.approx(3.0)
+
+
+class TestPulse:
+    def test_profile(self):
+        s = pulse(0.0, 1.0, delay=0.0, rise_time=10e-12, fall_time=10e-12, width=100e-12)
+        assert s.at(0.0) == 0.0
+        assert s.at(5e-12) == pytest.approx(0.5)
+        assert s.at(50e-12) == 1.0
+        assert s.at(115e-12) == pytest.approx(0.5)
+        assert s.at(200e-12) == 0.0
+
+    def test_periodic_repeats(self):
+        s = pulse(0.0, 1.0, rise_time=10e-12, fall_time=10e-12, width=80e-12, period=200e-12)
+        assert s.at(250e-12) == pytest.approx(s.at(50e-12))
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            pulse(rise_time=0.0)
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            pulse(width=-1e-12)
+
+
+class TestStimulus:
+    def test_default_holds_dc(self):
+        assert Stimulus(dc=0.7).at(5.0) == 0.7
+
+    def test_repr_mentions_label(self):
+        assert "PWL" in repr(step(1.0, rise_time=1e-12))

@@ -1,0 +1,210 @@
+"""Unit tests for the SPICE netlist parser (and writer round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ac_analysis
+from repro.circuit.dc import dc_operating_point
+from repro.circuit.elements import (
+    CCCS,
+    Capacitor,
+    Inductor,
+    MutualInductance,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import ac_unit, dc, step
+from repro.circuit.spice_parser import SpiceParseError, parse_spice, parse_value
+from repro.circuit.spice_writer import write_spice
+from repro.circuit.transient import transient_analysis
+
+
+class TestValueParsing:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("10", 10.0),
+            ("1.5k", 1.5e3),
+            ("10p", 1e-11),
+            ("3meg", 3e6),
+            ("2n", 2e-9),
+            ("4.7u", 4.7e-6),
+            ("100f", 1e-13),
+            ("1e-12", 1e-12),
+            ("-3.3", -3.3),
+            ("2.2K", 2.2e3),
+            ("1pF", 1e-12),  # trailing unit letters ignored, as in SPICE
+        ],
+    )
+    def test_values(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_value("abc")
+        with pytest.raises(ValueError):
+            parse_value("")
+
+
+class TestBasicCards:
+    def test_rc_parse(self):
+        parsed = parse_spice(
+            "* test\nV1 in 0 DC 1\nR1 in out 1k\nC1 out 0 1p\n.end\n"
+        )
+        circuit = parsed.circuit
+        assert circuit.title == "test"
+        assert isinstance(circuit.element("R1"), Resistor)
+        assert circuit.element("R1").value == pytest.approx(1e3)
+        assert isinstance(circuit.element("C1"), Capacitor)
+        assert isinstance(circuit.element("V1"), VoltageSource)
+
+    def test_mutual_converted_to_henries(self):
+        parsed = parse_spice(
+            "* k\nL1 a 0 1n\nL2 b 0 4n\nK1 L1 L2 0.5\n.end\n"
+        )
+        mutual = parsed.circuit.element("K1")
+        assert isinstance(mutual, MutualInductance)
+        assert mutual.value == pytest.approx(0.5 * np.sqrt(1e-9 * 4e-9))
+
+    def test_k_card_before_inductors(self):
+        # SPICE allows any card order; the parser defers couplings.
+        parsed = parse_spice(
+            "* k\nK1 L1 L2 0.5\nL1 a 0 1n\nL2 b 0 4n\n.end\n"
+        )
+        assert "K1" in parsed.circuit
+
+    def test_controlled_sources(self):
+        parsed = parse_spice(
+            "* ctl\n"
+            "V1 in 0 DC 1\n"
+            "R1 in 0 1k\n"
+            "E1 a 0 in 0 2.0\n"
+            "G1 b 0 in 0 0.5\n"
+            "F1 c 0 V1 1.5\n"
+            "H1 d 0 V1 10\n"
+            "R2 a 0 1\nR3 b 0 1\nR4 c 0 1\nR5 d 0 1\n"
+            ".end\n"
+        )
+        assert isinstance(parsed.circuit.element("F1"), CCCS)
+        assert parsed.circuit.element("E1").gain == 2.0
+
+    def test_continuation_lines(self):
+        parsed = parse_spice("* c\nR1 a\n+ 0\n+ 2k\n.end\n")
+        assert parsed.circuit.element("R1").value == pytest.approx(2e3)
+
+    def test_comments_and_blanks_skipped(self):
+        parsed = parse_spice("* t\n\n* a comment\nR1 a 0 1\n.end\n")
+        assert len(parsed.circuit) == 1
+
+    def test_dot_cards_warn(self):
+        parsed = parse_spice("* t\nR1 a 0 1\n.tran 1p 1n\n.end\n")
+        assert any(".tran" in w for w in parsed.warnings)
+
+
+class TestSourceSpecs:
+    def test_bare_dc_number(self):
+        parsed = parse_spice("* t\nV1 a 0 2.5\nR1 a 0 1\n.end\n")
+        assert parsed.circuit.element("V1").stimulus.dc == 2.5
+
+    def test_ac_with_phase(self):
+        parsed = parse_spice("* t\nV1 a 0 AC 2 90\nR1 a 0 1\n.end\n")
+        phasor = parsed.circuit.element("V1").stimulus.ac
+        assert abs(phasor) == pytest.approx(2.0)
+        assert phasor.real == pytest.approx(0.0, abs=1e-12)
+
+    def test_pwl(self):
+        parsed = parse_spice(
+            "* t\nV1 a 0 PWL(0 0 1e-11 1)\nR1 a 0 1\n.end\n"
+        )
+        stim = parsed.circuit.element("V1").stimulus
+        assert stim.at(0.0) == 0.0
+        assert stim.at(5e-12) == pytest.approx(0.5)
+        assert stim.at(1e-9) == 1.0
+
+    def test_pulse(self):
+        parsed = parse_spice(
+            "* t\nV1 a 0 PULSE(0 1 0 1e-11 1e-11 5e-10)\nR1 a 0 1\n.end\n"
+        )
+        stim = parsed.circuit.element("V1").stimulus
+        assert stim.at(1e-10) == 1.0
+
+    def test_malformed_pwl_raises(self):
+        with pytest.raises(SpiceParseError):
+            parse_spice("* t\nV1 a 0 PWL(0 0 0 1)\nR1 a 0 1\n.end\n")
+
+
+class TestErrors:
+    def test_missing_field(self):
+        with pytest.raises(SpiceParseError):
+            parse_spice("* t\nR1 a 0\n.end\n")
+
+    def test_unknown_kind(self):
+        with pytest.raises(SpiceParseError):
+            parse_spice("* t\nQ1 a b c model\n.end\n")
+
+    def test_bad_mutual_reference(self):
+        with pytest.raises(SpiceParseError):
+            parse_spice("* t\nK1 L1 L2 0.5\n.end\n")
+
+    def test_error_carries_location(self):
+        with pytest.raises(SpiceParseError) as info:
+            parse_spice("* t\nR1 a 0 1\nR2 b 0 oops\n.end\n")
+        assert info.value.line_number == 3
+
+
+class TestRoundTrip:
+    def build_reference(self) -> Circuit:
+        circuit = Circuit("roundtrip")
+        circuit.add_voltage_source("in", "0", step(1.0, rise_time=10e-12), name="V1")
+        circuit.add_resistor("in", "a", 50.0, name="R1")
+        circuit.add_inductor("a", "b", 1e-9, name="L1")
+        circuit.add_inductor("c", "0", 2e-9, name="L2")
+        circuit.add_mutual("L1", "L2", 0.4e-9, name="K1")
+        circuit.add_capacitor("b", "0", 1e-12, name="C1")
+        circuit.add_resistor("c", "0", 75.0, name="R2")
+        circuit.add_vcvs("d", "0", "b", "0", 2.0, name="E1")
+        circuit.add_resistor("d", "0", 1e3, name="R3")
+        return circuit
+
+    def test_write_parse_write_stable(self):
+        original = self.build_reference()
+        text = write_spice(original)
+        reparsed = parse_spice(text).circuit
+        assert write_spice(reparsed) == text
+
+    def test_simulation_equivalence_after_round_trip(self):
+        original = self.build_reference()
+        reparsed = parse_spice(write_spice(original)).circuit
+        r1 = transient_analysis(original, 2e-9, 1e-12, probe_nodes=["b"])
+        r2 = transient_analysis(reparsed, 2e-9, 1e-12, probe_nodes=["b"])
+        assert np.allclose(r1.voltage("b").v, r2.voltage("b").v, atol=1e-12)
+
+    def test_dc_equivalence_after_round_trip(self):
+        circuit = Circuit("dc")
+        circuit.add_voltage_source("in", "0", dc(2.0), name="V1")
+        circuit.add_resistor("in", "m", 1e3, name="R1")
+        circuit.add_resistor("m", "0", 1e3, name="R2")
+        reparsed = parse_spice(write_spice(circuit)).circuit
+        assert dc_operating_point(reparsed).voltage("m") == pytest.approx(1.0)
+
+    def test_ac_equivalence_after_round_trip(self):
+        circuit = Circuit("ac")
+        circuit.add_voltage_source("in", "0", ac_unit(1.0), name="V1")
+        circuit.add_resistor("in", "out", 1e3, name="R1")
+        circuit.add_capacitor("out", "0", 1e-12, name="C1")
+        reparsed = parse_spice(write_spice(circuit)).circuit
+        f = [1e8, 1e9]
+        v1 = ac_analysis(circuit, f, probe_nodes=["out"]).voltage("out")
+        v2 = ac_analysis(reparsed, f, probe_nodes=["out"]).voltage("out")
+        assert np.allclose(v1, v2)
+
+    def test_peec_model_round_trips(self, fresh_bus5):
+        from repro.peec import build_peec
+
+        model = build_peec(fresh_bus5)
+        text = write_spice(model.circuit)
+        reparsed = parse_spice(text).circuit
+        # Mutual coefficients are re-quantized through text; compare the
+        # netlists at the emitted precision.
+        assert write_spice(reparsed) == text

@@ -1,0 +1,65 @@
+"""Unit tests for the SPICE netlist writer."""
+
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import dc, step
+from repro.circuit.spice_writer import netlist_size_bytes, write_spice
+
+
+def full_zoo() -> Circuit:
+    c = Circuit("zoo")
+    c.add_voltage_source("in", "0", step(1.0, rise_time=10e-12), name="V1")
+    c.add_resistor("in", "a", 50.0, name="R1")
+    c.add_capacitor("a", "0", 1e-12, name="C1")
+    c.add_inductor("a", "b", 1e-9, name="L1")
+    c.add_inductor("b", "0", 4e-9, name="L2")
+    c.add_mutual("L1", "L2", 1e-9, name="K1")
+    c.add_current_source("0", "b", dc(1e-3), name="I1")
+    c.add_vcvs("c", "0", "a", "0", 2.0, name="E1")
+    c.add_vccs("c", "0", "b", "0", 0.1, name="G1")
+    c.add_cccs("0", "c", "V1", 1.5, name="F1")
+    c.add_ccvs("d", "0", "V1", 10.0, name="H1")
+    c.add_resistor("c", "0", 1.0, name="R2")
+    c.add_resistor("d", "0", 1.0, name="R3")
+    return c
+
+
+class TestWriter:
+    def test_title_and_end(self):
+        text = write_spice(full_zoo())
+        assert text.startswith("* zoo\n")
+        assert text.rstrip().endswith(".end")
+
+    def test_every_element_emitted(self):
+        text = write_spice(full_zoo())
+        for name in ("V1", "R1", "C1", "L1", "L2", "K1", "I1", "E1", "G1", "F1", "H1"):
+            assert any(line.split()[0] == name for line in text.splitlines()[1:-1])
+
+    def test_mutual_emitted_as_coefficient(self):
+        text = write_spice(full_zoo())
+        k_line = next(l for l in text.splitlines() if l.startswith("K1"))
+        coeff = float(k_line.split()[-1])
+        assert coeff == pytest.approx(1e-9 / (1e-9 * 4e-9) ** 0.5, rel=1e-4)
+
+    def test_coefficient_clamped(self):
+        c = Circuit()
+        c.add_inductor("a", "0", 1e-9, name="L1")
+        c.add_inductor("b", "0", 1e-9, name="L2")
+        c.add_mutual("L1", "L2", 1.0000001e-9, name="K1")
+        text = write_spice(c)
+        coeff = float(next(l for l in text.splitlines() if l.startswith("K1")).split()[-1])
+        assert abs(coeff) < 1.0
+
+    def test_source_labels_used(self):
+        text = write_spice(full_zoo())
+        assert "PWL(" in text
+
+    def test_size_metric_positive_and_consistent(self):
+        c = full_zoo()
+        assert netlist_size_bytes(c) == len(write_spice(c).encode("ascii"))
+
+    def test_bigger_circuit_bigger_netlist(self):
+        small = Circuit()
+        small.add_resistor("a", "0", 1.0)
+        assert netlist_size_bytes(full_zoo()) > netlist_size_bytes(small)

@@ -1,0 +1,78 @@
+"""Unit tests for waveform containers."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.waveform import ACResult, TransientResult, Waveform
+
+
+class TestWaveform:
+    def test_requires_matching_shapes(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0]), np.array([1.0]))
+
+    def test_requires_monotonic_time(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 0.0]), np.array([1.0, 2.0]))
+
+    def test_interpolation(self):
+        w = Waveform(np.array([0.0, 1.0]), np.array([0.0, 2.0]))
+        assert w.at(np.array([0.5]))[0] == pytest.approx(1.0)
+
+    def test_resampled_like(self):
+        coarse = Waveform(np.array([0.0, 2.0]), np.array([0.0, 2.0]))
+        fine = Waveform(np.linspace(0, 2, 5), np.zeros(5))
+        resampled = coarse.resampled_like(fine)
+        assert np.allclose(resampled.v, fine.t)
+
+    def test_peak_uses_absolute_value(self):
+        w = Waveform(np.array([0.0, 1.0, 2.0]), np.array([0.1, -0.5, 0.2]))
+        assert w.peak == pytest.approx(0.5)
+
+    def test_len(self):
+        assert len(Waveform(np.array([0.0, 1.0]), np.array([0.0, 0.0]))) == 2
+
+
+class TestTransientResult:
+    def test_voltage_lookup(self):
+        result = TransientResult(
+            times=np.array([0.0, 1.0]),
+            node_voltages={"a": np.array([1.0, 2.0])},
+        )
+        assert result.voltage("a").v[-1] == 2.0
+
+    def test_ground_is_zero(self):
+        result = TransientResult(times=np.array([0.0, 1.0]))
+        assert np.all(result.voltage("0").v == 0.0)
+
+    def test_missing_probe_raises(self):
+        result = TransientResult(times=np.array([0.0, 1.0]))
+        with pytest.raises(KeyError):
+            result.voltage("nope")
+        with pytest.raises(KeyError):
+            result.current("nope")
+
+
+class TestACResult:
+    def test_magnitude(self):
+        result = ACResult(
+            frequencies=np.array([1.0, 10.0]),
+            node_voltages={"a": np.array([3 + 4j, 1 + 0j])},
+        )
+        assert result.magnitude("a").v[0] == pytest.approx(5.0)
+
+    def test_magnitude_db_floor(self):
+        result = ACResult(
+            frequencies=np.array([1.0, 2.0]),
+            node_voltages={"a": np.array([0.0, 1.0])},
+        )
+        db = result.magnitude_db("a")
+        assert np.isfinite(db.v).all()
+
+    def test_ground_zero(self):
+        result = ACResult(frequencies=np.array([1.0, 2.0]))
+        assert np.all(result.voltage("0") == 0.0)

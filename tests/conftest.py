@@ -1,0 +1,50 @@
+"""Shared fixtures: small extracted systems reused across test modules.
+
+Extraction of the small reference structures is deterministic, so the
+fixtures are session-scoped; tests must not mutate them (builders that
+attach testbenches get fresh copies via the factory fixtures).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extraction.parasitics import Parasitics, extract
+from repro.geometry.bus import aligned_bus, nonaligned_bus
+from repro.geometry.spiral import square_spiral
+
+
+@pytest.fixture(scope="session")
+def bus5() -> Parasitics:
+    """The paper's 5-bit aligned bus (Section II-C), extracted."""
+    return extract(aligned_bus(5))
+
+
+@pytest.fixture(scope="session")
+def bus8x2() -> Parasitics:
+    """A small multi-segment bus: 8 bits, 2 segments per line."""
+    return extract(aligned_bus(8, segments_per_line=2))
+
+
+@pytest.fixture(scope="session")
+def bus16() -> Parasitics:
+    """A 16-bit aligned bus, one segment per line."""
+    return extract(aligned_bus(16))
+
+
+@pytest.fixture(scope="session")
+def nonaligned16() -> Parasitics:
+    """A 16-bit nonaligned bus (numerical-truncation workload)."""
+    return extract(nonaligned_bus(16))
+
+
+@pytest.fixture(scope="session")
+def spiral_small() -> Parasitics:
+    """A small spiral (2 turns, 24 segments) for irregular-layout tests."""
+    return extract(square_spiral(turns=2, total_segments=24))
+
+
+@pytest.fixture()
+def fresh_bus5() -> Parasitics:
+    """Per-test extraction of the 5-bit bus (safe to mutate / attach)."""
+    return extract(aligned_bus(5))

@@ -1,0 +1,51 @@
+"""Section VI's delay criterion: sparsified VPEC within 3% of PEEC.
+
+"In all the simulation, the wVPEC model has a very small waveform
+difference (less than 3%) in terms of delay when compared to the PEEC
+model."  Verified on the aggressor's 50% crossing over a bus-size sweep.
+"""
+
+import pytest
+
+from repro.analysis.metrics import delay_difference
+from repro.circuit.sources import step
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.experiments.runner import (
+    build_model,
+    gw_spec,
+    nt_spec,
+    peec_spec,
+    run_bus_transient,
+)
+
+
+@pytest.mark.parametrize("bits", [8, 16, 32, 64])
+def test_gwvpec_delay_within_3_percent(bits):
+    parasitics = extract(aligned_bus(bits))
+    stimulus = step(1.0, rise_time=10e-12)
+    peec = run_bus_transient(
+        build_model(peec_spec(), parasitics), stimulus, 200e-12, 1e-12, [0]
+    )
+    gw = run_bus_transient(
+        build_model(gw_spec(8), parasitics), stimulus, 200e-12, 1e-12, [0]
+    )
+    error = delay_difference(
+        peec.waveforms["far0"], gw.waveforms["far0"], level=0.5
+    )
+    assert error < 0.03
+
+
+def test_ntvpec_delay_within_3_percent():
+    parasitics = extract(aligned_bus(32))
+    stimulus = step(1.0, rise_time=10e-12)
+    peec = run_bus_transient(
+        build_model(peec_spec(), parasitics), stimulus, 200e-12, 1e-12, [0]
+    )
+    nt = run_bus_transient(
+        build_model(nt_spec(1e-3), parasitics), stimulus, 200e-12, 1e-12, [0]
+    )
+    error = delay_difference(
+        peec.waveforms["far0"], nt.waveforms["far0"], level=0.5
+    )
+    assert error < 0.03

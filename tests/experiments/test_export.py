@@ -1,0 +1,74 @@
+"""Unit tests for the CSV exporters."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.waveform import Waveform
+from repro.experiments.export import (
+    fig4_to_csv,
+    fig8_to_csv,
+    parse_csv_floats,
+    series_to_csv,
+    waveforms_to_csv,
+)
+from repro.experiments.fig4_extraction import Fig4Point
+from repro.experiments.fig8_scaling import Fig8Point
+
+
+def wave(values):
+    values = np.asarray(values, dtype=float)
+    return Waveform(np.linspace(0, 1, values.size), values)
+
+
+class TestWaveformCsv:
+    def test_header_and_rows(self):
+        text = waveforms_to_csv({"a": wave([0, 1, 2]), "b": wave([2, 1, 0])})
+        lines = text.splitlines()
+        assert lines[0] == "t,a,b"
+        assert len(lines) == 4
+
+    def test_round_trip(self):
+        source = {"a": wave([0.0, 0.5, 1.0])}
+        columns = parse_csv_floats(waveforms_to_csv(source))
+        assert np.allclose(columns["a"], [0.0, 0.5, 1.0])
+        assert np.allclose(columns["t"], [0.0, 0.5, 1.0])
+
+    def test_resamples_mismatched_axes(self):
+        a = wave([0.0, 1.0])  # t = 0, 1
+        b = Waveform(np.array([0.0, 0.5, 1.0]), np.array([0.0, 0.5, 1.0]))
+        columns = parse_csv_floats(waveforms_to_csv({"a": a, "b": b}))
+        assert np.allclose(columns["b"], [0.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            waveforms_to_csv({})
+
+
+class TestScalingCsv:
+    def test_fig4(self):
+        points = [Fig4Point(8, 0.5, 0.25), Fig4Point(16, 1.0, 0.3)]
+        columns = parse_csv_floats(fig4_to_csv(points))
+        assert np.allclose(columns["bits"], [8, 16])
+        assert np.allclose(columns["windowing_seconds"], [0.25, 0.3])
+
+    def test_fig8(self):
+        points = [
+            Fig8Point("PEEC", 8, 0.1, 0.2, 100, 2048),
+            Fig8Point("gwVPEC(b=8)", 8, 0.05, 0.1, 50, 1024),
+        ]
+        text = fig8_to_csv(points)
+        assert "PEEC,8," in text
+        assert "total_seconds" in text.splitlines()[0]
+
+    def test_generic_series(self):
+        text = series_to_csv(["x", "y"], [[1, 2.5], [3, 4.0]])
+        columns = parse_csv_floats(text)
+        assert np.allclose(columns["y"], [2.5, 4.0])
+
+    def test_generic_series_validates_width(self):
+        with pytest.raises(ValueError):
+            series_to_csv(["x"], [[1, 2]])
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_csv_floats("")

@@ -1,0 +1,31 @@
+"""Tests for the quick reproduction summary."""
+
+from repro.cli import main
+from repro.experiments.summary import quick_checks, quick_report
+
+
+class TestQuickChecks:
+    def test_all_claims_hold(self):
+        checks = quick_checks()
+        failed = [c.claim for c in checks if not c.holds]
+        assert not failed, f"claims regressed: {failed}"
+
+    def test_every_experiment_covered(self):
+        experiments = {c.experiment for c in quick_checks()}
+        assert experiments == {
+            "Fig. 2",
+            "Table II",
+            "Table III",
+            "Fig. 4",
+            "Table IV",
+            "Figs. 6-7",
+        }
+
+    def test_report_formatting(self):
+        text = quick_report()
+        assert "claims hold" in text
+        assert "[PASS]" in text
+
+    def test_cli_report_exit_code(self, capsys):
+        assert main(["report"]) == 0
+        assert "[PASS]" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+"""Unit tests for the 2.5-D capacitance model."""
+
+import numpy as np
+import pytest
+
+from repro.extraction.capacitance import CapacitanceModel, extract_capacitances
+from repro.geometry.bus import aligned_bus
+from repro.geometry.spiral import square_spiral
+
+
+class TestGroundCapacitance:
+    def test_magnitude_for_paper_line(self):
+        # ~70 fF/mm is the right class for a minimum wire over 1 um oxide.
+        model = CapacitanceModel()
+        per_length = model.ground_capacitance_per_length(1e-6, 1e-6)
+        assert 20e-12 < per_length < 200e-12
+
+    def test_wider_wire_more_capacitance(self):
+        model = CapacitanceModel()
+        assert model.ground_capacitance_per_length(
+            2e-6, 1e-6
+        ) > model.ground_capacitance_per_length(1e-6, 1e-6)
+
+    def test_scales_with_eps_r(self):
+        low = CapacitanceModel(eps_r=2.0)
+        high = CapacitanceModel(eps_r=4.0)
+        ratio = high.ground_capacitance_per_length(
+            1e-6, 1e-6
+        ) / low.ground_capacitance_per_length(1e-6, 1e-6)
+        assert ratio == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            CapacitanceModel().ground_capacitance_per_length(0.0, 1e-6)
+
+
+class TestCouplingCapacitance:
+    def test_decays_with_spacing(self):
+        model = CapacitanceModel()
+        close = model.coupling_capacitance_per_length(1e-6, 1e-6, 1e-6)
+        far = model.coupling_capacitance_per_length(1e-6, 4e-6, 1e-6)
+        assert close > far > 0
+
+    def test_thicker_metal_more_coupling(self):
+        model = CapacitanceModel()
+        assert model.coupling_capacitance_per_length(
+            2e-6, 2e-6, 1e-6
+        ) > model.coupling_capacitance_per_length(1e-6, 2e-6, 1e-6)
+
+    def test_rejects_nonpositive_spacing(self):
+        with pytest.raises(ValueError):
+            CapacitanceModel().coupling_capacitance_per_length(1e-6, 0.0, 1e-6)
+
+
+class TestExtraction:
+    def test_one_ground_cap_per_filament(self, bus5):
+        assert bus5.ground_capacitance.shape == (5,)
+        assert np.all(bus5.ground_capacitance > 0)
+
+    def test_adjacent_only_coupling(self, bus5):
+        assert set(bus5.coupling_capacitance) == {(0, 1), (1, 2), (2, 3), (3, 4)}
+
+    def test_coupling_scales_with_overlap(self):
+        ground_full, coupling_full = extract_capacitances(aligned_bus(2))
+        del ground_full
+        _, coupling_half = extract_capacitances(aligned_bus(2, length=500e-6))
+        assert coupling_full[(0, 1)] == pytest.approx(
+            2.0 * coupling_half[(0, 1)], rel=1e-9
+        )
+
+    def test_uniform_bus_uniform_values(self, bus16):
+        values = list(bus16.coupling_capacitance.values())
+        assert values == pytest.approx([values[0]] * len(values))
+
+    def test_spiral_turn_coupling_present(self):
+        _, coupling = extract_capacitances(square_spiral(turns=2, total_segments=24))
+        assert len(coupling) > 0
+        assert all(v > 0 for v in coupling.values())

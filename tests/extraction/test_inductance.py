@@ -1,0 +1,214 @@
+"""Unit tests for the partial-inductance formulas and matrix assembly."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import MU_0
+from repro.extraction.inductance import (
+    gmd_parallel_tapes,
+    inductance_blocks,
+    mutual_collinear_filaments,
+    mutual_parallel_filaments,
+    partial_inductance_matrix,
+    self_inductance_bar,
+)
+from repro.geometry.bus import aligned_bus
+from repro.geometry.filament import Axis, Filament
+from repro.geometry.spiral import square_spiral
+from repro.geometry.system import FilamentSystem
+
+
+class TestSelfInductance:
+    def test_paper_bus_line_magnitude(self):
+        # A 1000 x 1 x 1 um bar: ~1.48 nH (classical partial inductance).
+        value = self_inductance_bar(1000e-6, 1e-6, 1e-6)
+        assert value == pytest.approx(1.48e-9, rel=0.02)
+
+    def test_grows_superlinearly_with_length(self):
+        l1 = self_inductance_bar(100e-6, 1e-6, 1e-6)
+        l2 = self_inductance_bar(200e-6, 1e-6, 1e-6)
+        assert l2 > 2.0 * l1
+
+    def test_decreases_with_cross_section(self):
+        thin = self_inductance_bar(100e-6, 0.5e-6, 0.5e-6)
+        fat = self_inductance_bar(100e-6, 2e-6, 2e-6)
+        assert thin > fat
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            self_inductance_bar(0.0, 1e-6, 1e-6)
+
+
+class TestMutualParallel:
+    def test_aligned_equal_matches_classical_formula(self):
+        l, d = 500e-6, 10e-6
+        expected = (
+            MU_0
+            / (2 * math.pi)
+            * l
+            * (
+                math.asinh(l / d)
+                - math.sqrt(1 + (d / l) ** 2)
+                + d / l
+            )
+        )
+        assert mutual_parallel_filaments(l, l, d) == pytest.approx(expected, rel=1e-12)
+
+    def test_symmetric_in_filament_swap(self):
+        # M(A, B) = M(B, A): swap lengths and negate/shift the offset.
+        l1, l2, d, s = 300e-6, 150e-6, 5e-6, 40e-6
+        forward = mutual_parallel_filaments(l1, l2, d, s)
+        backward = mutual_parallel_filaments(l2, l1, d, -s)
+        assert forward == pytest.approx(backward, rel=1e-12)
+
+    def test_decays_with_distance(self):
+        l = 200e-6
+        values = [
+            mutual_parallel_filaments(l, l, d) for d in (2e-6, 4e-6, 8e-6, 16e-6)
+        ]
+        assert all(a > b > 0 for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_self_inductance(self):
+        l = 1000e-6
+        m = mutual_parallel_filaments(l, l, 3e-6)
+        assert 0 < m < self_inductance_bar(l, 1e-6, 1e-6)
+
+    def test_offset_reduces_coupling(self):
+        l, d = 100e-6, 4e-6
+        aligned = mutual_parallel_filaments(l, l, d, 0.0)
+        offset = mutual_parallel_filaments(l, l, d, 50e-6)
+        assert 0 < offset < aligned
+
+    def test_far_offset_sign_remains_positive_for_codirected(self):
+        value = mutual_parallel_filaments(100e-6, 100e-6, 4e-6, 500e-6)
+        assert value > 0
+
+    def test_splitting_is_additive(self):
+        # M(A, B) = M(A, B1) + M(A, B2) when B = B1 + B2 end to end.
+        l, d = 120e-6, 6e-6
+        whole = mutual_parallel_filaments(l, 80e-6, d, 10e-6)
+        part1 = mutual_parallel_filaments(l, 40e-6, d, 10e-6)
+        part2 = mutual_parallel_filaments(l, 40e-6, d, 50e-6)
+        assert whole == pytest.approx(part1 + part2, rel=1e-10)
+
+
+class TestMutualCollinear:
+    def test_positive_for_abutting(self):
+        assert mutual_collinear_filaments(100e-6, 100e-6, 100e-6) > 0
+
+    def test_decays_with_gap(self):
+        m_close = mutual_collinear_filaments(100e-6, 100e-6, 100e-6)
+        m_far = mutual_collinear_filaments(100e-6, 100e-6, 300e-6)
+        assert m_close > m_far > 0
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            mutual_collinear_filaments(100e-6, 100e-6, 50e-6)
+
+    def test_matches_lateral_limit(self):
+        # The collinear formula is the d -> 0 limit of the parallel one.
+        l1, l2, s = 100e-6, 80e-6, 130e-6
+        collinear = mutual_collinear_filaments(l1, l2, s)
+        near = mutual_parallel_filaments(l1, l2, 1e-10, s)
+        assert near == pytest.approx(collinear, rel=1e-3)
+
+    def test_dispatch_from_parallel_entry_point(self):
+        direct = mutual_collinear_filaments(50e-6, 50e-6, 60e-6)
+        via_parallel = mutual_parallel_filaments(50e-6, 50e-6, 0.0, 60e-6)
+        assert via_parallel == pytest.approx(direct, rel=1e-12)
+
+
+class TestGmd:
+    def test_reduces_to_distance_for_far_tapes(self):
+        assert gmd_parallel_tapes(1e-6, 100e-6) == pytest.approx(100e-6, rel=1e-4)
+
+    def test_below_center_distance_when_close(self):
+        assert gmd_parallel_tapes(1e-6, 2e-6) < 2e-6
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            gmd_parallel_tapes(1e-6, 0.0)
+
+
+class TestMatrixAssembly:
+    def test_symmetric(self, bus16):
+        L = bus16.inductance
+        assert np.allclose(L, L.T)
+
+    def test_positive_definite(self, bus16):
+        assert np.all(np.linalg.eigvalsh(bus16.inductance) > 0)
+
+    def test_diagonal_dominates_offdiagonal_pairwise(self, bus16):
+        L = bus16.inductance
+        n = L.shape[0]
+        for i in range(n):
+            for j in range(i + 1, n):
+                assert abs(L[i, j]) < math.sqrt(L[i, i] * L[j, j])
+
+    def test_nearest_neighbor_strongest(self, bus16):
+        L = bus16.inductance
+        row = np.abs(L[0].copy())
+        row[0] = 0.0
+        assert np.argmax(row) == 1
+
+    def test_orthogonal_blocks_are_zero(self, spiral_small):
+        system = spiral_small.system
+        L = spiral_small.inductance
+        groups = system.indices_by_axis()
+        x_idx = groups[Axis.X]
+        y_idx = groups[Axis.Y]
+        assert np.all(L[np.ix_(x_idx, y_idx)] == 0.0)
+
+    def test_blocks_match_full_matrix(self, bus8x2):
+        full = bus8x2.inductance
+        for indices, block in bus8x2.inductance_blocks.values():
+            assert np.allclose(full[np.ix_(indices, indices)], block)
+
+    def test_matches_scalar_formulas(self):
+        system = aligned_bus(3, length=500e-6, spacing=3e-6)
+        L = partial_inductance_matrix(system, gmd_correction=False)
+        expected_m = mutual_parallel_filaments(500e-6, 500e-6, 4e-6)
+        assert L[0, 1] == pytest.approx(expected_m, rel=1e-10)
+        expected_self = self_inductance_bar(500e-6, 1e-6, 1e-6)
+        assert L[0, 0] == pytest.approx(expected_self, rel=1e-12)
+
+    def test_gmd_correction_direction_coplanar_tapes(self):
+        # Thin coplanar tapes: GMD < center distance -> larger mutual.
+        system = aligned_bus(2, spacing=1e-6, thickness=0.01e-6)
+        with_gmd = partial_inductance_matrix(system, gmd_correction=True)
+        without = partial_inductance_matrix(system, gmd_correction=False)
+        assert with_gmd[0, 1] > without[0, 1]
+
+    def test_gmd_correction_direction_tall_sections(self):
+        # Tall sections side by side: GMD > center distance -> smaller
+        # mutual (the correction that keeps L^-1 diagonally dominant).
+        system = aligned_bus(2, width=0.3e-6, thickness=2e-6, spacing=1e-6)
+        with_gmd = partial_inductance_matrix(system, gmd_correction=True)
+        without = partial_inductance_matrix(system, gmd_correction=False)
+        assert with_gmd[0, 1] < without[0, 1]
+
+    def test_gmd_matches_tape_series(self):
+        from repro.extraction.inductance import gmd_rectangles
+
+        numeric = gmd_rectangles(1e-6, 1e-9, 1e-6, 1e-9, 3e-6, 0.0)
+        series = gmd_parallel_tapes(1e-6, 3e-6)
+        assert numeric == pytest.approx(series, rel=1e-4)
+
+    def test_forward_coupling_in_same_line(self):
+        system = aligned_bus(1, segments_per_line=2)
+        L = partial_inductance_matrix(system)
+        expected = mutual_collinear_filaments(500e-6, 500e-6, 500e-6)
+        assert L[0, 1] == pytest.approx(expected, rel=1e-10)
+
+    def test_spiral_matrix_spd(self, spiral_small):
+        assert np.all(np.linalg.eigvalsh(spiral_small.inductance) > -1e-30)
+
+    def test_single_filament(self):
+        system = FilamentSystem(
+            [Filament((0, 0, 0), 100e-6, 1e-6, 1e-6, Axis.X)], name="one"
+        )
+        L = partial_inductance_matrix(system)
+        assert L.shape == (1, 1)
+        assert L[0, 0] == pytest.approx(self_inductance_bar(100e-6, 1e-6, 1e-6))

@@ -1,0 +1,60 @@
+"""Unit tests for the extraction facade."""
+
+import numpy as np
+import pytest
+
+from repro.extraction.parasitics import Parasitics, extract
+from repro.geometry.bus import aligned_bus
+from repro.geometry.spiral import square_spiral
+
+
+class TestExtract:
+    def test_shapes_consistent(self, bus5):
+        n = len(bus5.system)
+        assert bus5.inductance.shape == (n, n)
+        assert bus5.resistance.shape == (n,)
+        assert bus5.ground_capacitance.shape == (n,)
+
+    def test_blocks_cover_all_filaments(self, spiral_small):
+        covered = sorted(
+            i for indices, _ in spiral_small.inductance_blocks.values() for i in indices
+        )
+        assert covered == list(range(len(spiral_small.system)))
+
+    def test_validation_rejects_bad_shapes(self, bus5):
+        with pytest.raises(ValueError):
+            Parasitics(
+                system=bus5.system,
+                inductance=np.zeros((2, 2)),
+                inductance_blocks=bus5.inductance_blocks,
+                resistance=bus5.resistance,
+                ground_capacitance=bus5.ground_capacitance,
+            )
+
+    def test_validation_rejects_bad_vector(self, bus5):
+        with pytest.raises(ValueError):
+            Parasitics(
+                system=bus5.system,
+                inductance=bus5.inductance,
+                inductance_blocks=bus5.inductance_blocks,
+                resistance=np.zeros(3),
+                ground_capacitance=bus5.ground_capacitance,
+            )
+
+    def test_gmd_flag_propagates(self):
+        system = aligned_bus(2, spacing=1e-6)
+        with_gmd = extract(system, gmd_correction=True)
+        without = extract(system, gmd_correction=False)
+        assert with_gmd.inductance[0, 1] != without.inductance[0, 1]
+
+    def test_frequency_affects_resistance_only(self):
+        system = aligned_bus(2, width=10e-6, thickness=10e-6, spacing=10e-6)
+        lo = extract(system)
+        hi = extract(system, frequency=10e9)
+        assert np.all(hi.resistance >= lo.resistance)
+        assert np.allclose(hi.inductance, lo.inductance)
+
+    def test_spiral_extraction_end_to_end(self):
+        parasitics = extract(square_spiral(turns=2, total_segments=20))
+        assert len(parasitics.inductance_blocks) == 2
+        assert np.all(parasitics.resistance > 0)

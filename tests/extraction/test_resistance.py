@@ -1,0 +1,74 @@
+"""Unit tests for resistance extraction."""
+
+import numpy as np
+import pytest
+
+from repro.constants import COPPER_RESISTIVITY
+from repro.extraction.resistance import (
+    dc_resistance,
+    extract_resistances,
+    skin_effect_resistance,
+)
+from repro.geometry.bus import aligned_bus
+from repro.geometry.filament import Axis, Filament
+
+
+def bar(length=1000e-6, width=1e-6, thickness=1e-6):
+    return Filament((0, 0, 0), length, width, thickness, Axis.X)
+
+
+class TestDcResistance:
+    def test_paper_line_value(self):
+        # rho l / A = 1.7e-8 * 1e-3 / 1e-12 = 17 ohms.
+        assert dc_resistance(bar()) == pytest.approx(17.0)
+
+    def test_scales_linearly_with_length(self):
+        assert dc_resistance(bar(length=2000e-6)) == pytest.approx(
+            2.0 * dc_resistance(bar())
+        )
+
+    def test_scales_inverse_with_area(self):
+        assert dc_resistance(bar(width=2e-6, thickness=2e-6)) == pytest.approx(
+            dc_resistance(bar()) / 4.0
+        )
+
+
+class TestSkinEffect:
+    def test_reduces_to_dc_at_low_frequency(self):
+        f = bar(width=1e-6, thickness=1e-6)
+        assert skin_effect_resistance(f, 1e3) == pytest.approx(dc_resistance(f))
+
+    def test_increases_at_high_frequency_for_fat_wire(self):
+        fat = bar(width=10e-6, thickness=10e-6)
+        assert skin_effect_resistance(fat, 10e9) > dc_resistance(fat)
+
+    def test_thin_wire_unaffected_at_10ghz(self):
+        # Skin depth ~0.66 um at 10 GHz: a 1 um wire has no interior left.
+        thin = bar(width=1e-6, thickness=1e-6)
+        assert skin_effect_resistance(thin, 10e9) == pytest.approx(
+            dc_resistance(thin)
+        )
+
+    def test_asymptote_scales_with_sqrt_frequency(self):
+        fat = bar(width=50e-6, thickness=50e-6)
+        r1 = skin_effect_resistance(fat, 10e9) - 0.0
+        r2 = skin_effect_resistance(fat, 40e9)
+        # Rim area ~ perimeter * delta, so R ~ 1/delta ~ sqrt(f).
+        assert r2 / r1 == pytest.approx(2.0, rel=0.05)
+
+
+class TestExtraction:
+    def test_per_filament_array(self, bus5):
+        assert bus5.resistance.shape == (5,)
+        assert np.allclose(bus5.resistance, 17.0)
+
+    def test_frequency_option(self):
+        system = aligned_bus(2, width=10e-6, spacing=10e-6)
+        dc = extract_resistances(system)
+        hf = extract_resistances(system, frequency=10e9)
+        assert np.all(hf >= dc)
+
+    def test_custom_resistivity(self):
+        system = aligned_bus(2)
+        doubled = extract_resistances(system, resistivity=2 * COPPER_RESISTIVITY)
+        assert np.allclose(doubled, 34.0)

@@ -1,0 +1,112 @@
+"""Unit tests for volume-filament (skin/proximity) analysis."""
+
+import numpy as np
+import pytest
+
+from repro.extraction.resistance import dc_resistance, skin_effect_resistance
+from repro.extraction.volume import (
+    ConductorImpedance,
+    conductor_impedance,
+    counts_for_skin_depth,
+    subdivide_cross_section,
+)
+from repro.geometry.filament import Axis, Filament
+
+
+def bar(width=10e-6, thickness=10e-6, length=1000e-6):
+    return Filament((0, 0, 0), length, width, thickness, Axis.X)
+
+
+class TestSubdivision:
+    def test_tile_count(self):
+        subs = subdivide_cross_section(bar(), 4, 3)
+        assert len(subs) == 12
+
+    def test_tiles_partition_area(self):
+        parent = bar()
+        subs = subdivide_cross_section(parent, 4, 3)
+        assert sum(s.cross_section_area for s in subs) == pytest.approx(
+            parent.cross_section_area
+        )
+
+    def test_tiles_do_not_overlap(self):
+        from repro.geometry.system import FilamentSystem
+
+        subs = [
+            f.with_wire(0, k)
+            for k, f in enumerate(subdivide_cross_section(bar(), 3, 3))
+        ]
+        FilamentSystem(subs).validate_no_overlaps()
+
+    def test_identity_subdivision(self):
+        parent = bar()
+        (only,) = subdivide_cross_section(parent, 1, 1)
+        assert only.width == parent.width
+        assert only.thickness == parent.thickness
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            subdivide_cross_section(bar(), 0, 1)
+
+    def test_y_axis_orientation(self):
+        parent = Filament((0, 0, 0), 100e-6, 4e-6, 2e-6, Axis.Y)
+        subs = subdivide_cross_section(parent, 2, 2)
+        xs = {s.origin[0] for s in subs}
+        zs = {s.origin[2] for s in subs}
+        assert len(xs) == 2 and len(zs) == 2  # width spans x, thickness z
+
+
+class TestSkinDepthCounts:
+    def test_dc_needs_one(self):
+        assert counts_for_skin_depth(bar(), 0.0) == (1, 1)
+
+    def test_high_frequency_needs_many(self):
+        w, t = counts_for_skin_depth(bar(), 10e9)
+        assert w > 1 and t > 1
+
+    def test_capped(self):
+        w, t = counts_for_skin_depth(bar(width=1e-3, thickness=1e-3), 100e9)
+        assert w <= 8 and t <= 8
+
+
+class TestConductorImpedance:
+    @pytest.fixture(scope="class")
+    def impedance(self):
+        return conductor_impedance(bar(), [1e6, 1e8, 1e9, 1e10])
+
+    def test_low_frequency_matches_dc(self, impedance):
+        assert impedance.resistance[0] == pytest.approx(
+            dc_resistance(bar()), rel=0.02
+        )
+
+    def test_resistance_monotone_in_frequency(self, impedance):
+        assert list(impedance.resistance) == sorted(impedance.resistance)
+
+    def test_inductance_decreases_with_frequency(self, impedance):
+        assert impedance.inductance[-1] < impedance.inductance[0]
+
+    def test_matches_rim_model_in_transition(self, impedance):
+        # The closed-form rim approximation should agree within ~25%
+        # where the subdivision still resolves the skin depth.
+        reference = skin_effect_resistance(bar(), 1e10)
+        measured = float(
+            np.interp(1e10, impedance.frequencies, impedance.resistance)
+        )
+        assert measured == pytest.approx(reference, rel=0.25)
+
+    def test_proximity_effect_raises_resistance(self):
+        victim = bar()
+        neighbor = bar().translated(dy=12e-6)
+        alone = conductor_impedance(victim, [1e10])
+        crowded = conductor_impedance(victim, [1e10], neighbors=(neighbor,))
+        assert crowded.resistance[0] > alone.resistance[0]
+
+    def test_at_interpolates(self, impedance):
+        z = impedance.at(5e8)
+        assert z.real > 0 and z.imag > 0
+
+    def test_rejects_bad_frequencies(self):
+        with pytest.raises(ValueError):
+            conductor_impedance(bar(), [])
+        with pytest.raises(ValueError):
+            conductor_impedance(bar(), [0.0])

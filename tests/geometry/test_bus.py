@@ -1,0 +1,96 @@
+"""Unit tests for the bus generators."""
+
+import pytest
+
+from repro.geometry.bus import aligned_bus, nonaligned_bus
+from repro.geometry.filament import Axis
+
+
+class TestAlignedBus:
+    def test_filament_count(self):
+        assert len(aligned_bus(8, segments_per_line=4)) == 32
+
+    def test_paper_default_dimensions(self):
+        bus = aligned_bus(5)
+        f = bus[0]
+        assert f.length == pytest.approx(1000e-6)
+        assert f.width == pytest.approx(1e-6)
+        assert f.thickness == pytest.approx(1e-6)
+
+    def test_pitch_is_width_plus_spacing(self):
+        bus = aligned_bus(3, width=1e-6, spacing=2e-6)
+        assert bus[1].origin[1] - bus[0].origin[1] == pytest.approx(3e-6)
+
+    def test_segments_partition_line(self):
+        bus = aligned_bus(1, segments_per_line=4, length=1000e-6)
+        spans = [bus[i].axial_span for i in range(4)]
+        assert spans[0][0] == pytest.approx(0.0)
+        assert spans[-1][1] == pytest.approx(1000e-6)
+        for k in range(3):
+            assert spans[k][1] == pytest.approx(spans[k + 1][0])
+
+    def test_all_along_x(self):
+        assert all(f.axis is Axis.X for f in aligned_bus(4, segments_per_line=2))
+
+    def test_wire_assignment(self):
+        bus = aligned_bus(3, segments_per_line=2)
+        assert sorted({f.wire for f in bus}) == [0, 1, 2]
+        assert bus.segments_per_wire() == {0: 2, 1: 2, 2: 2}
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            aligned_bus(0)
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(ValueError):
+            aligned_bus(4, segments_per_line=0)
+
+    def test_no_overlaps(self):
+        aligned_bus(6, segments_per_line=3).validate_no_overlaps()
+
+    def test_name_default(self):
+        assert aligned_bus(7).name == "aligned_bus_7x1"
+
+
+class TestNonalignedBus:
+    def test_deterministic_for_seed(self):
+        a = nonaligned_bus(8, seed=42)
+        b = nonaligned_bus(8, seed=42)
+        assert [f.origin for f in a] == [f.origin for f in b]
+
+    def test_seed_changes_layout(self):
+        a = nonaligned_bus(8, seed=1)
+        b = nonaligned_bus(8, seed=2)
+        assert [f.origin for f in a] != [f.origin for f in b]
+
+    def test_spacing_varies(self):
+        bus = nonaligned_bus(16, seed=3)
+        gaps = {
+            round(bus[k + 1].origin[1] - bus[k].origin[1], 12) for k in range(15)
+        }
+        assert len(gaps) > 1
+
+    def test_offsets_vary_when_enabled(self):
+        bus = nonaligned_bus(16, seed=3, offset_jitter=0.1)
+        starts = {round(f.origin[0], 12) for f in bus}
+        assert len(starts) > 1
+
+    def test_offsets_disabled_by_default(self):
+        bus = nonaligned_bus(16, seed=3)
+        starts = {round(f.origin[0], 12) for f in bus}
+        assert starts == {0.0}
+
+    def test_zero_jitter_reduces_to_aligned(self):
+        bus = nonaligned_bus(4, spacing_jitter=0.0, offset_jitter=0.0)
+        ref = aligned_bus(4)
+        for f, g in zip(bus, ref):
+            assert f.origin == pytest.approx(g.origin)
+
+    def test_jitter_bounds_validated(self):
+        with pytest.raises(ValueError):
+            nonaligned_bus(4, spacing_jitter=1.5)
+        with pytest.raises(ValueError):
+            nonaligned_bus(4, offset_jitter=-0.1)
+
+    def test_no_overlaps(self):
+        nonaligned_bus(12, seed=9).validate_no_overlaps()

@@ -1,0 +1,104 @@
+"""Unit tests for the two-layer crossbar generator and crossings."""
+
+import numpy as np
+import pytest
+
+from repro.extraction.parasitics import extract
+from repro.geometry.crossbar import crossbar
+from repro.geometry.filament import Axis
+
+
+class TestCrossbarGeometry:
+    def test_wire_counts(self):
+        system = crossbar(4, 3)
+        assert len(system) == 7
+        groups = system.indices_by_axis()
+        assert len(groups[Axis.X]) == 4
+        assert len(groups[Axis.Y]) == 3
+
+    def test_layers_do_not_touch(self):
+        crossbar(3, 3).validate_no_overlaps()
+
+    def test_every_pair_crosses_once(self):
+        system = crossbar(4, 3)
+        crossings = system.crossing_pairs()
+        assert len(crossings) == 12
+        pairs = {(i, j) for i, j, _, _ in crossings}
+        assert len(pairs) == 12
+
+    def test_crossing_area_is_width_squared(self):
+        system = crossbar(2, 2, width=1e-6)
+        for _, _, area, _ in system.crossing_pairs():
+            assert area == pytest.approx(1e-12)
+
+    def test_crossing_gap_is_layer_gap(self):
+        system = crossbar(2, 2, layer_gap=0.7e-6)
+        for _, _, _, gap in system.crossing_pairs():
+            assert gap == pytest.approx(0.7e-6)
+
+    def test_rejects_empty_layer(self):
+        with pytest.raises(ValueError):
+            crossbar(0, 3)
+
+
+class TestCrossbarExtraction:
+    def test_no_interlayer_inductive_coupling(self):
+        parasitics = extract(crossbar(3, 3))
+        groups = parasitics.system.indices_by_axis()
+        block = parasitics.inductance[
+            np.ix_(groups[Axis.X], groups[Axis.Y])
+        ]
+        assert np.all(block == 0.0)
+
+    def test_two_inductance_blocks(self):
+        parasitics = extract(crossbar(3, 2))
+        assert len(parasitics.inductance_blocks) == 2
+
+    def test_crossing_capacitance_extracted(self):
+        parasitics = extract(crossbar(2, 2))
+        groups = parasitics.system.indices_by_axis()
+        cross_pairs = {
+            (min(i, j), max(i, j))
+            for i in groups[Axis.X]
+            for j in groups[Axis.Y]
+        }
+        found = cross_pairs & set(parasitics.coupling_capacitance)
+        assert found == cross_pairs
+        for pair in found:
+            assert parasitics.coupling_capacitance[pair] > 0
+
+    def test_crossing_capacitance_scales_with_gap(self):
+        tight = extract(crossbar(1, 1, layer_gap=0.25e-6))
+        loose = extract(crossbar(1, 1, layer_gap=1.0e-6))
+        c_tight = next(iter(tight.coupling_capacitance.values()))
+        c_loose = next(iter(loose.coupling_capacitance.values()))
+        assert c_tight == pytest.approx(4.0 * c_loose, rel=1e-6)
+
+
+class TestCrossbarModels:
+    def test_vpec_matches_peec(self):
+        """Two magnetic circuits + crossing caps: VPEC still == PEEC."""
+        from repro.circuit.sources import step
+        from repro.circuit.transient import transient_analysis
+        from repro.peec import attach_bus_testbench, build_peec
+        from repro.vpec.builder import build_vpec
+        from repro.vpec.full import full_vpec_networks
+
+        p_peec, p_vpec = extract(crossbar(3, 3)), extract(crossbar(3, 3))
+        peec = build_peec(p_peec)
+        vpec = build_vpec(p_vpec, full_vpec_networks(p_vpec))
+        stim = step(1.0, rise_time=10e-12)
+        attach_bus_testbench(peec.skeleton, stim)
+        attach_bus_testbench(vpec.skeleton, stim)
+        # Observe a victim on the *other* layer (coupled only through
+        # the crossing capacitance).
+        victim_p = peec.skeleton.ports[4].far
+        victim_v = vpec.skeleton.ports[4].far
+        w_p = transient_analysis(
+            peec.circuit, 200e-12, 1e-12, probe_nodes=[victim_p]
+        ).voltage(victim_p)
+        w_v = transient_analysis(
+            vpec.circuit, 200e-12, 1e-12, probe_nodes=[victim_v]
+        ).voltage(victim_v)
+        assert w_p.peak > 1e-4  # the layers really couple
+        assert np.max(np.abs(w_p.v - w_v.v)) < 1e-9

@@ -1,0 +1,89 @@
+"""Unit tests for the frequency-driven discretization rules."""
+
+import math
+
+import pytest
+
+from repro.constants import COPPER_RESISTIVITY, LOW_K_EPS_R, MAX_FREQUENCY
+from repro.geometry.bus import aligned_bus
+from repro.geometry.discretize import (
+    segments_per_wavelength_rule,
+    skin_depth,
+    subdivide_filament,
+    wavelength,
+)
+
+
+class TestSkinDepth:
+    def test_copper_at_10ghz(self):
+        # Classical value: ~0.66 um for copper at 10 GHz.
+        delta = skin_depth(COPPER_RESISTIVITY, 10e9)
+        assert delta == pytest.approx(0.656e-6, rel=0.02)
+
+    def test_scales_with_inverse_sqrt_frequency(self):
+        d1 = skin_depth(COPPER_RESISTIVITY, 1e9)
+        d4 = skin_depth(COPPER_RESISTIVITY, 4e9)
+        assert d1 / d4 == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            skin_depth(COPPER_RESISTIVITY, 0.0)
+
+
+class TestWavelength:
+    def test_vacuum(self):
+        assert wavelength(1e9) == pytest.approx(0.2998, rel=1e-3)
+
+    def test_dielectric_slows_wave(self):
+        assert wavelength(1e9, eps_r=4.0) == pytest.approx(
+            wavelength(1e9) / 2.0
+        )
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            wavelength(-1.0)
+
+
+class TestSegmentationRule:
+    def test_paper_bus_is_single_segment(self):
+        # 1000 um at 10 GHz in low-k: tenth-wavelength ~2.1 mm > 1000 um.
+        assert segments_per_wavelength_rule(1000e-6, MAX_FREQUENCY, LOW_K_EPS_R) == 1
+
+    def test_long_line_splits(self):
+        count = segments_per_wavelength_rule(10e-3, MAX_FREQUENCY, LOW_K_EPS_R)
+        lam = wavelength(MAX_FREQUENCY, LOW_K_EPS_R)
+        assert count == math.ceil(10e-3 / (0.1 * lam))
+        assert count >= 4
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            segments_per_wavelength_rule(1e-3, 1e9, fraction=0.0)
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            segments_per_wavelength_rule(0.0, 1e9)
+
+
+class TestSubdivide:
+    def test_identity(self):
+        f = aligned_bus(1)[0]
+        assert subdivide_filament(f, 1) == [f]
+
+    def test_pieces_partition_length(self):
+        f = aligned_bus(1)[0]
+        pieces = subdivide_filament(f, 4)
+        assert len(pieces) == 4
+        assert sum(p.length for p in pieces) == pytest.approx(f.length)
+        for k in range(3):
+            assert pieces[k].axial_span[1] == pytest.approx(
+                pieces[k + 1].axial_span[0]
+            )
+
+    def test_segment_numbering_stays_gap_free(self):
+        bus = aligned_bus(1, segments_per_line=2)
+        pieces = [q for f in bus for q in subdivide_filament(f, 3)]
+        assert sorted(p.segment for p in pieces) == list(range(6))
+
+    def test_rejects_zero_pieces(self):
+        with pytest.raises(ValueError):
+            subdivide_filament(aligned_bus(1)[0], 0)

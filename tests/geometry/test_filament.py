@@ -1,0 +1,126 @@
+"""Unit tests for the rectangular filament primitive."""
+
+import math
+
+import pytest
+
+from repro.geometry.filament import Axis, Filament
+
+
+def make(axis=Axis.X, origin=(0.0, 0.0, 0.0), length=10e-6, width=1e-6, thickness=2e-6):
+    return Filament(origin=origin, length=length, width=width, thickness=thickness, axis=axis)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            make(length=0.0)
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            make(width=-1e-6)
+
+    def test_rejects_zero_thickness(self):
+        with pytest.raises(ValueError):
+            make(thickness=0.0)
+
+    def test_is_frozen(self):
+        f = make()
+        with pytest.raises(AttributeError):
+            f.length = 5e-6
+
+
+class TestDerivedGeometry:
+    def test_cross_section_area(self):
+        assert make().cross_section_area == pytest.approx(2e-12)
+
+    def test_volume(self):
+        assert make().volume == pytest.approx(10e-6 * 2e-12)
+
+    def test_center_x_axis(self):
+        f = make(axis=Axis.X)
+        assert f.center == pytest.approx((5e-6, 0.5e-6, 1e-6))
+
+    def test_center_y_axis(self):
+        f = make(axis=Axis.Y)
+        # width spans x, thickness spans z
+        assert f.center == pytest.approx((0.5e-6, 5e-6, 1e-6))
+
+    def test_center_z_axis(self):
+        f = make(axis=Axis.Z)
+        assert f.center == pytest.approx((0.5e-6, 1e-6, 5e-6))
+
+    def test_start_end_along_axis(self):
+        f = make(axis=Axis.X)
+        assert f.start[0] == pytest.approx(0.0)
+        assert f.end[0] == pytest.approx(10e-6)
+        assert f.start[1:] == pytest.approx(f.end[1:])
+
+    def test_axial_span(self):
+        f = make(origin=(2e-6, 0, 0))
+        assert f.axial_span == pytest.approx((2e-6, 12e-6))
+
+    def test_axis_unit_vectors(self):
+        assert Axis.X.unit == (1.0, 0.0, 0.0)
+        assert Axis.Y.unit == (0.0, 1.0, 0.0)
+        assert Axis.Z.unit == (0.0, 0.0, 1.0)
+
+
+class TestPairwiseRelations:
+    def test_parallel_same_axis(self):
+        assert make(axis=Axis.X).is_parallel_to(make(axis=Axis.X))
+
+    def test_not_parallel_different_axis(self):
+        assert not make(axis=Axis.X).is_parallel_to(make(axis=Axis.Y))
+
+    def test_lateral_distance(self):
+        a = make()
+        b = make(origin=(0.0, 3e-6, 4e-6))
+        assert a.lateral_distance_to(b) == pytest.approx(5e-6)
+
+    def test_lateral_distance_requires_parallel(self):
+        with pytest.raises(ValueError):
+            make(axis=Axis.X).lateral_distance_to(make(axis=Axis.Y))
+
+    def test_longitudinal_offset(self):
+        a = make()
+        b = make(origin=(7e-6, 3e-6, 0.0))
+        assert a.longitudinal_offset_to(b) == pytest.approx(7e-6)
+
+    def test_longitudinal_offset_requires_parallel(self):
+        with pytest.raises(ValueError):
+            make(axis=Axis.X).longitudinal_offset_to(make(axis=Axis.Z))
+
+    def test_overlap_detected(self):
+        a = make()
+        b = make(origin=(5e-6, 0.0, 0.0))
+        assert a.overlaps(b)
+
+    def test_touching_not_overlapping(self):
+        a = make()
+        b = make(origin=(10e-6, 0.0, 0.0))
+        assert not a.overlaps(b)
+
+    def test_disjoint_lateral(self):
+        a = make()
+        b = make(origin=(0.0, 5e-6, 0.0))
+        assert not a.overlaps(b)
+
+
+class TestTransformations:
+    def test_translated(self):
+        f = make().translated(dy=2e-6, dz=-1e-6)
+        assert f.origin == pytest.approx((0.0, 2e-6, -1e-6))
+        assert f.length == 10e-6
+
+    def test_with_wire(self):
+        f = make().with_wire(3, 7)
+        assert (f.wire, f.segment) == (3, 7)
+
+    def test_translation_preserves_lateral_distance(self):
+        a = make()
+        b = make(origin=(0.0, 3e-6, 0.0))
+        d0 = a.lateral_distance_to(b)
+        assert a.translated(dx=5e-6).lateral_distance_to(
+            b.translated(dx=5e-6)
+        ) == pytest.approx(d0)

@@ -1,0 +1,62 @@
+"""Unit tests for the square-spiral generator."""
+
+import math
+
+import pytest
+
+from repro.geometry.filament import Axis
+from repro.geometry.spiral import spiral_path_points, square_spiral
+
+
+class TestSquareSpiral:
+    def test_paper_segment_count(self):
+        assert len(square_spiral(turns=3, total_segments=92)) == 92
+
+    def test_single_wire(self):
+        spiral = square_spiral(turns=2, total_segments=20)
+        assert spiral.wire_ids == [0]
+        assert spiral.segments_per_wire() == {0: 20}
+
+    def test_alternating_axes_present(self):
+        groups = square_spiral(turns=2, total_segments=20).indices_by_axis()
+        assert Axis.X in groups and Axis.Y in groups
+
+    def test_path_is_connected(self):
+        spiral = square_spiral(turns=3, total_segments=92)
+        points = spiral_path_points(spiral)
+        assert len(points) == len(spiral) + 1
+
+    def test_path_length_matches_filament_lengths(self):
+        spiral = square_spiral(turns=2, total_segments=24)
+        points = spiral_path_points(spiral)
+        path = sum(math.dist(a, b) for a, b in zip(points, points[1:]))
+        assert path == pytest.approx(float(spiral.lengths().sum()), rel=1e-9)
+
+    def test_winds_inward(self):
+        spiral = square_spiral(turns=3, total_segments=48, outer_dimension=200e-6)
+        points = spiral_path_points(spiral)
+        first_leg = math.dist(points[0], points[1])
+        # The spiral's inner legs are shorter than the outer ones.
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        assert max(xs) - min(xs) <= 200e-6 + 1e-12
+        assert max(ys) - min(ys) <= 200e-6 + 1e-12
+        del first_leg
+
+    def test_requires_room_to_wind(self):
+        with pytest.raises(ValueError):
+            square_spiral(turns=5, outer_dimension=10e-6, width=2e-6, spacing=2e-6)
+
+    def test_requires_enough_segments(self):
+        with pytest.raises(ValueError):
+            square_spiral(turns=3, total_segments=4)
+
+    def test_rejects_zero_turns(self):
+        with pytest.raises(ValueError):
+            square_spiral(turns=0)
+
+    def test_segment_counts_proportional_to_leg_length(self):
+        spiral = square_spiral(turns=2, total_segments=40)
+        by_axis = spiral.indices_by_axis()
+        # Both directions get a meaningful share of the segments.
+        assert min(len(v) for v in by_axis.values()) >= 10

@@ -1,0 +1,143 @@
+"""Unit tests for FilamentSystem: wires, adjacency, validation."""
+
+import pytest
+
+from repro.geometry.bus import aligned_bus, nonaligned_bus
+from repro.geometry.filament import Axis, Filament
+from repro.geometry.spiral import square_spiral
+from repro.geometry.system import FilamentSystem, _merge_interval, _uncovered_length
+
+
+def line(y, wire, segment=0, x0=0.0, length=100e-6):
+    return Filament(
+        origin=(x0, y, 0.0),
+        length=length,
+        width=1e-6,
+        thickness=1e-6,
+        axis=Axis.X,
+        wire=wire,
+        segment=segment,
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FilamentSystem([])
+
+    def test_gapped_segments_rejected(self):
+        with pytest.raises(ValueError):
+            FilamentSystem([line(0, 0, segment=0), line(0, 0, segment=2)])
+
+    def test_wire_filaments_in_segment_order(self):
+        system = FilamentSystem(
+            [line(0, 0, segment=1, x0=100e-6), line(0, 0, segment=0)]
+        )
+        ordered = system.wire_filaments(0)
+        assert [system[i].segment for i in ordered] == [0, 1]
+
+    def test_len_and_iteration(self):
+        system = aligned_bus(4)
+        assert len(system) == 4
+        assert len(list(system)) == 4
+
+    def test_wire_ids_sorted(self):
+        assert aligned_bus(3).wire_ids == [0, 1, 2]
+
+    def test_segments_per_wire(self):
+        system = aligned_bus(3, segments_per_line=4)
+        assert system.segments_per_wire() == {0: 4, 1: 4, 2: 4}
+
+
+class TestBulkArrays:
+    def test_lengths(self):
+        system = aligned_bus(2, segments_per_line=2, length=1000e-6)
+        assert system.lengths() == pytest.approx([500e-6] * 4)
+
+    def test_uniform_segment_length(self):
+        assert aligned_bus(3).uniform_segment_length() == pytest.approx(1000e-6)
+
+    def test_uniform_segment_length_rejects_mixed(self):
+        mixed = FilamentSystem([line(0, 0, length=10e-6), line(3e-6, 1, length=20e-6)])
+        with pytest.raises(ValueError):
+            mixed.uniform_segment_length()
+
+    def test_indices_by_axis_bus(self):
+        groups = aligned_bus(4).indices_by_axis()
+        assert set(groups) == {Axis.X}
+        assert groups[Axis.X] == [0, 1, 2, 3]
+
+    def test_indices_by_axis_spiral(self):
+        groups = square_spiral(turns=2, total_segments=16).indices_by_axis()
+        assert set(groups) == {Axis.X, Axis.Y}
+        total = sum(len(v) for v in groups.values())
+        assert total == 16
+
+
+class TestAdjacency:
+    def test_bus_chain(self):
+        assert aligned_bus(5).adjacent_pairs() == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_multisegment_pairs_match_segments(self):
+        system = aligned_bus(4, segments_per_line=3)
+        pairs = system.adjacent_pairs()
+        assert len(pairs) == 3 * 3  # 3 neighbor-bit pairs x 3 segments
+        for i, j in pairs:
+            assert system[i].segment == system[j].segment
+            assert abs(system[i].wire - system[j].wire) == 1
+
+    def test_shadowing_blocks_far_pair(self):
+        # Three stacked lines: 0-2 is shadowed by 1.
+        system = FilamentSystem([line(0, 0), line(3e-6, 1), line(6e-6, 2)])
+        assert (0, 2) not in system.adjacent_pairs()
+
+    def test_partial_shadow_exposes_far_pair(self):
+        # Middle line only covers half the span: 0-2 visible over the rest.
+        system = FilamentSystem(
+            [line(0, 0), line(3e-6, 1, length=50e-6), line(6e-6, 2)]
+        )
+        assert (0, 2) in system.adjacent_pairs()
+
+    def test_no_axial_overlap_no_pair(self):
+        system = FilamentSystem([line(0, 0), line(3e-6, 1, x0=200e-6)])
+        assert system.adjacent_pairs() == []
+
+    def test_spiral_turn_to_turn_coupling_exists(self):
+        system = square_spiral(turns=2, total_segments=16)
+        assert len(system.adjacent_pairs()) > 0
+
+    def test_nonaligned_bus_has_at_least_chain(self):
+        system = nonaligned_bus(8)
+        pairs = system.adjacent_pairs()
+        chain = {(b, b + 1) for b in range(7)}
+        found = {(system[i].wire, system[j].wire) for i, j in pairs}
+        assert chain <= found
+
+
+class TestValidation:
+    def test_no_overlaps_passes_for_bus(self):
+        aligned_bus(4).validate_no_overlaps()
+
+    def test_overlap_detected(self):
+        with pytest.raises(ValueError):
+            FilamentSystem([line(0, 0), line(0.5e-6, 1)]).validate_no_overlaps()
+
+
+class TestIntervalHelpers:
+    def test_merge_disjoint(self):
+        assert _merge_interval([(0, 1)], (2, 3)) == [(0, 1), (2, 3)]
+
+    def test_merge_overlapping(self):
+        assert _merge_interval([(0, 2)], (1, 3)) == [(0, 3)]
+
+    def test_merge_bridging(self):
+        assert _merge_interval([(0, 1), (2, 3)], (0.5, 2.5)) == [(0, 3)]
+
+    def test_uncovered_full(self):
+        assert _uncovered_length((0, 10), []) == 10
+
+    def test_uncovered_partial(self):
+        assert _uncovered_length((0, 10), [(2, 5)]) == 7
+
+    def test_uncovered_none(self):
+        assert _uncovered_length((0, 10), [(0, 10)]) == 0

@@ -1,0 +1,113 @@
+"""Tests for the K-element (susceptance) baseline.
+
+The paper's Section II-B claims: (1) the K model follows from the same
+inverse-of-L first principles as VPEC; (2) K needs a simulator extension
+(it is not SPICE compatible); (3) its *nodal* realization loses DC
+information while the MNA realizations (K and VPEC alike) keep it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.dc import dc_operating_point
+from repro.circuit.sources import dc, step
+from repro.circuit.spice_writer import write_spice
+from repro.circuit.transient import transient_analysis
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.kelement import build_kelement, nodal_inductive_admittance
+from repro.peec import attach_bus_testbench, build_peec
+from repro.vpec.full import full_vpec_networks
+from repro.vpec.truncation import truncate_numerical
+
+
+class TestEquivalence:
+    def test_matches_peec_transient(self):
+        p_peec, p_k = extract(aligned_bus(5)), extract(aligned_bus(5))
+        peec = build_peec(p_peec)
+        kel = build_kelement(p_k)
+        stim = step(1.0, rise_time=10e-12)
+        attach_bus_testbench(peec.skeleton, stim)
+        attach_bus_testbench(kel.skeleton, stim)
+        v_p = peec.skeleton.ports[1].far
+        v_k = kel.skeleton.ports[1].far
+        w_p = transient_analysis(
+            peec.circuit, 200e-12, 1e-12, probe_nodes=[v_p]
+        ).voltage(v_p)
+        w_k = transient_analysis(
+            kel.circuit, 200e-12, 1e-12, probe_nodes=[v_k]
+        ).voltage(v_k)
+        assert np.max(np.abs(w_p.v - w_k.v)) < 1e-9
+
+    def test_matches_vpec_via_same_networks(self):
+        """K and tVPEC built from the same truncated matrices agree."""
+        from repro.vpec.builder import build_vpec
+
+        p_k, p_v = extract(aligned_bus(8)), extract(aligned_bus(8))
+        networks_k = [
+            truncate_numerical(n, 0.02) for n in full_vpec_networks(p_k)
+        ]
+        networks_v = [
+            truncate_numerical(n, 0.02) for n in full_vpec_networks(p_v)
+        ]
+        kel = build_kelement(p_k, networks_k)
+        vpec = build_vpec(p_v, networks_v)
+        stim = step(1.0, rise_time=10e-12)
+        attach_bus_testbench(kel.skeleton, stim)
+        attach_bus_testbench(vpec.skeleton, stim)
+        v_k = kel.skeleton.ports[1].far
+        v_v = vpec.skeleton.ports[1].far
+        w_k = transient_analysis(
+            kel.circuit, 200e-12, 1e-12, probe_nodes=[v_k]
+        ).voltage(v_k)
+        w_v = transient_analysis(
+            vpec.circuit, 200e-12, 1e-12, probe_nodes=[v_v]
+        ).voltage(v_v)
+        assert np.max(np.abs(w_k.v - w_v.v)) < 1e-9
+
+    def test_dc_operating_point_correct(self):
+        parasitics = extract(aligned_bus(3))
+        kel = build_kelement(parasitics)
+        kel.circuit.add_voltage_source(
+            kel.skeleton.ports[0].near, "0", dc(1.0), name="Vd"
+        )
+        kel.circuit.add_resistor(kel.skeleton.ports[0].far, "0", 17.0, name="Rl")
+        sol = dc_operating_point(kel.circuit)
+        assert sol.voltage(kel.skeleton.ports[0].far) == pytest.approx(
+            0.5, rel=1e-6
+        )
+
+
+class TestSpiceIncompatibility:
+    def test_writer_refuses_k_element(self):
+        kel = build_kelement(extract(aligned_bus(3)))
+        with pytest.raises(TypeError, match="not SPICE compatible"):
+            write_spice(kel.circuit)
+
+
+class TestNodalPathology:
+    def test_gamma_diverges_at_low_frequency(self):
+        parasitics = extract(aligned_bus(4))
+        high = nodal_inductive_admittance(parasitics, 1j * 2 * np.pi * 1e9)
+        low = nodal_inductive_admittance(parasitics, 1j * 2 * np.pi * 1e-3)
+        assert np.linalg.norm(low) > 1e10 * np.linalg.norm(high)
+
+    def test_gamma_undefined_at_dc(self):
+        parasitics = extract(aligned_bus(4))
+        with pytest.raises(ZeroDivisionError):
+            nodal_inductive_admittance(parasitics, 0.0)
+
+    def test_gamma_indefinite_structure(self):
+        """A K A^T is rank deficient: the nodal form cannot pin DC."""
+        parasitics = extract(aligned_bus(4))
+        gamma = nodal_inductive_admittance(parasitics, 1.0)
+        eigenvalues = np.linalg.eigvalsh((gamma + gamma.T) / 2)
+        assert np.min(np.abs(eigenvalues)) < 1e-9 * np.max(np.abs(eigenvalues))
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        from repro.circuit.elements import SusceptanceSet
+
+        with pytest.raises(ValueError):
+            SusceptanceSet("K", (("a", "b"),), np.eye(2))

@@ -1,0 +1,161 @@
+"""Tests for the block-Arnoldi model order reduction."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ac_analysis, logspace_frequencies
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import ac_unit
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.mor import reduce_circuit
+from repro.peec import attach_bus_testbench, build_peec
+from repro.vpec.flow import full_vpec
+
+
+def rc_ladder(stages=20, r=100.0, c=1e-13):
+    circuit = Circuit("ladder")
+    circuit.add_voltage_source("in", "0", ac_unit(), name="Vin")
+    previous = "in"
+    for k in range(stages):
+        node = f"n{k}"
+        circuit.add_resistor(previous, node, r)
+        circuit.add_capacitor(node, "0", c)
+        previous = node
+    return circuit, previous
+
+
+class TestRcLadder:
+    def test_transfer_converges_with_order(self):
+        circuit, out = rc_ladder()
+        freqs = logspace_frequencies(1e6, 50e9, 5)
+        full = ac_analysis(circuit, freqs, probe_nodes=[out]).voltage(out)
+        errors = []
+        for order in (4, 8, 12):
+            rom = reduce_circuit(circuit, ["Vin"], [out], order)
+            h = rom.transfer(freqs)[:, 0, 0]
+            errors.append(np.max(np.abs(h - full)) / np.max(np.abs(full)))
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < 1e-3
+
+    def test_full_order_exact(self):
+        circuit, out = rc_ladder(stages=6)
+        freqs = logspace_frequencies(1e6, 50e9, 4)
+        full = ac_analysis(circuit, freqs, probe_nodes=[out]).voltage(out)
+        rom = reduce_circuit(circuit, ["Vin"], [out], order=10)
+        h = rom.transfer(freqs)[:, 0, 0]
+        assert np.max(np.abs(h - full)) / np.max(np.abs(full)) < 1e-8
+
+    def test_reduced_size_bounded(self):
+        circuit, out = rc_ladder()
+        rom = reduce_circuit(circuit, ["Vin"], [out], order=3)
+        assert rom.order <= 3
+
+    def test_dc_gain_matched(self):
+        circuit, out = rc_ladder()
+        rom = reduce_circuit(circuit, ["Vin"], [out], order=8)
+        # DC: the ladder passes the source voltage through (the GHz
+        # expansion point converges to DC as the order grows).
+        assert abs(rom.transfer_at(1e-3)[0, 0] - 1.0) < 1e-5
+
+
+class TestInterconnectModels:
+    def test_reduces_peec_model(self):
+        parasitics = extract(aligned_bus(8))
+        peec = build_peec(parasitics)
+        attach_bus_testbench(peec.skeleton, ac_unit(1.0))
+        victim = peec.skeleton.ports[1].far
+        freqs = logspace_frequencies(1e7, 10e9, 5)
+        full = ac_analysis(peec.circuit, freqs, probe_nodes=[victim]).voltage(
+            victim
+        )
+        rom = reduce_circuit(peec.circuit, ["Vdrv0"], [victim], order=10)
+        h = rom.transfer(freqs)[:, 0, 0]
+        error = np.max(np.abs(h - full)) / np.max(np.abs(full))
+        assert error < 1e-2
+        assert rom.order < peec.circuit.num_nodes
+
+    def test_reduces_vpec_model(self):
+        """The paper's future-work target: MOR on the VPEC netlist."""
+        parasitics = extract(aligned_bus(8))
+        result = full_vpec(parasitics)
+        attach_bus_testbench(result.model.skeleton, ac_unit(1.0))
+        victim = result.model.skeleton.ports[1].far
+        freqs = logspace_frequencies(1e7, 10e9, 5)
+        full = ac_analysis(
+            result.model.circuit, freqs, probe_nodes=[victim]
+        ).voltage(victim)
+        rom = reduce_circuit(result.model.circuit, ["Vdrv0"], [victim], order=12)
+        h = rom.transfer(freqs)[:, 0, 0]
+        error = np.max(np.abs(h - full)) / np.max(np.abs(full))
+        assert error < 1e-2
+
+    def test_multiport(self):
+        parasitics = extract(aligned_bus(4))
+        peec = build_peec(parasitics)
+        attach_bus_testbench(peec.skeleton, ac_unit(1.0))
+        outs = [peec.skeleton.ports[k].far for k in (1, 2)]
+        rom = reduce_circuit(peec.circuit, ["Vdrv0"], outs, order=8)
+        h = rom.transfer([1e9])
+        assert h.shape == (1, 2, 1)
+
+
+class TestReducedTransient:
+    def test_matches_full_transient(self):
+        """The macromodel replays the full netlist's victim waveform."""
+        import numpy as np
+
+        from repro.circuit.sources import step
+        from repro.circuit.transient import transient_analysis
+
+        parasitics = extract(aligned_bus(6))
+        peec = build_peec(parasitics)
+        attach_bus_testbench(peec.skeleton, step(1.0, rise_time=10e-12))
+        victim = peec.skeleton.ports[1].far
+        full = transient_analysis(
+            peec.circuit, 200e-12, 1e-12, probe_nodes=[victim]
+        ).voltage(victim)
+
+        rom = reduce_circuit(peec.circuit, ["Vdrv0"], [victim], order=16)
+        stimulus = step(1.0, rise_time=10e-12)
+        times, outputs = rom.transient([stimulus.at], 200e-12, 1e-12)
+        assert times.size == full.t.size
+        error = np.max(np.abs(outputs[:, 0] - full.v))
+        assert error < 0.05 * full.peak
+
+    def test_input_count_validated(self):
+        circuit, out = rc_ladder(stages=4)
+        rom = reduce_circuit(circuit, ["Vin"], [out], order=4)
+        with pytest.raises(ValueError):
+            rom.transient([], 1e-9, 1e-12)
+        with pytest.raises(ValueError):
+            rom.transient([lambda t: 1.0], 0.0, 1e-12)
+
+    def test_dc_input_stays_at_dc(self):
+        import numpy as np
+
+        circuit, out = rc_ladder(stages=5)
+        rom = reduce_circuit(circuit, ["Vin"], [out], order=6)
+        _, outputs = rom.transient([lambda t: 1.0], 1e-9, 1e-11)
+        assert np.allclose(outputs[:, 0], outputs[0, 0], atol=1e-6)
+
+
+class TestValidation:
+    def test_requires_inputs_and_outputs(self):
+        circuit, out = rc_ladder(stages=3)
+        with pytest.raises(ValueError):
+            reduce_circuit(circuit, [], [out], 2)
+        with pytest.raises(ValueError):
+            reduce_circuit(circuit, ["Vin"], [], 2)
+        with pytest.raises(ValueError):
+            reduce_circuit(circuit, ["Vin"], [out], 0)
+
+    def test_ground_output_rejected(self):
+        circuit, _ = rc_ladder(stages=3)
+        with pytest.raises(ValueError):
+            reduce_circuit(circuit, ["Vin"], ["0"], 2)
+
+    def test_unknown_input_rejected(self):
+        circuit, out = rc_ladder(stages=3)
+        with pytest.raises(KeyError):
+            reduce_circuit(circuit, ["Vnope"], [out], 2)

@@ -1,0 +1,116 @@
+"""Unit tests for the shared electrical skeleton and testbenches."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.elements import Capacitor, Resistor, VoltageSource
+from repro.circuit.sources import step
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.geometry.spiral import square_spiral
+from repro.peec.builder import (
+    attach_bus_testbench,
+    attach_two_port_testbench,
+    build_skeleton,
+)
+
+
+class TestSkeletonStructure:
+    def test_one_resistor_per_filament(self, bus5):
+        skeleton = build_skeleton(bus5)
+        resistors = skeleton.circuit.elements_of_type(Resistor)
+        assert len(resistors) == 5
+
+    def test_slots_are_open(self, bus5):
+        # No element spans any slot yet: each slot node pair is distinct.
+        skeleton = build_skeleton(bus5)
+        for a, b in skeleton.slot_nodes:
+            assert a != b
+
+    def test_ports_per_wire(self, bus5):
+        skeleton = build_skeleton(bus5)
+        assert set(skeleton.ports) == {0, 1, 2, 3, 4}
+        for ports in skeleton.ports.values():
+            assert ports.near != ports.far
+
+    def test_series_segments_share_nodes(self, bus8x2):
+        skeleton = build_skeleton(bus8x2)
+        system = bus8x2.system
+        # Segment 0's slot output feeds segment 1's resistor input chain:
+        # the far port of the wire equals segment 1's slot output.
+        members = system.wire_filaments(0)
+        last_slot = skeleton.slot_nodes[members[-1]]
+        assert skeleton.ports[0].far == last_slot[1]
+
+    def test_bus_signs_all_positive(self, bus8x2):
+        assert np.all(build_skeleton(bus8x2).signs == 1.0)
+
+    def test_spiral_signs_mixed(self):
+        parasitics = extract(square_spiral(turns=2, total_segments=20))
+        skeleton = build_skeleton(parasitics)
+        assert set(np.unique(skeleton.signs)) == {-1.0, 1.0}
+
+    def test_spiral_single_wire_connected(self):
+        parasitics = extract(square_spiral(turns=2, total_segments=20))
+        skeleton = build_skeleton(parasitics)
+        assert set(skeleton.ports) == {0}
+
+    def test_ground_capacitors_present(self, bus5):
+        skeleton = build_skeleton(bus5)
+        caps = skeleton.circuit.elements_of_type(Capacitor)
+        ground_caps = [c for c in caps if c.n2 == "0"]
+        assert len(ground_caps) >= 5
+
+    def test_coupling_capacitors_split_in_two(self, bus5):
+        skeleton = build_skeleton(bus5)
+        caps = skeleton.circuit.elements_of_type(Capacitor)
+        coupling = [c for c in caps if c.n2 != "0"]
+        # 4 adjacent pairs, each split across the two endpoint pairs.
+        assert len(coupling) == 8
+
+    def test_total_ground_capacitance_preserved(self, bus5):
+        skeleton = build_skeleton(bus5)
+        caps = skeleton.circuit.elements_of_type(Capacitor)
+        total = sum(c.value for c in caps if c.n2 == "0")
+        assert total == pytest.approx(float(bus5.ground_capacitance.sum()))
+
+    def test_total_coupling_capacitance_preserved(self, bus5):
+        skeleton = build_skeleton(bus5)
+        caps = skeleton.circuit.elements_of_type(Capacitor)
+        total = sum(c.value for c in caps if c.n2 != "0")
+        assert total == pytest.approx(
+            sum(bus5.coupling_capacitance.values())
+        )
+
+
+class TestTestbenches:
+    def test_bus_testbench_drives_aggressor_only(self, fresh_bus5):
+        skeleton = build_skeleton(fresh_bus5)
+        attach_bus_testbench(skeleton, step(1.0, 10e-12), aggressor=2)
+        sources = skeleton.circuit.elements_of_type(VoltageSource)
+        assert [s.name for s in sources] == ["Vdrv2"]
+
+    def test_bus_testbench_loads_every_far_end(self, fresh_bus5):
+        skeleton = build_skeleton(fresh_bus5)
+        attach_bus_testbench(skeleton, step(1.0, 10e-12))
+        names = {e.name for e in skeleton.circuit}
+        assert all(f"CL{w}" in names for w in range(5))
+        assert all(f"Rd{w}" in names for w in range(5))
+
+    def test_bus_testbench_rejects_missing_wire(self, fresh_bus5):
+        skeleton = build_skeleton(fresh_bus5)
+        with pytest.raises(ValueError):
+            attach_bus_testbench(skeleton, step(1.0, 10e-12), aggressor=99)
+
+    def test_two_port_returns_nodes(self):
+        parasitics = extract(square_spiral(turns=2, total_segments=20))
+        skeleton = build_skeleton(parasitics)
+        near, far = attach_two_port_testbench(skeleton, step(1.0, 10e-12))
+        assert near == skeleton.ports[0].near
+        assert far == skeleton.ports[0].far
+
+    def test_zero_load_capacitance_skipped(self, fresh_bus5):
+        skeleton = build_skeleton(fresh_bus5)
+        attach_bus_testbench(skeleton, step(1.0, 10e-12), load_capacitance=0.0)
+        names = {e.name for e in skeleton.circuit}
+        assert "CL0" not in names

@@ -1,0 +1,79 @@
+"""Tests for the simultaneous-switching (multi-aggressor) testbench."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.sources import step
+from repro.circuit.transient import transient_analysis
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.peec.builder import (
+    attach_bus_testbench,
+    attach_multi_aggressor_testbench,
+    build_skeleton,
+)
+from repro.peec.model import build_peec
+
+
+def victim_wave(drives, bits=5, victim=2, t_stop=200e-12):
+    model = build_peec(extract(aligned_bus(bits)))
+    attach_multi_aggressor_testbench(model.skeleton, drives)
+    node = model.skeleton.ports[victim].far
+    result = transient_analysis(
+        model.circuit, t_stop, 1e-12, probe_nodes=[node]
+    )
+    return result.voltage(node)
+
+
+class TestStructure:
+    def test_sources_per_aggressor(self, fresh_bus5):
+        skeleton = build_skeleton(fresh_bus5)
+        rise = step(1.0, rise_time=10e-12)
+        attach_multi_aggressor_testbench(skeleton, {0: rise, 4: rise})
+        names = {e.name for e in skeleton.circuit}
+        assert {"Vdrv0", "Vdrv4"} <= names
+        assert "Vdrv2" not in names
+
+    def test_single_aggressor_equals_standard_testbench(self):
+        rise = step(1.0, rise_time=10e-12)
+        multi = victim_wave({0: rise})
+        single_model = build_peec(extract(aligned_bus(5)))
+        attach_bus_testbench(single_model.skeleton, rise, aggressor=0)
+        node = single_model.skeleton.ports[2].far
+        single = transient_analysis(
+            single_model.circuit, 200e-12, 1e-12, probe_nodes=[node]
+        ).voltage(node)
+        assert np.allclose(multi.v, single.v, atol=1e-12)
+
+    def test_validation(self, fresh_bus5):
+        skeleton = build_skeleton(fresh_bus5)
+        with pytest.raises(ValueError):
+            attach_multi_aggressor_testbench(skeleton, {})
+        with pytest.raises(ValueError):
+            attach_multi_aggressor_testbench(
+                skeleton, {42: step(1.0, 10e-12)}
+            )
+
+
+class TestSuperposition:
+    def test_two_aggressors_superpose(self):
+        """Linearity: the symmetric pair's noise is the sum of each."""
+        rise = step(1.0, rise_time=10e-12)
+        both = victim_wave({1: rise, 3: rise})
+        left = victim_wave({1: rise})
+        right = victim_wave({3: rise})
+        assert np.allclose(both.v, left.v + right.v, atol=1e-9)
+
+    def test_in_phase_neighbors_worse_than_one(self):
+        rise = step(1.0, rise_time=10e-12)
+        both = victim_wave({1: rise, 3: rise})
+        one = victim_wave({1: rise})
+        assert both.peak > 1.5 * one.peak
+
+    def test_anti_phase_cancels_on_symmetric_victim(self):
+        rising = step(1.0, rise_time=10e-12)
+        falling = step(0.0, rise_time=10e-12, v_initial=1.0)
+        waves = victim_wave({1: rising, 3: falling})
+        single = victim_wave({1: rising})
+        # The symmetric victim sees near-perfect cancellation.
+        assert waves.peak < 0.05 * single.peak

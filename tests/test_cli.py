@@ -1,0 +1,164 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExtract:
+    def test_bus_summary(self, capsys):
+        assert main(["extract", "--bus", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 filaments" in out
+        assert "nH" in out
+
+    def test_spiral_summary(self, capsys):
+        assert main(["extract", "--spiral", "2", "--spiral-segments", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "20 filaments" in out
+
+    def test_geometry_required(self):
+        with pytest.raises(SystemExit):
+            main(["extract"])
+
+
+class TestNetlist:
+    def test_stdout_netlist(self, capsys):
+        assert main(["netlist", "--bus", "3", "--model", "peec"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("* peec:")
+        assert ".end" in out
+
+    def test_vpec_netlist_has_magnetic_circuit(self, capsys):
+        assert main(["netlist", "--bus", "3", "--model", "full"]) == 0
+        out = capsys.readouterr().out
+        assert "Rc0_1" in out  # coupling resistance
+        assert "Ev0" in out  # controlled source
+
+    def test_file_output(self, tmp_path, capsys):
+        target = tmp_path / "bus.sp"
+        assert (
+            main(
+                [
+                    "netlist",
+                    "--bus",
+                    "3",
+                    "--model",
+                    "gw",
+                    "--window",
+                    "2",
+                    "-o",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        assert target.exists()
+        assert "bytes" in capsys.readouterr().out
+
+    def test_sparsified_models(self, capsys):
+        assert main(
+            ["netlist", "--bus", "4", "--model", "nt", "--threshold", "0.01"]
+        ) == 0
+        assert main(
+            ["netlist", "--bus", "4", "--model", "gt", "--nw", "2", "--nl", "1"]
+        ) == 0
+
+
+class TestCrosstalk:
+    def test_pass_case(self, capsys):
+        code = main(
+            [
+                "crosstalk",
+                "--bus",
+                "4",
+                "--model",
+                "full",
+                "--t-stop",
+                "150",
+                "--limit",
+                "0.5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        assert "noise peak" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        target = tmp_path / "waves.csv"
+        code = main(
+            [
+                "crosstalk",
+                "--bus",
+                "4",
+                "--t-stop",
+                "100",
+                "--limit",
+                "0.5",
+                "--csv",
+                str(target),
+            ]
+        )
+        assert code == 0
+        text = target.read_text()
+        assert text.startswith("t,victim")
+        assert len(text.splitlines()) > 50
+
+    def test_fail_case_exit_code(self, capsys):
+        code = main(
+            [
+                "crosstalk",
+                "--bus",
+                "4",
+                "--t-stop",
+                "150",
+                "--limit",
+                "0.001",
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestAudit:
+    def test_full_vpec_passes(self, capsys):
+        assert main(["audit", "--bus", "4", "--model", "full"]) == 0
+        out = capsys.readouterr().out
+        assert "passive=True" in out
+        assert "PASS" in out
+
+    def test_truncated_passes(self, capsys):
+        assert (
+            main(
+                [
+                    "audit",
+                    "--bus",
+                    "8",
+                    "--model",
+                    "nt",
+                    "--threshold",
+                    "0.01",
+                ]
+            )
+            == 0
+        )
+        assert "PASS" in capsys.readouterr().out
+
+    def test_spiral_windowed(self, capsys):
+        code = main(
+            [
+                "audit",
+                "--spiral",
+                "2",
+                "--spiral-segments",
+                "20",
+                "--model",
+                "nw",
+                "--threshold",
+                "0.05",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("direction group") == 2

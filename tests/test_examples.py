@@ -1,0 +1,29 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; each contains its own
+assertions (waveform equivalence, passivity outcomes, accuracy bounds),
+so executing them is a meaningful end-to-end test, not just an import
+check.  They run in-process via runpy to share the warmed interpreter.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_complete():
+    """The README promises at least a quickstart plus domain scripts."""
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "OK" in out or "PASS" in out or "Reading the table" in out

@@ -1,0 +1,120 @@
+"""Golden-value regression tests.
+
+These pin the *physics* of the reproduction: extraction values with
+classical cross-checks, and the headline simulation numbers the
+EXPERIMENTS.md narrative quotes.  A failure here means the numerical
+behavior of the library changed -- intentionally or not -- and the
+documented results need re-validation.
+
+Tolerances are deliberately loose enough to survive refactoring-level
+noise (solver ordering, compiler differences) but tight enough to catch
+formula or stamping regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import waveform_difference
+from repro.circuit.sources import step
+from repro.extraction.inductance import self_inductance_bar
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.experiments.runner import (
+    build_model,
+    full_spec,
+    localized_spec,
+    peec_spec,
+    run_bus_transient,
+)
+
+#: Headline values; tolerance is relative unless noted.
+GOLDENS = {
+    # 1000 x 1 x 1 um copper bar (Grover/Ruehli closed form).
+    "self_inductance_nH": (1.4816, 0.01),
+    # Nearest-neighbor coupling coefficient of the paper's bus pitch.
+    "bus_k_nearest": (0.7444, 0.01),
+    # DC resistance of the paper's line.
+    "line_resistance_ohm": (17.0, 0.001),
+    # Ground capacitance per line (Sakurai-Tamaru, eps_r = 2, h = 1 um).
+    "line_ground_cap_fF": (68.886, 0.01),
+    # 5-bit bus victim noise peak under the standard testbench.
+    "bus5_victim_peak_mV": (113.4, 0.03),
+    # Localized-VPEC mean error relative to the noise peak (Fig. 2).
+    "localized_error_of_peak": (0.185, 0.15),
+}
+
+
+def golden(name):
+    return GOLDENS[name]
+
+
+class TestExtractionGoldens:
+    def test_self_inductance(self):
+        value, tol = golden("self_inductance_nH")
+        measured = self_inductance_bar(1000e-6, 1e-6, 1e-6) * 1e9
+        assert measured == pytest.approx(value, rel=tol)
+
+    def test_bus_coupling_coefficient(self):
+        value, tol = golden("bus_k_nearest")
+        parasitics = extract(aligned_bus(2))
+        L = parasitics.inductance
+        assert L[0, 1] / L[0, 0] == pytest.approx(value, rel=tol)
+
+    def test_line_resistance(self):
+        value, tol = golden("line_resistance_ohm")
+        parasitics = extract(aligned_bus(1))
+        assert parasitics.resistance[0] == pytest.approx(value, rel=tol)
+
+    def test_ground_capacitance(self):
+        value, tol = golden("line_ground_cap_fF")
+        parasitics = extract(aligned_bus(1))
+        assert parasitics.ground_capacitance[0] * 1e15 == pytest.approx(
+            value, rel=tol
+        )
+
+
+class TestSimulationGoldens:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        stimulus = step(1.0, rise_time=10e-12)
+        out = {}
+        for label, spec in (
+            ("peec", peec_spec()),
+            ("full", full_spec()),
+            ("localized", localized_spec()),
+        ):
+            out[label] = run_bus_transient(
+                build_model(spec, extract(aligned_bus(5))),
+                stimulus,
+                400e-12,
+                0.5e-12,
+                [1],
+            ).waveforms["far1"]
+        return out
+
+    def test_victim_peak(self, runs):
+        value, tol = golden("bus5_victim_peak_mV")
+        assert runs["peec"].peak * 1e3 == pytest.approx(value, rel=tol)
+
+    def test_full_vpec_equivalence_stays_exact(self, runs):
+        diff = waveform_difference(runs["peec"], runs["full"])
+        assert diff.max_relative_to_peak < 1e-8
+
+    def test_localized_error_magnitude(self, runs):
+        value, tol = golden("localized_error_of_peak")
+        diff = waveform_difference(runs["peec"], runs["localized"])
+        assert diff.mean_relative_to_peak == pytest.approx(value, rel=tol)
+
+    def test_speed_of_light_consistency(self):
+        """LC product of the extracted line respects causality.
+
+        The propagation velocity 1/sqrt(L'C') derived from the per-length
+        self inductance and ground capacitance must not exceed c (it is
+        below c/sqrt(eps_r) only approximately, since partial L is not
+        loop L -- but exceeding c outright would flag an extraction bug).
+        """
+        parasitics = extract(aligned_bus(1))
+        l_per = parasitics.inductance[0, 0] / 1000e-6
+        c_per = parasitics.ground_capacitance[0] / 1000e-6
+        velocity = 1.0 / np.sqrt(l_per * c_per)
+        assert velocity < 3.0e8

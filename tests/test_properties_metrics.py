@@ -1,0 +1,113 @@
+"""Property-based tests of the metric and GMD kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.metrics import waveform_difference
+from repro.circuit.waveform import Waveform
+from repro.extraction.inductance import gmd_rectangles
+
+
+@st.composite
+def waveform(draw, size=st.integers(min_value=2, max_value=40)):
+    n = draw(size)
+    values = draw(
+        hnp.arrays(
+            np.float64,
+            n,
+            elements=st.floats(
+                min_value=-10.0, max_value=10.0, allow_nan=False
+            ),
+        )
+    )
+    return Waveform(np.linspace(0.0, 1.0, n), values)
+
+
+class TestMetricProperties:
+    @given(waveform())
+    @settings(max_examples=50, deadline=None)
+    def test_self_difference_is_zero(self, wave):
+        diff = waveform_difference(wave, wave)
+        assert diff.mean_abs == 0.0
+        assert diff.max_abs == 0.0
+
+    @given(waveform(), st.floats(min_value=-5.0, max_value=5.0))
+    @settings(max_examples=50, deadline=None)
+    def test_constant_offset_measured_exactly(self, wave, offset):
+        shifted = Waveform(wave.t.copy(), wave.v + offset)
+        diff = waveform_difference(wave, shifted)
+        assert diff.mean_abs == pytest.approx(abs(offset), abs=1e-12)
+        assert diff.std_abs == pytest.approx(0.0, abs=1e-9)
+
+    @given(waveform(), st.floats(min_value=0.1, max_value=4.0))
+    @settings(max_examples=50, deadline=None)
+    def test_difference_scales_linearly(self, wave, scale):
+        doubled = Waveform(wave.t.copy(), wave.v * (1.0 + scale))
+        base = waveform_difference(wave, Waveform(wave.t.copy(), wave.v * 2.0))
+        scaled = waveform_difference(wave, doubled)
+        assert scaled.mean_abs == pytest.approx(
+            base.mean_abs * scale, rel=1e-9, abs=1e-12
+        )
+
+    @given(waveform())
+    @settings(max_examples=50, deadline=None)
+    def test_mean_bounded_by_max(self, wave):
+        other = Waveform(wave.t.copy(), np.flip(wave.v))
+        diff = waveform_difference(wave, other)
+        assert diff.mean_abs <= diff.max_abs + 1e-15
+
+
+@st.composite
+def cross_section_pair(draw):
+    def dim():
+        return draw(st.floats(min_value=0.1e-6, max_value=5e-6))
+
+    w1, t1, w2, t2 = dim(), dim(), dim(), dim()
+    # Keep the sections separated along the width axis.
+    gap = draw(st.floats(min_value=0.05e-6, max_value=10e-6))
+    offset_w = (w1 + w2) / 2.0 + gap
+    offset_t = draw(st.floats(min_value=0.0, max_value=5e-6))
+    return w1, t1, w2, t2, offset_w, offset_t
+
+
+class TestGmdProperties:
+    @given(cross_section_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_under_swap(self, pair):
+        w1, t1, w2, t2, dw, dt = pair
+        forward = gmd_rectangles(w1, t1, w2, t2, dw, dt)
+        backward = gmd_rectangles(w2, t2, w1, t1, dw, dt)
+        assert forward == pytest.approx(backward, rel=1e-9)
+
+    @given(cross_section_pair(), st.floats(min_value=1.2, max_value=4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_separation(self, pair, factor):
+        w1, t1, w2, t2, dw, dt = pair
+        near = gmd_rectangles(w1, t1, w2, t2, dw, dt)
+        far = gmd_rectangles(w1, t1, w2, t2, dw * factor, dt * factor)
+        assert far > near
+
+    @given(cross_section_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_extreme_distances(self, pair):
+        w1, t1, w2, t2, dw, dt = pair
+        center = float(np.hypot(dw, dt))
+        diag = float(
+            np.hypot(dw + (w1 + w2) / 2, abs(dt) + (t1 + t2) / 2)
+        )
+        g = gmd_rectangles(w1, t1, w2, t2, dw, dt)
+        assert 0 < g <= diag
+        # The GMD of separated convex sections exceeds the face gap.
+        face_gap = max(dw - (w1 + w2) / 2.0, 0.0)
+        assert g >= face_gap
+        del center
+
+    @given(cross_section_pair())
+    @settings(max_examples=30, deadline=None)
+    def test_far_limit_is_center_distance(self, pair):
+        w1, t1, w2, t2, _, _ = pair
+        distance = 200e-6
+        g = gmd_rectangles(w1, t1, w2, t2, distance, 0.0)
+        assert g == pytest.approx(distance, rel=1e-3)

@@ -1,0 +1,100 @@
+"""Unit tests for VPEC circuit assembly (the Fig. 1 topology)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.elements import (
+    CCCS,
+    VCCS,
+    VCVS,
+    Inductor,
+    MutualInductance,
+    Resistor,
+    VoltageSource,
+)
+from repro.vpec.builder import UNIT_INDUCTANCE, build_vpec
+from repro.vpec.full import full_vpec_networks
+from repro.vpec.truncation import truncate_numerical
+
+
+class TestTopology:
+    def test_per_filament_components(self, bus5):
+        model = build_vpec(bus5, full_vpec_networks(bus5))
+        counts = model.circuit.element_counts()
+        # Per filament: sense V, VCVS, CCCS, VCCS, unit L, ground R.
+        assert counts["VoltageSource"] == 5
+        assert counts["VCVS"] == 5
+        assert counts["CCCS"] == 5
+        assert counts["VCCS"] == 5
+        assert counts["Inductor"] == 5
+
+    def test_no_mutual_inductances(self, bus5):
+        """The VPEC model replaces all mutual coupling with resistors."""
+        model = build_vpec(bus5, full_vpec_networks(bus5))
+        assert not model.circuit.elements_of_type(MutualInductance)
+
+    def test_unit_inductors(self, bus5):
+        model = build_vpec(bus5, full_vpec_networks(bus5))
+        for inductor in model.circuit.elements_of_type(Inductor):
+            assert inductor.value == UNIT_INDUCTANCE
+
+    def test_full_coupling_resistor_count(self, bus5):
+        model = build_vpec(bus5, full_vpec_networks(bus5))
+        assert model.coupling_resistor_count == 10
+
+    def test_sparse_factor_full(self, bus5):
+        model = build_vpec(bus5, full_vpec_networks(bus5))
+        assert model.sparse_factor() == pytest.approx(1.0)
+
+    def test_sparse_factor_truncated(self, bus16):
+        networks = [
+            truncate_numerical(n, 0.02) for n in full_vpec_networks(bus16)
+        ]
+        model = build_vpec(bus16, networks)
+        assert model.sparse_factor() < 1.0
+        assert model.sparse_factor() == pytest.approx(
+            model.coupling_resistor_count / 120.0
+        )
+
+    def test_sense_sources_are_zero_volt(self, bus5):
+        model = build_vpec(bus5, full_vpec_networks(bus5))
+        for name in model.sense_names:
+            source = model.circuit.element(name)
+            assert isinstance(source, VoltageSource)
+            assert source.stimulus.dc == 0.0
+
+    def test_coupling_resistance_values(self, bus5):
+        model = build_vpec(bus5, full_vpec_networks(bus5))
+        network = model.networks[0]
+        resistor = model.circuit.element("Rc0_1")
+        expected = network.coupling_resistance(0, 1)
+        assert resistor.value == pytest.approx(expected)
+
+    def test_ground_resistor_values(self, bus5):
+        model = build_vpec(bus5, full_vpec_networks(bus5))
+        network = model.networks[0]
+        resistor = model.circuit.element("Rg0")
+        assert resistor.value == pytest.approx(network.ground_resistances()[0])
+
+    def test_controlled_gains_scale_with_length(self, bus8x2):
+        model = build_vpec(bus8x2, full_vpec_networks(bus8x2))
+        lengths = bus8x2.system.lengths()
+        vcvs = model.circuit.element("Ev0")
+        cccs = model.circuit.element("Fi0")
+        assert vcvs.gain == pytest.approx(lengths[0])
+        assert cccs.gain == pytest.approx(lengths[0])
+
+    def test_networks_must_cover_all_filaments(self, bus5):
+        networks = full_vpec_networks(bus5)
+        networks[0].indices = networks[0].indices[:-1]
+        with pytest.raises(ValueError):
+            build_vpec(bus5, networks)
+
+    def test_spiral_signs_in_gains(self, spiral_small):
+        model = build_vpec(spiral_small, full_vpec_networks(spiral_small))
+        gains = [
+            model.circuit.element(f"Ev{k}").gain
+            for k in range(len(spiral_small.system))
+        ]
+        assert any(g < 0 for g in gains)
+        assert any(g > 0 for g in gains)

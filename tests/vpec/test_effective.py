@@ -1,0 +1,111 @@
+"""Unit tests for the VPEC effective-resistance network (eq. 6-10)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.vpec.effective import VpecNetwork
+from repro.vpec.full import full_vpec_networks, invert_spd
+
+
+def toy_network(l=1e-3):
+    """A hand-checkable 2x2 network: L = [[2, 1], [1, 2]] nH."""
+    L = 1e-9 * np.array([[2.0, 1.0], [1.0, 2.0]])
+    S = np.linalg.inv(L)
+    return VpecNetwork.from_inverse([0, 1], [l, l], S), L, S
+
+
+class TestConstruction:
+    def test_ghat_is_l_squared_s(self):
+        network, _, S = toy_network(l=2e-3)
+        assert np.allclose(network.dense_ghat(), (2e-3) ** 2 * S)
+
+    def test_mixed_lengths_scale_rows_and_columns(self):
+        L = 1e-9 * np.array([[2.0, 1.0], [1.0, 2.0]])
+        S = np.linalg.inv(L)
+        lengths = np.array([1e-3, 3e-3])
+        network = VpecNetwork.from_inverse([0, 1], lengths, S)
+        expected = np.outer(lengths, lengths) * S
+        assert np.allclose(network.dense_ghat(), expected)
+
+    def test_sparse_input_accepted(self):
+        S = sparse.csr_matrix(np.array([[2.0, -0.5], [-0.5, 2.0]]))
+        network = VpecNetwork.from_inverse([3, 7], [1.0, 1.0], S)
+        assert network.dense_ghat()[0, 1] == pytest.approx(-0.5)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            VpecNetwork(indices=[0, 1], lengths=np.ones(3), ghat=np.eye(2))
+        with pytest.raises(ValueError):
+            VpecNetwork(indices=[0, 1], lengths=np.ones(2), ghat=np.eye(3))
+
+
+class TestEffectiveResistances:
+    def test_coupling_resistance_formula(self):
+        network, _, S = toy_network()
+        # Rhat_01 = -1 / (l^2 S_01), eq. 10.
+        expected = -1.0 / ((1e-3) ** 2 * S[0, 1])
+        assert network.coupling_resistance(0, 1) == pytest.approx(expected)
+
+    def test_coupling_resistance_positive_for_bus(self, bus5):
+        network = full_vpec_networks(bus5)[0]
+        for a, b, _ in network.coupling_entries():
+            assert network.coupling_resistance(a, b) > 0
+
+    def test_ground_resistance_formula(self):
+        network, _, S = toy_network()
+        expected = 1.0 / ((1e-3) ** 2 * (S[0, 0] + S[0, 1]))
+        assert network.ground_resistances()[0] == pytest.approx(expected)
+
+    def test_ground_conductances_are_row_sums(self):
+        network, _, _ = toy_network()
+        dense = network.dense_ghat()
+        assert np.allclose(network.ground_conductances(), dense.sum(axis=1))
+
+    def test_missing_coupling_raises(self):
+        network = VpecNetwork(indices=[0, 1], lengths=np.ones(2), ghat=np.eye(2))
+        with pytest.raises(KeyError):
+            network.coupling_resistance(0, 1)
+
+    def test_zero_row_sum_gives_infinite_ground(self):
+        ghat = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        network = VpecNetwork(indices=[0, 1], lengths=np.ones(2), ghat=ghat)
+        assert np.all(np.isinf(network.ground_resistances()))
+
+
+class TestSizeStatistics:
+    def test_full_network_sparse_factor_is_one(self, bus16):
+        network = full_vpec_networks(bus16)[0]
+        assert network.sparse_factor() == pytest.approx(1.0)
+        assert network.coupling_count() == 16 * 15 // 2
+
+    def test_coupling_entries_iterates_upper_triangle(self):
+        network, _, _ = toy_network()
+        entries = list(network.coupling_entries())
+        assert len(entries) == 1
+        a, b, _ = entries[0]
+        assert (a, b) == (0, 1)
+
+    def test_single_filament_network(self):
+        network = VpecNetwork(indices=[0], lengths=np.ones(1), ghat=np.eye(1))
+        assert network.sparse_factor() == 1.0
+        assert network.coupling_count() == 0
+
+
+class TestInvertSpd:
+    def test_matches_numpy_inverse(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=(6, 6))
+        spd = a @ a.T + 6 * np.eye(6)
+        assert np.allclose(invert_spd(spd), np.linalg.inv(spd))
+
+    def test_result_symmetric(self):
+        rng = np.random.default_rng(8)
+        a = rng.normal(size=(5, 5))
+        spd = a @ a.T + 5 * np.eye(5)
+        inverse = invert_spd(spd)
+        assert np.allclose(inverse, inverse.T)
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            invert_spd(np.array([[1.0, 2.0], [2.0, 1.0]]))

@@ -1,0 +1,153 @@
+"""Integration tests of the paper's central claim: full VPEC == PEEC.
+
+Section II-C: "the full VPEC model and the PEEC model obtain identical
+waveforms in both frequency- and time-domain simulations."  These tests
+verify the equivalence end-to-end through the extraction, model
+construction, and simulation layers, in DC, AC, and transient analyses,
+on buses and on the (irregular, mixed-direction) spiral.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ac_analysis, logspace_frequencies
+from repro.circuit.dc import dc_operating_point
+from repro.circuit.sources import ac_unit, dc, step
+from repro.circuit.transient import transient_analysis
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus, nonaligned_bus
+from repro.geometry.spiral import square_spiral
+from repro.peec.builder import attach_bus_testbench, attach_two_port_testbench
+from repro.peec.model import build_peec
+from repro.vpec.builder import build_vpec
+from repro.vpec.full import full_vpec_networks
+
+
+def models_for(parasitics):
+    peec = build_peec(parasitics)
+    vpec = build_vpec(parasitics, full_vpec_networks(parasitics))
+    return peec, vpec
+
+
+class TestBusEquivalence:
+    def test_transient_identical(self, fresh_bus5):
+        peec, _ = models_for(fresh_bus5)
+        vpec = build_vpec(fresh_bus5, full_vpec_networks(fresh_bus5))
+        stim = step(1.0, rise_time=10e-12)
+        attach_bus_testbench(peec.skeleton, stim)
+        attach_bus_testbench(vpec.skeleton, stim)
+        victim_p = peec.skeleton.ports[1].far
+        victim_v = vpec.skeleton.ports[1].far
+        r_p = transient_analysis(peec.circuit, 300e-12, 1e-12, probe_nodes=[victim_p])
+        r_v = transient_analysis(vpec.circuit, 300e-12, 1e-12, probe_nodes=[victim_v])
+        w_p, w_v = r_p.voltage(victim_p), r_v.voltage(victim_v)
+        assert np.max(np.abs(w_p.v - w_v.v)) < 1e-9 * max(w_p.peak, 1e-12)
+
+    def test_ac_identical_across_ten_decades(self):
+        parasitics = extract(aligned_bus(4))
+        peec, vpec = models_for(parasitics)
+        stim = ac_unit(1.0)
+        attach_bus_testbench(peec.skeleton, stim)
+        attach_bus_testbench(vpec.skeleton, stim)
+        freqs = logspace_frequencies(1.0, 10e9, 4)
+        node_p = peec.skeleton.ports[1].far
+        node_v = vpec.skeleton.ports[1].far
+        r_p = ac_analysis(peec.circuit, freqs, probe_nodes=[node_p])
+        r_v = ac_analysis(vpec.circuit, freqs, probe_nodes=[node_v])
+        assert np.allclose(
+            r_p.voltage(node_p), r_v.voltage(node_v), rtol=1e-8, atol=1e-15
+        )
+
+    def test_dc_identical(self):
+        parasitics = extract(aligned_bus(3))
+        peec, vpec = models_for(parasitics)
+        stim = dc(1.0)
+        attach_bus_testbench(peec.skeleton, stim)
+        attach_bus_testbench(vpec.skeleton, stim)
+        sol_p = dc_operating_point(peec.circuit)
+        sol_v = dc_operating_point(vpec.circuit)
+        for wire in range(3):
+            # abs tolerance ~gmin leakage: the two topologies have
+            # different node counts, so the 1e-12 S regularizer shifts
+            # the floating quiet lines by O(1e-10 V).
+            assert sol_p.voltage(peec.skeleton.ports[wire].far) == pytest.approx(
+                sol_v.voltage(vpec.skeleton.ports[wire].far), abs=1e-8
+            )
+
+    def test_aggressor_waveform_identical(self, fresh_bus5):
+        peec, _ = models_for(fresh_bus5)
+        vpec = build_vpec(fresh_bus5, full_vpec_networks(fresh_bus5))
+        stim = step(1.0, rise_time=10e-12)
+        attach_bus_testbench(peec.skeleton, stim)
+        attach_bus_testbench(vpec.skeleton, stim)
+        node_p = peec.skeleton.ports[0].far
+        node_v = vpec.skeleton.ports[0].far
+        w_p = transient_analysis(
+            peec.circuit, 300e-12, 1e-12, probe_nodes=[node_p]
+        ).voltage(node_p)
+        w_v = transient_analysis(
+            vpec.circuit, 300e-12, 1e-12, probe_nodes=[node_v]
+        ).voltage(node_v)
+        assert np.max(np.abs(w_p.v - w_v.v)) < 1e-9
+
+    def test_multisegment_bus_equivalence(self, bus8x2):
+        peec, vpec = models_for(bus8x2)
+        stim = step(1.0, rise_time=10e-12)
+        attach_bus_testbench(peec.skeleton, stim)
+        attach_bus_testbench(vpec.skeleton, stim)
+        node_p = peec.skeleton.ports[1].far
+        node_v = vpec.skeleton.ports[1].far
+        w_p = transient_analysis(
+            peec.circuit, 200e-12, 1e-12, probe_nodes=[node_p]
+        ).voltage(node_p)
+        w_v = transient_analysis(
+            vpec.circuit, 200e-12, 1e-12, probe_nodes=[node_v]
+        ).voltage(node_v)
+        assert np.max(np.abs(w_p.v - w_v.v)) < 1e-9
+
+    def test_nonaligned_bus_equivalence(self, nonaligned16):
+        peec, vpec = models_for(nonaligned16)
+        stim = step(1.0, rise_time=10e-12)
+        attach_bus_testbench(peec.skeleton, stim)
+        attach_bus_testbench(vpec.skeleton, stim)
+        node_p = peec.skeleton.ports[1].far
+        node_v = vpec.skeleton.ports[1].far
+        w_p = transient_analysis(
+            peec.circuit, 200e-12, 1e-12, probe_nodes=[node_p]
+        ).voltage(node_p)
+        w_v = transient_analysis(
+            vpec.circuit, 200e-12, 1e-12, probe_nodes=[node_v]
+        ).voltage(node_v)
+        assert np.max(np.abs(w_p.v - w_v.v)) < 1e-9
+
+
+class TestSpiralEquivalence:
+    def test_transient_identical(self, spiral_small):
+        """Mixed x/y directions and traversal signs handled correctly."""
+        peec, vpec = models_for(spiral_small)
+        stim = step(1.0, rise_time=10e-12)
+        attach_two_port_testbench(peec.skeleton, stim)
+        attach_two_port_testbench(vpec.skeleton, stim)
+        node_p = peec.skeleton.ports[0].far
+        node_v = vpec.skeleton.ports[0].far
+        w_p = transient_analysis(
+            peec.circuit, 400e-12, 1e-12, probe_nodes=[node_p]
+        ).voltage(node_p)
+        w_v = transient_analysis(
+            vpec.circuit, 400e-12, 1e-12, probe_nodes=[node_v]
+        ).voltage(node_v)
+        assert np.max(np.abs(w_p.v - w_v.v)) < 1e-6 * max(w_p.peak, 1.0)
+
+    def test_ac_identical(self, spiral_small):
+        peec, vpec = models_for(spiral_small)
+        stim = ac_unit(1.0)
+        attach_two_port_testbench(peec.skeleton, stim)
+        attach_two_port_testbench(vpec.skeleton, stim)
+        freqs = logspace_frequencies(1e6, 10e9, 3)
+        node_p = peec.skeleton.ports[0].far
+        node_v = vpec.skeleton.ports[0].far
+        r_p = ac_analysis(peec.circuit, freqs, probe_nodes=[node_p])
+        r_v = ac_analysis(vpec.circuit, freqs, probe_nodes=[node_v])
+        assert np.allclose(
+            r_p.voltage(node_p), r_v.voltage(node_v), rtol=1e-7, atol=1e-15
+        )

@@ -1,0 +1,65 @@
+"""Unit tests for the high-level VPEC flows."""
+
+import pytest
+
+from repro.vpec.flow import (
+    full_vpec,
+    localized_vpec,
+    truncated_vpec,
+    windowed_vpec,
+)
+
+
+class TestFlavors:
+    def test_full(self, bus5):
+        result = full_vpec(bus5)
+        assert result.flavor == "full"
+        assert result.sparse_factor == pytest.approx(1.0)
+        assert result.build_seconds >= 0.0
+
+    def test_gtvpec(self, bus8x2):
+        result = truncated_vpec(bus8x2, nw=4, nl=1)
+        assert result.flavor == "gtVPEC"
+        assert result.sparse_factor < 1.0
+
+    def test_ntvpec(self, bus16):
+        result = truncated_vpec(bus16, threshold=1e-2)
+        assert result.flavor == "ntVPEC"
+        assert 0.0 < result.sparse_factor < 1.0
+
+    def test_gwvpec(self, bus16):
+        result = windowed_vpec(bus16, window_size=4)
+        assert result.flavor == "gwVPEC"
+        assert result.sparse_factor < 1.0
+
+    def test_nwvpec(self, bus16):
+        # Parallel 1000-um lines couple strongly; 0.6 lands mid-range.
+        result = windowed_vpec(bus16, threshold=0.6)
+        assert result.flavor == "nwVPEC"
+        assert result.sparse_factor < 1.0
+
+    def test_localized(self, bus5):
+        result = localized_vpec(bus5)
+        assert result.flavor == "localized"
+        assert result.model.coupling_resistor_count == 4
+
+
+class TestValidation:
+    def test_truncated_needs_exactly_one_selection(self, bus5):
+        with pytest.raises(ValueError):
+            truncated_vpec(bus5)
+        with pytest.raises(ValueError):
+            truncated_vpec(bus5, nw=2, nl=1, threshold=0.1)
+        with pytest.raises(ValueError):
+            truncated_vpec(bus5, nw=2)
+
+    def test_windowed_needs_exactly_one_selection(self, bus5):
+        with pytest.raises(ValueError):
+            windowed_vpec(bus5)
+        with pytest.raises(ValueError):
+            windowed_vpec(bus5, window_size=2, threshold=0.1)
+
+    def test_titles_distinguish_flavors(self, bus5):
+        full = full_vpec(bus5)
+        local = localized_vpec(bus5)
+        assert full.model.circuit.title != local.model.circuit.title

@@ -1,0 +1,149 @@
+"""Unit tests for tVPEC truncation and the localized baseline."""
+
+import numpy as np
+import pytest
+
+from repro.vpec.full import full_vpec_networks
+from repro.vpec.passivity import audit_network
+from repro.vpec.truncation import (
+    coupling_strengths,
+    localize,
+    localized_mask,
+    truncate_geometric,
+    truncate_numerical,
+)
+
+
+class TestCouplingStrengths:
+    def test_zero_diagonal(self, bus5):
+        network = full_vpec_networks(bus5)[0]
+        strengths = coupling_strengths(network)
+        assert np.all(np.diag(strengths) == 0.0)
+
+    def test_nearest_neighbor_strongest(self, bus16):
+        network = full_vpec_networks(bus16)[0]
+        strengths = coupling_strengths(network)
+        row = strengths[5]
+        assert row.argmax() in (4, 6)
+
+    def test_rejects_nonpositive_diagonal(self, bus5):
+        network = full_vpec_networks(bus5)[0]
+        network.ghat = -network.ghat
+        with pytest.raises(ValueError):
+            coupling_strengths(network)
+
+
+class TestNumericalTruncation:
+    def test_zero_threshold_keeps_everything(self, bus16):
+        network = full_vpec_networks(bus16)[0]
+        truncated = truncate_numerical(network, 0.0)
+        assert truncated.coupling_count() == network.coupling_count()
+
+    def test_huge_threshold_drops_everything(self, bus16):
+        network = full_vpec_networks(bus16)[0]
+        truncated = truncate_numerical(network, 1e9)
+        assert truncated.coupling_count() == 0
+
+    def test_monotone_in_threshold(self, bus16):
+        network = full_vpec_networks(bus16)[0]
+        counts = [
+            truncate_numerical(network, threshold).coupling_count()
+            for threshold in (1e-6, 1e-4, 1e-2, 1e-1)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_diagonal_preserved(self, bus16):
+        network = full_vpec_networks(bus16)[0]
+        truncated = truncate_numerical(network, 1e-2)
+        assert np.allclose(
+            np.diag(truncated.dense_ghat()), np.diag(network.dense_ghat())
+        )
+
+    def test_passivity_preserved(self, bus16):
+        """The Section III guarantee: truncation keeps the model passive."""
+        network = full_vpec_networks(bus16)[0]
+        for threshold in (1e-4, 1e-3, 1e-2, 1e-1):
+            report = audit_network(truncate_numerical(network, threshold))
+            assert report.passive
+            assert report.diagonally_dominant
+
+    def test_result_symmetric(self, nonaligned16):
+        network = full_vpec_networks(nonaligned16)[0]
+        truncated = truncate_numerical(network, 1e-3)
+        dense = truncated.dense_ghat()
+        assert np.allclose(dense, dense.T)
+
+    def test_negative_threshold_rejected(self, bus5):
+        network = full_vpec_networks(bus5)[0]
+        with pytest.raises(ValueError):
+            truncate_numerical(network, -1.0)
+
+
+class TestGeometricTruncation:
+    def test_full_window_keeps_everything(self, bus8x2):
+        network = full_vpec_networks(bus8x2)[0]
+        truncated = truncate_geometric(network, bus8x2.system, nw=8, nl=2)
+        assert truncated.coupling_count() == network.coupling_count()
+
+    def test_window_limits_wire_distance(self, bus16):
+        network = full_vpec_networks(bus16)[0]
+        truncated = truncate_geometric(network, bus16.system, nw=4, nl=1)
+        dense = truncated.dense_ghat()
+        system = bus16.system
+        for a, b, _ in truncated.coupling_entries():
+            assert abs(system[a].wire - system[b].wire) < 4
+        del dense
+
+    def test_window_limits_segment_distance(self, bus8x2):
+        network = full_vpec_networks(bus8x2)[0]
+        truncated = truncate_geometric(network, bus8x2.system, nw=8, nl=1)
+        system = bus8x2.system
+        for a, b, _ in truncated.coupling_entries():
+            i, j = network.indices[a], network.indices[b]
+            assert system[i].segment == system[j].segment
+
+    def test_passivity_preserved(self, bus8x2):
+        network = full_vpec_networks(bus8x2)[0]
+        for nw, nl in ((8, 2), (4, 2), (2, 1)):
+            report = audit_network(
+                truncate_geometric(network, bus8x2.system, nw, nl)
+            )
+            assert report.passive
+            assert report.diagonally_dominant
+
+    def test_smaller_window_sparser(self, bus16):
+        network = full_vpec_networks(bus16)[0]
+        wide = truncate_geometric(network, bus16.system, nw=8, nl=1)
+        narrow = truncate_geometric(network, bus16.system, nw=2, nl=1)
+        assert narrow.coupling_count() < wide.coupling_count()
+
+    def test_rejects_bad_window(self, bus5):
+        network = full_vpec_networks(bus5)[0]
+        with pytest.raises(ValueError):
+            truncate_geometric(network, bus5.system, nw=0, nl=1)
+
+
+class TestLocalized:
+    def test_mask_matches_adjacency(self, bus5):
+        network = full_vpec_networks(bus5)[0]
+        mask = localized_mask(network, bus5.system)
+        assert mask[0, 1] and mask[1, 2]
+        assert not mask[0, 2] and not mask[0, 4]
+
+    def test_localized_keeps_chain_only(self, bus5):
+        network = full_vpec_networks(bus5)[0]
+        local = localize(network, bus5.system)
+        assert local.coupling_count() == 4
+
+    def test_localized_still_passive(self, bus16):
+        network = full_vpec_networks(bus16)[0]
+        report = audit_network(localize(network, bus16.system))
+        assert report.passive
+
+    def test_localized_ground_resistances_shrink(self, bus5):
+        """Dropped couplings fold into the ground term (larger row sum)."""
+        network = full_vpec_networks(bus5)[0]
+        local = localize(network, bus5.system)
+        assert np.all(
+            local.ground_conductances() >= network.ground_conductances() - 1e-12
+        )

@@ -1,0 +1,179 @@
+"""Unit tests for wVPEC windowing (Section V)."""
+
+import numpy as np
+import pytest
+
+from repro.vpec.full import full_vpec_networks, invert_spd
+from repro.vpec.passivity import audit_network
+from repro.vpec.windowing import (
+    geometric_windows,
+    numerical_windows,
+    symmetrize_windows,
+    windowed_inverse,
+    windowed_vpec_networks,
+)
+
+
+class TestGeometricWindows:
+    def test_window_contains_self(self, bus16):
+        indices, _ = bus16.inductance_blocks[next(iter(bus16.inductance_blocks))]
+        windows = geometric_windows(bus16.system, indices, 4)
+        for m, window in enumerate(windows):
+            assert m in window
+
+    def test_window_size_respected_up_to_symmetrization(self, bus16):
+        indices = list(range(16))
+        windows = geometric_windows(bus16.system, indices, 4)
+        assert all(4 <= len(w) <= 8 for w in windows)
+
+    def test_bus_window_is_index_neighborhood(self, bus16):
+        indices = list(range(16))
+        windows = geometric_windows(bus16.system, indices, 5)
+        # Interior aggressor: window spans contiguous neighboring bits.
+        window = windows[8]
+        assert np.all(np.diff(window) == 1)
+        assert 8 in window
+
+    def test_full_window_is_everything(self, bus5):
+        windows = geometric_windows(bus5.system, list(range(5)), 5)
+        for window in windows:
+            assert list(window) == [0, 1, 2, 3, 4]
+
+    def test_rejects_bad_size(self, bus5):
+        with pytest.raises(ValueError):
+            geometric_windows(bus5.system, list(range(5)), 0)
+
+
+class TestNumericalWindows:
+    def test_threshold_zero_keeps_all(self, bus16):
+        _, block = bus16.inductance_blocks[next(iter(bus16.inductance_blocks))]
+        windows = numerical_windows(block, 0.0)
+        assert all(len(w) == block.shape[0] for w in windows)
+
+    def test_large_threshold_keeps_self_only(self, bus16):
+        _, block = bus16.inductance_blocks[next(iter(bus16.inductance_blocks))]
+        windows = numerical_windows(block, 10.0)
+        for m, window in enumerate(windows):
+            assert list(window) == [m]
+
+    def test_monotone_in_threshold(self, nonaligned16):
+        _, block = nonaligned16.inductance_blocks[
+            next(iter(nonaligned16.inductance_blocks))
+        ]
+        sizes = [
+            sum(len(w) for w in numerical_windows(block, threshold))
+            for threshold in (0.0, 0.3, 0.6, 0.9)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_rejects_negative_threshold(self, bus5):
+        _, block = bus5.inductance_blocks[next(iter(bus5.inductance_blocks))]
+        with pytest.raises(ValueError):
+            numerical_windows(block, -1.0)
+
+
+class TestSymmetrize:
+    def test_union_membership(self):
+        windows = [np.array([0, 1]), np.array([1]), np.array([0, 2])]
+        fixed = symmetrize_windows(windows)
+        assert list(fixed[0]) == [0, 1, 2]
+        assert list(fixed[1]) == [0, 1]
+        assert list(fixed[2]) == [0, 2]
+
+    def test_idempotent(self):
+        windows = [np.array([0, 1]), np.array([0, 1])]
+        once = symmetrize_windows(windows)
+        twice = symmetrize_windows(once)
+        assert all(list(a) == list(b) for a, b in zip(once, twice))
+
+
+class TestWindowedInverse:
+    def test_full_window_reproduces_exact_inverse(self, bus16):
+        """b = N: the windowed construction equals the true inverse."""
+        _, block = bus16.inductance_blocks[next(iter(bus16.inductance_blocks))]
+        n = block.shape[0]
+        windows = [np.arange(n)] * n
+        s_prime = windowed_inverse(block, windows).toarray()
+        assert np.allclose(s_prime, invert_spd(block), rtol=1e-8, atol=1e-3)
+
+    def test_symmetric(self, bus16):
+        _, block = bus16.inductance_blocks[next(iter(bus16.inductance_blocks))]
+        windows = geometric_windows(bus16.system, list(range(16)), 6)
+        s_prime = windowed_inverse(block, windows).toarray()
+        assert np.allclose(s_prime, s_prime.T)
+
+    def test_eq19_diagonal_dominance(self, bus16):
+        """Eq. 19: the merged S' is (weakly) diagonally dominant."""
+        _, block = bus16.inductance_blocks[next(iter(bus16.inductance_blocks))]
+        for b in (2, 4, 8):
+            windows = geometric_windows(bus16.system, list(range(16)), b)
+            s_prime = windowed_inverse(block, windows).toarray()
+            diag = np.abs(np.diag(s_prime))
+            off = np.sum(np.abs(s_prime), axis=1) - diag
+            assert np.all(diag >= off - 1e-18)
+
+    def test_eq18_picks_smaller_magnitude(self):
+        """The merge keeps the max (smaller-magnitude) estimate."""
+        block = 1e-9 * np.array(
+            [[2.0, 1.0, 0.5], [1.0, 2.0, 1.0], [0.5, 1.0, 2.0]]
+        )
+        windows = [np.array([0, 1, 2])] * 3
+        merged = windowed_inverse(block, windows).toarray()
+        exact = np.linalg.inv(block)
+        # Full windows: both estimates equal the exact inverse entries.
+        assert np.allclose(merged, exact, rtol=1e-9)
+
+    def test_requires_self_in_window(self):
+        block = np.eye(2)
+        with pytest.raises(ValueError):
+            windowed_inverse(block, [np.array([1]), np.array([1])])
+
+    def test_requires_one_window_per_aggressor(self):
+        block = np.eye(2)
+        with pytest.raises(ValueError):
+            windowed_inverse(block, [np.array([0])])
+
+    def test_diagonal_positive(self, bus16):
+        _, block = bus16.inductance_blocks[next(iter(bus16.inductance_blocks))]
+        windows = geometric_windows(bus16.system, list(range(16)), 4)
+        s_prime = windowed_inverse(block, windows).toarray()
+        assert np.all(np.diag(s_prime) > 0)
+
+
+class TestWindowedNetworks:
+    def test_geometric_flavor(self, bus16):
+        networks = windowed_vpec_networks(bus16, window_size=4)
+        assert len(networks) == 1
+        assert networks[0].sparse_factor() < 1.0
+
+    def test_numerical_flavor(self, spiral_small):
+        networks = windowed_vpec_networks(spiral_small, threshold=0.05)
+        assert len(networks) == 2
+
+    def test_passivity(self, bus16):
+        for b in (2, 4, 8, 16):
+            for network in windowed_vpec_networks(bus16, window_size=b):
+                assert audit_network(network).passive
+
+    def test_window_equal_to_size_matches_full(self, bus5):
+        windowed = windowed_vpec_networks(bus5, window_size=5)[0]
+        full = full_vpec_networks(bus5)[0]
+        assert np.allclose(
+            windowed.dense_ghat(), full.dense_ghat(), rtol=1e-8, atol=1e-6
+        )
+
+    def test_flavor_selection_is_exclusive(self, bus5):
+        with pytest.raises(ValueError):
+            windowed_vpec_networks(bus5)
+        with pytest.raises(ValueError):
+            windowed_vpec_networks(bus5, window_size=2, threshold=0.1)
+
+    def test_larger_window_more_accurate(self, bus16):
+        """Monotone quality: larger b approximates the inverse better."""
+        exact = full_vpec_networks(bus16)[0].dense_ghat()
+        errors = []
+        for b in (2, 4, 8, 16):
+            approx = windowed_vpec_networks(bus16, window_size=b)[0].dense_ghat()
+            errors.append(np.linalg.norm(exact - approx) / np.linalg.norm(exact))
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < 1e-6
