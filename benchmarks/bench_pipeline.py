@@ -1,0 +1,121 @@
+"""Pipeline benchmarks: warm-cache speedup, parallel fan-out, profiling.
+
+Exercises the ``repro.pipeline`` subsystem on the Fig. 8 scaling
+workload (the configuration of ``bench_fig8_scaling``):
+
+- a warm cache must make the extraction + model-building portion at
+  least 5x faster than the cold run (pickle loads and content-hash key
+  derivation are all that remain);
+- a parallel run of the same job list must return bitwise-identical
+  results, and -- given more than one CPU -- beat the serial run;
+- the collected stage profile is archived as JSON next to the other
+  benchmark results (``fig8_pipeline_profile.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.analysis.tables import format_table
+from repro.experiments.fig8_scaling import fig8_jobs
+from repro.experiments.jobs import run_jobs
+from repro.experiments.runner import build_model
+from repro.pipeline.cache import PipelineCache, cached_extract
+from repro.pipeline.profiling import CORE_STAGES, collect
+
+#: The Fig. 8 scaling configuration (dense models to 256 bits, the
+#: sparsified model continuing beyond).
+DENSE_SIZES = (8, 16, 32, 64, 128, 256)
+SPARSE_ONLY_SIZES = (512, 1024)
+
+
+def _extract_and_build(jobs, cache) -> float:
+    """Wall time of the extraction + model-building portion only."""
+    start = time.perf_counter()
+    for job in jobs:
+        parasitics = cached_extract(job.geometry.build(), cache=cache)
+        build_model(job.model, parasitics, cache=cache)
+    return time.perf_counter() - start
+
+
+def test_warm_cache_speedup(report, tmp_path):
+    jobs = fig8_jobs(dense_sizes=DENSE_SIZES, sparse_only_sizes=SPARSE_ONLY_SIZES)
+    cache = PipelineCache(tmp_path / "cache")
+    cold = _extract_and_build(jobs, cache)
+    warm = min(_extract_and_build(jobs, cache) for _ in range(3))
+    ratio = cold / warm
+    entries = cache.entries()
+    report(
+        "pipeline_cache",
+        format_table(
+            ["metric", "value"],
+            [
+                ["cold extract+build (s)", f"{cold:.3f}"],
+                ["warm extract+build (s)", f"{warm:.3f}"],
+                ["speedup", f"{ratio:.1f}x"],
+                ["parasitics entries", entries.get("parasitics", 0)],
+                ["model entries", entries.get("models", 0)],
+                ["store size (MB)", f"{cache.size_bytes() / 1e6:.1f}"],
+            ],
+            title="Warm-cache speedup on the Fig. 8 scaling configuration",
+        ),
+    )
+    assert ratio >= 5.0
+
+
+def test_parallel_matches_serial_and_scales(report, tmp_path):
+    # Smaller sizes keep the serial baseline short; >= 4 distinct model
+    # specs run concurrently as the acceptance criterion asks.
+    jobs = fig8_jobs(dense_sizes=(32, 64, 128), sparse_only_sizes=(256,))
+    assert len(jobs) >= 4
+
+    start = time.perf_counter()
+    serial = run_jobs(jobs, parallel=1)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_jobs(jobs, parallel=min(4, os.cpu_count() or 1))
+    parallel_seconds = time.perf_counter() - start
+
+    for a, b in zip(serial, parallel):
+        for key in a.waveforms:
+            assert a.waveforms[key].v.tobytes() == b.waveforms[key].v.tobytes()
+
+    report(
+        "pipeline_parallel",
+        format_table(
+            ["metric", "value"],
+            [
+                ["jobs", len(jobs)],
+                ["cpus", os.cpu_count() or 1],
+                ["serial (s)", f"{serial_seconds:.2f}"],
+                ["parallel (s)", f"{parallel_seconds:.2f}"],
+                ["speedup", f"{serial_seconds / parallel_seconds:.2f}x"],
+            ],
+            title="Parallel fan-out vs serial on the Fig. 8 job list",
+        ),
+    )
+    if (os.cpu_count() or 1) >= 2:
+        assert parallel_seconds < serial_seconds
+
+
+def test_stage_profile_artifact(results_dir, tmp_path):
+    """Archive the stage profile of a cold Fig. 8 run as JSON."""
+    jobs = fig8_jobs(dense_sizes=DENSE_SIZES, sparse_only_sizes=SPARSE_ONLY_SIZES)
+    cache = PipelineCache(tmp_path / "cache")
+    with collect() as profile:
+        run_jobs(jobs, parallel=1, cache=cache)
+    for name in CORE_STAGES:
+        assert profile.seconds.get(name, 0.0) >= 0.0
+        assert profile.calls.get(name, 0) >= 1
+    payload = profile.to_dict()
+    payload["workload"] = {
+        "experiment": "fig8_scaling",
+        "dense_sizes": list(DENSE_SIZES),
+        "sparse_only_sizes": list(SPARSE_ONLY_SIZES),
+        "jobs": len(jobs),
+    }
+    path = results_dir / "fig8_pipeline_profile.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    assert json.loads(path.read_text())["stages"]

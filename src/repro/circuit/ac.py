@@ -3,6 +3,15 @@
 Used by the paper's frequency-domain accuracy comparisons (Fig. 2(b) and
 the spiral experiment): a 1-V AC source drives the aggressor and the
 complex response is swept from 1 Hz to 10 GHz.
+
+Every sweep matrix ``G + j omega C`` shares one sparsity structure (the
+union of G's and C's patterns), so the sweep is batched: the structure is
+assembled once, and the fill-reducing column ordering computed by the
+first factorization is reused for every later frequency.  SciPy's SuperLU
+exposes no symbolic-reuse API, but its COLAMD ordering is a function of
+the structure only -- pre-permuting the columns and factorizing with
+``permc_spec="NATURAL"`` skips the ordering work at each subsequent
+point.
 """
 
 from __future__ import annotations
@@ -10,11 +19,13 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
+from scipy.sparse import csc_matrix
 from scipy.sparse.linalg import splu
 
 from repro.circuit.mna import MnaSystem, build_mna
 from repro.circuit.netlist import Circuit
 from repro.circuit.waveform import ACResult
+from repro.pipeline.profiling import add_counter, stage
 
 
 def logspace_frequencies(
@@ -28,6 +39,68 @@ def logspace_frequencies(
     decades = np.log10(f_stop / f_start)
     count = max(2, int(round(decades * points_per_decade)) + 1)
     return np.logspace(np.log10(f_start), np.log10(f_stop), count)
+
+
+class SweepSolver:
+    """Batched solves of ``(G + j omega C) x = b`` over a frequency sweep.
+
+    The constructor aligns G and C onto their union sparsity structure
+    (``M + U * 0`` keeps explicit zeros, so both data arrays index the
+    same pattern).  The first :meth:`solve` runs a full SuperLU
+    factorization and records its fill-reducing column ordering; later
+    solves factorize the pre-permuted matrix with
+    ``permc_spec="NATURAL"``, reusing that ordering.  If the alignment
+    cannot be established (a degenerate pattern mismatch) the solver
+    falls back to an independent factorization per point.
+    """
+
+    def __init__(self, g_mat, c_mat) -> None:
+        g_csc = g_mat.tocsc().astype(complex)
+        c_csc = c_mat.tocsc().astype(complex)
+        self._g = g_csc
+        self._c = c_csc
+        self._perm_c: Optional[np.ndarray] = None
+
+        union = (g_csc + c_csc).tocsc()
+        union.sort_indices()
+        g_aligned = (g_csc + union * 0).tocsc()
+        g_aligned.sort_indices()
+        c_aligned = (c_csc + union * 0).tocsc()
+        c_aligned.sort_indices()
+        self._aligned = np.array_equal(
+            g_aligned.indptr, union.indptr
+        ) and np.array_equal(
+            g_aligned.indices, union.indices
+        ) and np.array_equal(
+            c_aligned.indptr, union.indptr
+        ) and np.array_equal(c_aligned.indices, union.indices)
+        if self._aligned:
+            self._indptr = union.indptr
+            self._indices = union.indices
+            self._shape = union.shape
+            self._g_data = g_aligned.data
+            self._c_data = c_aligned.data
+
+    def solve(self, omega: float, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``(G + j omega C) x = rhs`` for one sweep point."""
+        if not self._aligned:
+            add_counter("lu_orderings")
+            return splu((self._g + 1j * omega * self._c).tocsc()).solve(rhs)
+        a_mat = csc_matrix(
+            (self._g_data + 1j * omega * self._c_data, self._indices, self._indptr),
+            shape=self._shape,
+        )
+        if self._perm_c is None:
+            lu = splu(a_mat)
+            self._perm_c = lu.perm_c.copy()
+            add_counter("lu_orderings")
+            return lu.solve(rhs)
+        permuted = a_mat[:, self._perm_c].tocsc()
+        lu = splu(permuted, permc_spec="NATURAL")
+        y = lu.solve(rhs)
+        x = np.empty_like(y)
+        x[self._perm_c] = y
+        return x
 
 
 def ac_analysis(
@@ -61,17 +134,18 @@ def ac_analysis(
     branch_rows = [system.branch_row(b) for b in branches]
 
     rhs = system.rhs_ac()
-    g_mat = system.G.tocsc().astype(complex)
-    c_mat = system.C.tocsc().astype(complex)
     volt = np.empty((len(nodes), freqs.size), dtype=complex)
     curr = np.empty((len(branches), freqs.size), dtype=complex)
-    for k, freq in enumerate(freqs):
-        omega = 2.0 * np.pi * freq
-        solution = splu(g_mat + 1j * omega * c_mat).solve(rhs)
-        for row_pos, row in enumerate(node_rows):
-            volt[row_pos, k] = solution[row] if row >= 0 else 0.0
-        for row_pos, row in enumerate(branch_rows):
-            curr[row_pos, k] = solution[row]
+    with stage("solve"):
+        solver = SweepSolver(system.G, system.C)
+        for k, freq in enumerate(freqs):
+            omega = 2.0 * np.pi * freq
+            solution = solver.solve(omega, rhs)
+            for row_pos, row in enumerate(node_rows):
+                volt[row_pos, k] = solution[row] if row >= 0 else 0.0
+            for row_pos, row in enumerate(branch_rows):
+                curr[row_pos, k] = solution[row]
+        add_counter("ac_points", freqs.size)
 
     return ACResult(
         frequencies=freqs,

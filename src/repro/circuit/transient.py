@@ -28,6 +28,7 @@ from repro.circuit.dc import solve_dc
 from repro.circuit.mna import MnaSystem, build_mna
 from repro.circuit.netlist import Circuit
 from repro.circuit.waveform import TransientResult
+from repro.pipeline.profiling import add_counter, stage
 
 _METHODS = ("trapezoidal", "backward_euler")
 
@@ -88,31 +89,34 @@ def transient_analysis(
     if x.shape != (system.size,):
         raise ValueError("x0 has the wrong size for this circuit")
 
-    g_mat = system.G.tocsc()
-    c_mat = system.C.tocsc()
-    if method == "trapezoidal":
-        c_scaled = (2.0 / dt) * c_mat
-        lhs = splu((g_mat + c_scaled).tocsc())
-        history = c_scaled - g_mat
-    else:
-        c_scaled = (1.0 / dt) * c_mat
-        lhs = splu((g_mat + c_scaled).tocsc())
-        history = c_scaled
-
     volt = np.empty((len(nodes), steps + 1))
     curr = np.empty((len(branches), steps + 1))
-    _record(volt, curr, 0, x, node_rows, branch_rows)
-
-    b_now = system.rhs_transient(0.0)
-    for n in range(1, steps + 1):
-        b_next = system.rhs_transient(times[n])
+    with stage("solve"):
+        g_mat = system.G.tocsc()
+        c_mat = system.C.tocsc()
         if method == "trapezoidal":
-            rhs = history @ x + b_now + b_next
+            c_scaled = (2.0 / dt) * c_mat
+            lhs = splu((g_mat + c_scaled).tocsc())
+            history = c_scaled - g_mat
         else:
-            rhs = history @ x + b_next
-        x = lhs.solve(rhs)
-        _record(volt, curr, n, x, node_rows, branch_rows)
-        b_now = b_next
+            c_scaled = (1.0 / dt) * c_mat
+            lhs = splu((g_mat + c_scaled).tocsc())
+            history = c_scaled
+        add_counter("lu_orderings")
+
+        _record(volt, curr, 0, x, node_rows, branch_rows)
+
+        b_now = system.rhs_transient(0.0)
+        for n in range(1, steps + 1):
+            b_next = system.rhs_transient(times[n])
+            if method == "trapezoidal":
+                rhs = history @ x + b_now + b_next
+            else:
+                rhs = history @ x + b_next
+            x = lhs.solve(rhs)
+            _record(volt, curr, n, x, node_rows, branch_rows)
+            b_now = b_next
+        add_counter("transient_steps", steps)
 
     return TransientResult(
         times=times,

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four commands cover the everyday flows without writing Python:
+Five commands cover the everyday flows without writing Python:
 
 - ``extract``   -- build a geometry, extract parasitics, print a summary;
 - ``netlist``   -- build a model (PEEC or any VPEC flavor) and emit its
@@ -8,17 +8,24 @@ Four commands cover the everyday flows without writing Python:
 - ``crosstalk`` -- run the standard aggressor/victim testbench on a
   model and print the noise report;
 - ``audit``     -- passivity audit (Theorems 1-2 / Lemma 1) of a VPEC
-  model's effective-resistance networks.
+  model's effective-resistance networks;
+- ``cache``     -- inspect or clear the on-disk pipeline cache.
 
 Geometry is selected with ``--bus N`` (aligned), ``--nonaligned-bus N``
 or ``--spiral TURNS``; models with ``--model`` plus its parameter
 (``--nw/--nl``, ``--threshold``, ``--window``).
+
+Data commands reuse extraction and model-building results from the
+content-addressed cache (``--cache-dir`` / ``$REPRO_CACHE_DIR``,
+``--no-cache`` to bypass), and ``--profile [FILE]`` prints per-stage
+timings to stderr (optionally writing them as JSON).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -26,10 +33,16 @@ import numpy as np
 from repro.analysis.signal_integrity import crosstalk_report
 from repro.circuit.sources import step
 from repro.circuit.spice_writer import write_spice
-from repro.extraction.parasitics import Parasitics, extract
+from repro.extraction.parasitics import Parasitics
 from repro.geometry.bus import aligned_bus, nonaligned_bus
 from repro.geometry.spiral import square_spiral
 from repro.experiments.runner import ModelSpec, build_model
+from repro.pipeline.cache import (
+    PipelineCache,
+    cached_extract,
+    resolve_cache,
+)
+from repro.pipeline.profiling import collect
 from repro.vpec.flow import full_vpec, localized_vpec, truncated_vpec, windowed_vpec
 from repro.vpec.passivity import audit_network
 
@@ -75,6 +88,33 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--window", type=int, default=0, help="gw: window size b")
 
 
+def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk extraction / model cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro-pipeline)",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        metavar="FILE",
+        help="print per-stage timings to stderr; with FILE, also write JSON",
+    )
+
+
+def _cache(args: argparse.Namespace) -> Optional[PipelineCache]:
+    return resolve_cache(
+        getattr(args, "cache_dir", None),
+        enabled=not getattr(args, "no_cache", False),
+    )
+
+
 def _model_spec(args: argparse.Namespace) -> ModelSpec:
     kind = args.model
     return ModelSpec(
@@ -87,7 +127,7 @@ def _model_spec(args: argparse.Namespace) -> ModelSpec:
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
-    parasitics = extract(_geometry(args))
+    parasitics = cached_extract(_geometry(args), cache=_cache(args))
     system = parasitics.system
     L = parasitics.inductance
     off = L[~np.eye(L.shape[0], dtype=bool)]
@@ -110,8 +150,9 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
 
 def _cmd_netlist(args: argparse.Namespace) -> int:
-    parasitics = extract(_geometry(args))
-    built = build_model(_model_spec(args), parasitics)
+    cache = _cache(args)
+    parasitics = cached_extract(_geometry(args), cache=cache)
+    built = build_model(_model_spec(args), parasitics, cache=cache)
     text = write_spice(built.circuit)
     if args.output:
         with open(args.output, "w", encoding="ascii") as handle:
@@ -126,8 +167,9 @@ def _cmd_netlist(args: argparse.Namespace) -> int:
 
 
 def _cmd_crosstalk(args: argparse.Namespace) -> int:
-    parasitics = extract(_geometry(args))
-    built = build_model(_model_spec(args), parasitics)
+    cache = _cache(args)
+    parasitics = cached_extract(_geometry(args), cache=cache)
+    built = build_model(_model_spec(args), parasitics, cache=cache)
     report = crosstalk_report(
         built.skeleton,
         step(args.vdd, rise_time=args.rise * 1e-12),
@@ -155,7 +197,7 @@ def _cmd_crosstalk(args: argparse.Namespace) -> int:
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
-    parasitics = extract(_geometry(args))
+    parasitics = cached_extract(_geometry(args), cache=_cache(args))
     result = _vpec_flow(args, parasitics)
     print(f"model: {result.flavor} (sparse factor {result.sparse_factor:.3f})")
     ok = True
@@ -188,6 +230,24 @@ def _vpec_flow(args: argparse.Namespace, parasitics: Parasitics):
     raise SystemExit(f"audit does not apply to model {args.model!r}")
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = resolve_cache(args.cache_dir, enabled=True)
+    if args.cache_command == "clear":
+        removed = cache.clear(args.kind)
+        scope = f" ({args.kind})" if args.kind else ""
+        print(f"removed {removed} entries{scope} from {cache.root}")
+        return 0
+    entries = cache.entries()
+    print(f"cache root: {cache.root}")
+    if not entries:
+        print("empty")
+        return 0
+    for kind, count in entries.items():
+        print(f"  {kind}: {count} entries")
+    print(f"total size: {cache.size_bytes() / 1e6:.2f} MB")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -197,17 +257,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_extract = commands.add_parser("extract", help="extract and summarize parasitics")
     _add_geometry_arguments(p_extract)
+    _add_pipeline_arguments(p_extract)
     p_extract.set_defaults(func=_cmd_extract)
 
     p_netlist = commands.add_parser("netlist", help="emit a model's SPICE netlist")
     _add_geometry_arguments(p_netlist)
     _add_model_arguments(p_netlist)
+    _add_pipeline_arguments(p_netlist)
     p_netlist.add_argument("-o", "--output", help="write to a file instead of stdout")
     p_netlist.set_defaults(func=_cmd_netlist)
 
     p_xtalk = commands.add_parser("crosstalk", help="run the crosstalk testbench")
     _add_geometry_arguments(p_xtalk)
     _add_model_arguments(p_xtalk)
+    _add_pipeline_arguments(p_xtalk)
     p_xtalk.add_argument("--aggressor", type=int, default=0)
     p_xtalk.add_argument("--vdd", type=float, default=1.0, help="volts (default 1)")
     p_xtalk.add_argument("--rise", type=float, default=10.0, help="rise time, ps")
@@ -222,7 +285,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit = commands.add_parser("audit", help="passivity audit of a VPEC model")
     _add_geometry_arguments(p_audit)
     _add_model_arguments(p_audit)
+    _add_pipeline_arguments(p_audit)
     p_audit.set_defaults(func=_cmd_audit)
+
+    p_cache = commands.add_parser(
+        "cache", help="inspect or clear the pipeline cache"
+    )
+    p_cache.add_argument(
+        "cache_command", choices=["info", "clear"], help="what to do"
+    )
+    p_cache.add_argument(
+        "--kind", help="clear only one kind (e.g. parasitics, models)"
+    )
+    p_cache.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro-pipeline)",
+    )
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_report = commands.add_parser(
         "report", help="scaled-down check of every paper claim"
@@ -243,7 +323,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    destination = getattr(args, "profile", None)
+    if destination is None:
+        return args.func(args)
+    # Stage timings go to stderr so --profile composes with commands
+    # that stream their payload (e.g. a netlist) to stdout.
+    with collect() as profile:
+        code = args.func(args)
+    print(profile.to_table(), file=sys.stderr)
+    if destination != "-":
+        try:
+            Path(destination).write_text(profile.to_json() + "\n", encoding="ascii")
+        except OSError as error:
+            print(f"error: cannot write profile: {error}", file=sys.stderr)
+            return max(code, 1)
+        print(f"profile -> {destination}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -7,6 +7,8 @@ workloads.
 
 - :mod:`repro.experiments.runner` -- model specs and the shared
   build/simulate plumbing;
+- :mod:`repro.experiments.jobs` -- declarative simulation jobs, the
+  unit of the parallel / cached pipeline (:func:`run_jobs`);
 - :mod:`repro.experiments.fig2_accuracy` -- 5-bit bus accuracy (Fig. 2);
 - :mod:`repro.experiments.table2_gtvpec` -- geometric truncation
   (Table II);
@@ -22,6 +24,16 @@ workloads.
   scaling (Fig. 8).
 """
 
+from repro.experiments.jobs import (
+    GeometrySpec,
+    JobResult,
+    SimJob,
+    StimulusSpec,
+    execute_job,
+    geometry_spec,
+    run_jobs,
+    stimulus_spec,
+)
 from repro.experiments.runner import (
     BuiltModel,
     ModelSpec,
@@ -38,4 +50,12 @@ __all__ = [
     "run_bus_transient",
     "run_bus_ac",
     "run_two_port_transient",
+    "GeometrySpec",
+    "StimulusSpec",
+    "SimJob",
+    "JobResult",
+    "geometry_spec",
+    "stimulus_spec",
+    "execute_job",
+    "run_jobs",
 ]

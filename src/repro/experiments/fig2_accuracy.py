@@ -22,6 +22,7 @@ from repro.circuit.ac import logspace_frequencies
 from repro.circuit.sources import ac_unit, step
 from repro.circuit.waveform import Waveform
 from repro.extraction.parasitics import extract
+from repro.pipeline.cache import PipelineCache, cached_extract
 from repro.geometry.bus import aligned_bus
 from repro.experiments.runner import (
     build_model,
@@ -52,13 +53,14 @@ def run_fig2(
     f_start: float = 1.0,
     f_stop: float = 10e9,
     points_per_decade: int = 10,
+    cache: "PipelineCache | None" = None,
 ) -> Fig2Result:
     """Run both panels of Fig. 2 and compare the three models to PEEC.
 
     ``ac_high_band_diff`` restricts the AC comparison to f > 1 GHz, where
     the paper reports the localized model's divergence.
     """
-    parasitics = extract(aligned_bus(bits))
+    parasitics = cached_extract(aligned_bus(bits), cache=cache)
     specs = {"PEEC": peec_spec(), "full VPEC": full_spec(), "localized VPEC": localized_spec()}
     key = f"far{observe_bit}"
 

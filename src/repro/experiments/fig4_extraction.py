@@ -13,9 +13,10 @@ the paper's hardware).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.extraction.parasitics import Parasitics, extract
+from repro.pipeline.cache import PipelineCache, cached_extract
 from repro.geometry.bus import aligned_bus
 from repro.vpec.truncation import truncate_geometric
 from repro.vpec.full import full_vpec_networks
@@ -53,6 +54,7 @@ def run_fig4(
     sizes: Sequence[int] = DEFAULT_SIZES,
     truncation_window: Tuple[int, int] = (8, 1),
     window_size: int = 8,
+    cache: Optional[PipelineCache] = None,
 ) -> List[Fig4Point]:
     """Measure both extraction flavors over the bus-size sweep.
 
@@ -64,7 +66,7 @@ def run_fig4(
     nw, nl = truncation_window
     points: List[Fig4Point] = []
     for bits in sizes:
-        parasitics = extract(aligned_bus(bits))
+        parasitics = cached_extract(aligned_bus(bits), cache=cache)
         _, trunc_seconds = time_call(_truncation_networks, parasitics, nw, nl)
         _, window_seconds = time_call(
             windowed_vpec_networks, parasitics, window_size=window_size

@@ -30,6 +30,7 @@ from repro.circuit.sources import step
 from repro.circuit.waveform import Waveform
 from repro.constants import SUBSTRATE_RESISTIVITY
 from repro.extraction.parasitics import Parasitics, extract
+from repro.pipeline.cache import PipelineCache, cached_extract
 from repro.geometry.spiral import square_spiral
 from repro.experiments.runner import (
     build_model,
@@ -84,6 +85,7 @@ def run_fig7(
     t_stop: float = 800e-12,
     dt: float = 1e-12,
     substrate_loss: bool = True,
+    cache: Optional[PipelineCache] = None,
 ) -> Fig7Result:
     """Regenerate the spiral experiment (PEEC, full VPEC, nwVPEC).
 
@@ -93,7 +95,7 @@ def run_fig7(
     substrate volume beneath it.
     """
     system = square_spiral(turns=turns, total_segments=total_segments)
-    parasitics = extract(system)
+    parasitics = cached_extract(system, cache=cache)
     if substrate_loss:
         parasitics.resistance = parasitics.resistance + _substrate_loss(system)
     if threshold is None:

@@ -18,17 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.circuit.sources import step
-from repro.extraction.parasitics import extract
-from repro.geometry.bus import aligned_bus
-from repro.experiments.runner import (
-    ModelSpec,
-    build_model,
-    full_spec,
-    gw_spec,
-    peec_spec,
-    run_bus_transient,
+from repro.experiments.jobs import (
+    SimJob,
+    geometry_spec,
+    run_jobs,
+    step_spec,
 )
+from repro.experiments.runner import full_spec, gw_spec, peec_spec
+from repro.pipeline.cache import PipelineCache
 
 #: Bus sizes simulated for every model (the dense models stop here, as in
 #: the paper where PEEC and full VPEC run out of memory past 256 bits).
@@ -54,6 +51,36 @@ class Fig8Point:
         return self.build_seconds + self.sim_seconds
 
 
+def fig8_jobs(
+    dense_sizes: Sequence[int] = DEFAULT_DENSE_SIZES,
+    sparse_only_sizes: Sequence[int] = DEFAULT_SPARSE_ONLY_SIZES,
+    window_size: int = 8,
+    observe_bit: int = 1,
+    t_stop: float = 200e-12,
+    dt: float = 1e-12,
+) -> List[SimJob]:
+    """The Fig. 8 work list, in deterministic report order."""
+    samples: List[tuple] = []
+    for bits in dense_sizes:
+        samples.append((peec_spec(), bits))
+        samples.append((full_spec(), bits))
+        samples.append((gw_spec(window_size), bits))
+    for bits in sparse_only_sizes:
+        samples.append((gw_spec(window_size), bits))
+    return [
+        SimJob(
+            geometry=geometry_spec("aligned_bus", bits=bits),
+            model=spec,
+            analysis="bus_transient",
+            stimulus=step_spec(v_final=1.0, rise_time=10e-12),
+            t_stop=t_stop,
+            dt=dt,
+            observe_bits=(min(observe_bit, bits - 1),),
+        )
+        for spec, bits in samples
+    ]
+
+
 def run_fig8(
     dense_sizes: Sequence[int] = DEFAULT_DENSE_SIZES,
     sparse_only_sizes: Sequence[int] = DEFAULT_SPARSE_ONLY_SIZES,
@@ -61,44 +88,38 @@ def run_fig8(
     observe_bit: int = 1,
     t_stop: float = 200e-12,
     dt: float = 1e-12,
+    parallel: Optional[int] = 1,
+    cache: Optional[PipelineCache] = None,
 ) -> List[Fig8Point]:
     """Regenerate both panels of Fig. 8.
 
     Returns one point per (model, size); PEEC and full VPEC cover
     ``dense_sizes`` only, gwVPEC additionally covers
-    ``sparse_only_sizes``.
+    ``sparse_only_sizes``.  ``parallel`` fans the (model, size) samples
+    out over worker processes (``None`` = CPU count; the default ``1``
+    keeps timing comparable to the paper's serial runs); ``cache`` reuses
+    extractions and built models across sizes and invocations.
     """
-    stimulus = step(1.0, rise_time=10e-12)
-    points: List[Fig8Point] = []
-
-    def sample(spec: ModelSpec, bits: int) -> Fig8Point:
-        parasitics = extract(aligned_bus(bits))
-        built = build_model(spec, parasitics)
-        element_count = built.element_count()
-        netlist_bytes = built.netlist_bytes()
-        run = run_bus_transient(
-            built,
-            stimulus,
-            t_stop,
-            dt,
-            observe_bits=[min(observe_bit, bits - 1)],
+    jobs = fig8_jobs(
+        dense_sizes=dense_sizes,
+        sparse_only_sizes=sparse_only_sizes,
+        window_size=window_size,
+        observe_bit=observe_bit,
+        t_stop=t_stop,
+        dt=dt,
+    )
+    results = run_jobs(jobs, parallel=parallel, cache=cache)
+    return [
+        Fig8Point(
+            label=result.label,
+            bits=dict(job.geometry.params)["bits"],
+            build_seconds=result.build_seconds,
+            sim_seconds=result.sim_seconds,
+            element_count=result.element_count,
+            netlist_bytes=result.netlist_bytes,
         )
-        return Fig8Point(
-            label=built.label,
-            bits=bits,
-            build_seconds=built.build_seconds,
-            sim_seconds=run.sim_seconds,
-            element_count=element_count,
-            netlist_bytes=netlist_bytes,
-        )
-
-    for bits in dense_sizes:
-        points.append(sample(peec_spec(), bits))
-        points.append(sample(full_spec(), bits))
-        points.append(sample(gw_spec(window_size), bits))
-    for bits in sparse_only_sizes:
-        points.append(sample(gw_spec(window_size), bits))
-    return points
+        for job, result in zip(jobs, results)
+    ]
 
 
 def series(points: List[Fig8Point], label: str) -> List[Fig8Point]:

@@ -1,0 +1,244 @@
+"""Declarative simulation jobs: the parallel unit of the experiment pipeline.
+
+Built circuits cannot cross a process boundary (``Stimulus.transient``
+holds closures, which do not pickle), so the fan-out unit is fully
+declarative: a :class:`SimJob` names a geometry, a model spec, a stimulus,
+and the analysis parameters.  Each worker rebuilds from the spec --
+loading extraction and model-building results from the shared on-disk
+cache when one is configured -- simulates, and ships back a
+:class:`JobResult` of plain arrays and scalars.
+
+:func:`run_jobs` fans a job list out over a process pool
+(:func:`repro.pipeline.parallel.parallel_map`); results come back in job
+order regardless of completion order, so ``run_jobs(jobs, parallel=8)``
+returns numerically identical results to ``run_jobs(jobs, parallel=1)``.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.circuit.sources import Stimulus, ac_unit, dc, pulse, step
+from repro.circuit.waveform import Waveform
+from repro.constants import DRIVER_RESISTANCE, LOAD_CAPACITANCE
+from repro.experiments.runner import (
+    ModelSpec,
+    build_model,
+    run_bus_ac,
+    run_bus_transient,
+    run_two_port_transient,
+)
+from repro.geometry.bus import aligned_bus, nonaligned_bus
+from repro.geometry.spiral import square_spiral
+from repro.geometry.system import FilamentSystem
+from repro.pipeline.cache import PipelineCache, cached_extract
+from repro.pipeline.parallel import parallel_map
+from repro.pipeline.profiling import StageProfile, active_profile, collect
+
+_GEOMETRY_BUILDERS = {
+    "aligned_bus": aligned_bus,
+    "nonaligned_bus": nonaligned_bus,
+    "spiral": square_spiral,
+}
+
+_STIMULUS_BUILDERS = {
+    "step": step,
+    "pulse": pulse,
+    "ac_unit": ac_unit,
+    "dc": dc,
+}
+
+_ANALYSES = ("bus_transient", "bus_ac", "two_port_transient")
+
+
+@dataclass(frozen=True)
+class GeometrySpec:
+    """A geometry generator call, by name: hashable and picklable.
+
+    ``params`` is a sorted tuple of ``(keyword, value)`` pairs passed to
+    the generator -- use :func:`geometry_spec` rather than building the
+    tuple by hand.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _GEOMETRY_BUILDERS:
+            raise ValueError(
+                f"kind must be one of {tuple(_GEOMETRY_BUILDERS)}, got {self.kind!r}"
+            )
+
+    def build(self) -> FilamentSystem:
+        return _GEOMETRY_BUILDERS[self.kind](**dict(self.params))
+
+
+def geometry_spec(kind: str, **params) -> GeometrySpec:
+    """A :class:`GeometrySpec` from generator keyword arguments."""
+    return GeometrySpec(kind, tuple(sorted(params.items())))
+
+
+@dataclass(frozen=True)
+class StimulusSpec:
+    """A stimulus factory call, by name (closures stay in the worker)."""
+
+    kind: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _STIMULUS_BUILDERS:
+            raise ValueError(
+                f"kind must be one of {tuple(_STIMULUS_BUILDERS)}, got {self.kind!r}"
+            )
+
+    def build(self) -> Stimulus:
+        return _STIMULUS_BUILDERS[self.kind](**dict(self.params))
+
+
+def stimulus_spec(kind: str, **params) -> StimulusSpec:
+    """A :class:`StimulusSpec` from factory keyword arguments."""
+    return StimulusSpec(kind, tuple(sorted(params.items())))
+
+
+def step_spec(v_final: float = 1.0, rise_time: float = 10e-12) -> StimulusSpec:
+    """The paper's standard step drive, as a spec."""
+    return stimulus_spec("step", v_final=v_final, rise_time=rise_time)
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One independent build-and-simulate unit.
+
+    ``analysis`` selects the testbench: ``bus_transient`` (step
+    crosstalk, the default), ``bus_ac`` (frequency sweep; needs
+    ``frequencies``), or ``two_port_transient`` (the spiral testbench,
+    using ``wire``).
+    """
+
+    geometry: GeometrySpec
+    model: ModelSpec
+    analysis: str = "bus_transient"
+    stimulus: StimulusSpec = field(default_factory=step_spec)
+    t_stop: float = 200e-12
+    dt: float = 1e-12
+    frequencies: Tuple[float, ...] = ()
+    observe_bits: Tuple[int, ...] = (1,)
+    aggressor: int = 0
+    wire: int = 0
+    driver_resistance: float = DRIVER_RESISTANCE
+    load_capacitance: float = LOAD_CAPACITANCE
+
+    def __post_init__(self) -> None:
+        if self.analysis not in _ANALYSES:
+            raise ValueError(
+                f"analysis must be one of {_ANALYSES}, got {self.analysis!r}"
+            )
+        if self.analysis == "bus_ac" and not self.frequencies:
+            raise ValueError("bus_ac needs a non-empty frequency sweep")
+
+
+@dataclass
+class JobResult:
+    """What a worker ships back: metadata, waveforms, and its profile."""
+
+    job: SimJob
+    label: str
+    build_seconds: float
+    sim_seconds: float
+    element_count: int
+    netlist_bytes: int
+    sparse_factor: float
+    waveforms: Dict[str, Waveform]
+    profile: StageProfile
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.sim_seconds
+
+
+def execute_job(
+    job: SimJob, cache: Optional[PipelineCache] = None
+) -> JobResult:
+    """Build and simulate one job (the module-level worker function).
+
+    Always collects a stage profile (cheap next to a simulation); the
+    caller decides whether to merge it anywhere.
+    """
+    with collect() as profile:
+        system = job.geometry.build()
+        parasitics = cached_extract(system, cache=cache)
+        built = build_model(job.model, parasitics, cache=cache)
+        element_count = built.element_count()
+        netlist_bytes = built.netlist_bytes()
+        stimulus = job.stimulus.build()
+        if job.analysis == "bus_transient":
+            run = run_bus_transient(
+                built,
+                stimulus,
+                job.t_stop,
+                job.dt,
+                observe_bits=list(job.observe_bits),
+                aggressor=job.aggressor,
+                driver_resistance=job.driver_resistance,
+                load_capacitance=job.load_capacitance,
+            )
+        elif job.analysis == "bus_ac":
+            run = run_bus_ac(
+                built,
+                stimulus,
+                list(job.frequencies),
+                observe_bits=list(job.observe_bits),
+                aggressor=job.aggressor,
+            )
+        else:  # "two_port_transient"
+            run = run_two_port_transient(
+                built,
+                stimulus,
+                job.t_stop,
+                job.dt,
+                wire=job.wire,
+                driver_resistance=job.driver_resistance,
+                load_capacitance=job.load_capacitance,
+            )
+    return JobResult(
+        job=job,
+        label=built.label,
+        build_seconds=built.build_seconds,
+        sim_seconds=run.sim_seconds,
+        element_count=element_count,
+        netlist_bytes=netlist_bytes,
+        sparse_factor=built.sparse_factor,
+        waveforms=run.waveforms,
+        profile=profile,
+    )
+
+
+def run_jobs(
+    jobs: Iterable[SimJob],
+    parallel: Optional[int] = None,
+    cache: Optional[PipelineCache] = None,
+) -> List[JobResult]:
+    """Execute jobs, optionally over a process pool, in job order.
+
+    Parameters
+    ----------
+    jobs:
+        The work list; each job is independent.
+    parallel:
+        Worker processes (``None`` = CPU count, ``1`` = serial
+        in-process).  Results are returned in job order either way, so
+        the parallel run is numerically identical to the serial one.
+    cache:
+        Shared on-disk cache for extraction / model building (workers
+        reopen it by path), or ``None`` to rebuild everything.
+    """
+    job_list = list(jobs)
+    worker = functools.partial(execute_job, cache=cache)
+    results = parallel_map(worker, job_list, jobs=parallel)
+    parent = active_profile()
+    if parent is not None:
+        for result in results:
+            parent.merge(result.profile)
+    return results

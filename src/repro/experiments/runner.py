@@ -27,6 +27,12 @@ from repro.peec.builder import (
     attach_two_port_testbench,
 )
 from repro.peec.model import build_peec
+from repro.pipeline.cache import (
+    CACHE_VERSION,
+    PipelineCache,
+    parasitics_fingerprint,
+)
+from repro.pipeline.hashing import stable_hash
 from repro.vpec.flow import (
     full_vpec,
     localized_vpec,
@@ -127,8 +133,44 @@ class BuiltModel:
         return netlist_size_bytes(self.circuit)
 
 
-def build_model(spec: ModelSpec, parasitics: Parasitics) -> BuiltModel:
-    """Materialize a model spec (timing the model-building step)."""
+def model_key(spec: ModelSpec, parasitics: Parasitics) -> str:
+    """Cache key of one built model.
+
+    Keyed on the parasitics *content* (not the options that produced
+    it), so bit-identical extractions share their built models.
+    """
+    return stable_hash(
+        "model", CACHE_VERSION, parasitics_fingerprint(parasitics), spec
+    )
+
+
+def build_model(
+    spec: ModelSpec,
+    parasitics: Parasitics,
+    cache: Optional[PipelineCache] = None,
+) -> BuiltModel:
+    """Materialize a model spec (timing the model-building step).
+
+    With a cache, a warm hit skips inversion / sparsification / stamping
+    and returns a bit-exact copy of the cold build; ``build_seconds``
+    then reports the (much smaller) load time.  Each hit unpickles a
+    fresh object, so attaching a testbench to one never contaminates
+    later fetches.
+    """
+    if cache is not None:
+        key = model_key(spec, parasitics)
+        start = time.perf_counter()
+        cached = cache.get("models", key)
+        if cached is not None:
+            cached.build_seconds = time.perf_counter() - start
+            return cached
+        built = _build_model_cold(spec, parasitics)
+        cache.put("models", key, built)
+        return built
+    return _build_model_cold(spec, parasitics)
+
+
+def _build_model_cold(spec: ModelSpec, parasitics: Parasitics) -> BuiltModel:
     if spec.kind == "peec":
         start = time.perf_counter()
         model = build_peec(parasitics)

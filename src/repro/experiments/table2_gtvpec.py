@@ -21,6 +21,7 @@ from repro.analysis.metrics import WaveformDifference, waveform_difference
 from repro.circuit.sources import step
 from repro.circuit.waveform import Waveform
 from repro.extraction.parasitics import extract
+from repro.pipeline.cache import PipelineCache, cached_extract
 from repro.geometry.bus import aligned_bus
 from repro.experiments.runner import (
     TransientRun,
@@ -55,9 +56,12 @@ def run_table2(
     observe_bit: int = 1,
     t_stop: float = 300e-12,
     dt: float = 1e-12,
+    cache: Optional[PipelineCache] = None,
 ) -> List[Table2Row]:
     """Regenerate Table II; the first row is the full VPEC reference."""
-    parasitics = extract(aligned_bus(bits, segments_per_line=segments_per_line))
+    parasitics = cached_extract(
+        aligned_bus(bits, segments_per_line=segments_per_line), cache=cache
+    )
     stimulus = step(1.0, rise_time=10e-12)
     key = f"far{observe_bit}"
 

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 from repro.analysis.metrics import WaveformDifference, waveform_difference
 from repro.circuit.sources import step
 from repro.extraction.parasitics import extract
+from repro.pipeline.cache import PipelineCache, cached_extract
 from repro.geometry.bus import nonaligned_bus
 from repro.experiments.runner import (
     build_model,
@@ -53,9 +54,10 @@ def run_table3(
     t_stop: float = 300e-12,
     dt: float = 1e-12,
     seed: int = 2003,
+    cache: Optional[PipelineCache] = None,
 ) -> List[Table3Row]:
     """Regenerate Table III (PEEC and full VPEC rows first)."""
-    parasitics = extract(nonaligned_bus(bits, seed=seed))
+    parasitics = cached_extract(nonaligned_bus(bits, seed=seed), cache=cache)
     stimulus = step(1.0, rise_time=10e-12)
     key = f"far{observe_bit}"
 

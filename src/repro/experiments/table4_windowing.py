@@ -19,12 +19,13 @@ the local inverse rather than simply dropped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import WaveformDifference, waveform_difference
 from repro.circuit.sources import step
 from repro.circuit.waveform import Waveform
 from repro.extraction.parasitics import extract
+from repro.pipeline.cache import PipelineCache, cached_extract
 from repro.geometry.bus import aligned_bus
 from repro.experiments.runner import (
     build_model,
@@ -71,9 +72,10 @@ def run_table4(
     observe_bits: Sequence[int] = (1, 63),
     t_stop: float = 300e-12,
     dt: float = 1e-12,
+    cache: Optional[PipelineCache] = None,
 ) -> Table4Result:
     """Regenerate Table IV (and the Fig. 5 waveforms for the largest b)."""
-    parasitics = extract(aligned_bus(bits))
+    parasitics = cached_extract(aligned_bus(bits), cache=cache)
     stimulus = step(1.0, rise_time=10e-12)
     observe = list(observe_bits)
 

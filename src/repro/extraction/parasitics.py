@@ -13,6 +13,7 @@ from repro.extraction.inductance import inductance_blocks, partial_inductance_ma
 from repro.extraction.resistance import extract_resistances
 from repro.geometry.filament import Axis
 from repro.geometry.system import FilamentSystem
+from repro.pipeline.profiling import add_counter, stage
 
 
 @dataclass
@@ -66,17 +67,19 @@ def extract(
     capacitances from the 2.5-D analytic model with adjacent-only coupling,
     resistances from geometry (optionally skin-corrected at ``frequency``).
     """
-    blocks = inductance_blocks(system, gmd_correction=gmd_correction)
-    n = len(system)
-    full = np.zeros((n, n))
-    for indices, block in blocks.values():
-        full[np.ix_(indices, indices)] = block
-    ground, coupling = extract_capacitances(system, capacitance_model)
-    return Parasitics(
-        system=system,
-        inductance=full,
-        inductance_blocks=blocks,
-        resistance=extract_resistances(system, resistivity, frequency),
-        ground_capacitance=ground,
-        coupling_capacitance=coupling,
-    )
+    with stage("extract"):
+        add_counter("extracted_filaments", len(system))
+        blocks = inductance_blocks(system, gmd_correction=gmd_correction)
+        n = len(system)
+        full = np.zeros((n, n))
+        for indices, block in blocks.values():
+            full[np.ix_(indices, indices)] = block
+        ground, coupling = extract_capacitances(system, capacitance_model)
+        return Parasitics(
+            system=system,
+            inductance=full,
+            inductance_blocks=blocks,
+            resistance=extract_resistances(system, resistivity, frequency),
+            ground_capacitance=ground,
+            coupling_capacitance=coupling,
+        )

@@ -16,6 +16,7 @@ import numpy as np
 from repro.circuit.netlist import Circuit
 from repro.extraction.parasitics import Parasitics
 from repro.peec.builder import ElectricalSkeleton, build_skeleton
+from repro.pipeline.profiling import add_counter, stage
 
 
 @dataclass
@@ -56,6 +57,14 @@ def build_peec(
     segments in a same line").  Signs follow the wire-forward orientation
     of each inductor branch.
     """
+    with stage("stamp"):
+        return _stamp_peec(parasitics, title)
+
+
+def _stamp_peec(
+    parasitics: Parasitics,
+    title: Optional[str],
+) -> PeecModel:
     system = parasitics.system
     skeleton = build_skeleton(
         parasitics, title or f"peec:{system.name}"
@@ -90,6 +99,7 @@ def build_peec(
                 )
                 mutual_count += 1
 
+    add_counter("stamped_elements", len(circuit))
     return PeecModel(
         circuit=circuit,
         skeleton=skeleton,

@@ -1,0 +1,72 @@
+"""Experiment pipeline: caching, parallel fan-out, stage profiling.
+
+The production-scale plumbing shared by the CLI, the experiment drivers,
+and the benchmark harness:
+
+- :mod:`repro.pipeline.cache` -- content-addressed on-disk cache for
+  extracted parasitics and built models (explicit invalidation, bit-exact
+  warm hits);
+- :mod:`repro.pipeline.hashing` -- stable content hashes the cache keys
+  are built from;
+- :mod:`repro.pipeline.parallel` -- process-pool ``parallel_map`` with
+  deterministic result ordering;
+- :mod:`repro.pipeline.profiling` -- per-stage wall-clock timing and
+  event counters (``extract`` / ``invert`` / ``sparsify`` / ``stamp`` /
+  ``solve``), surfaced by ``repro ... --profile``.
+"""
+
+from repro.pipeline.hashing import stable_hash, system_fingerprint
+from repro.pipeline.parallel import default_jobs, parallel_map
+from repro.pipeline.profiling import (
+    CORE_STAGES,
+    StageProfile,
+    active_profile,
+    add_counter,
+    collect,
+    stage,
+)
+
+# The cache symbols are loaded lazily: repro.pipeline.cache imports the
+# extraction layer, which itself imports repro.pipeline.profiling -- an
+# eager import here would turn that into a genuine circular import when
+# the extraction layer is imported first.
+_CACHE_EXPORTS = (
+    "PipelineCache",
+    "cached_extract",
+    "resolve_cache",
+    "default_cache_dir",
+    "parasitics_key",
+    "parasitics_fingerprint",
+    "CACHE_VERSION",
+    "CACHE_DIR_ENV",
+)
+
+
+def __getattr__(name: str):
+    if name in _CACHE_EXPORTS:
+        from repro.pipeline import cache
+
+        return getattr(cache, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "PipelineCache",
+    "cached_extract",
+    "resolve_cache",
+    "default_cache_dir",
+    "parasitics_key",
+    "parasitics_fingerprint",
+    "CACHE_VERSION",
+    "CACHE_DIR_ENV",
+    "stable_hash",
+    "system_fingerprint",
+    "parallel_map",
+    "default_jobs",
+    "StageProfile",
+    "collect",
+    "stage",
+    "add_counter",
+    "active_profile",
+    "CORE_STAGES",
+]

@@ -1,0 +1,121 @@
+"""Stable content hashing for cache keys.
+
+A cache key must be a pure function of the *inputs* that determine the
+cached value: the geometry (every filament's coordinates, dimensions,
+axis, and wire bookkeeping), the extraction options, and -- for built
+models -- the model spec plus the numeric parasitics themselves.  The
+hash is a SHA-256 over a type-tagged canonical byte encoding:
+
+- floats are encoded as their IEEE-754 bytes (``repr`` round-tripping is
+  not needed; bit-exact inputs give bit-exact keys, and that is the
+  contract the warm-cache equivalence tests rely on);
+- numpy arrays contribute dtype, shape, and raw bytes;
+- containers contribute their length plus each element, dicts in sorted
+  key order;
+- dataclasses and enums are destructured field by field.
+
+Python's built-in ``hash`` is unsuitable (salted per process); pickle
+bytes are unsuitable (protocol details can change across versions).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import struct
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.geometry.system import FilamentSystem
+
+
+def _update(h: "hashlib._Hash", obj: Any) -> None:
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):
+        h.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, int):
+        data = obj.to_bytes((obj.bit_length() + 8) // 8 + 1, "little", signed=True)
+        h.update(b"I" + len(data).to_bytes(4, "little") + data)
+    elif isinstance(obj, float):
+        h.update(b"F" + struct.pack("<d", obj))
+    elif isinstance(obj, complex):
+        h.update(b"X" + struct.pack("<dd", obj.real, obj.imag))
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        h.update(b"S" + len(data).to_bytes(4, "little") + data)
+    elif isinstance(obj, bytes):
+        h.update(b"Y" + len(obj).to_bytes(4, "little") + obj)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        _update(h, str(arr.dtype))
+        _update(h, arr.shape)
+        h.update(b"A" + arr.tobytes())
+    elif isinstance(obj, np.generic):
+        _update(h, obj.item())
+    elif isinstance(obj, enum.Enum):
+        _update(h, type(obj).__name__)
+        _update(h, obj.name)
+    elif isinstance(obj, dict):
+        h.update(b"D" + len(obj).to_bytes(4, "little"))
+        for key in sorted(obj, key=repr):
+            _update(h, key)
+            _update(h, obj[key])
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"L" + len(obj).to_bytes(4, "little"))
+        for item in obj:
+            _update(h, item)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        _update(h, type(obj).__name__)
+        for field in dataclasses.fields(obj):
+            if not field.compare:
+                continue  # e.g. Stimulus.transient callables
+            _update(h, field.name)
+            _update(h, getattr(obj, field.name))
+    else:
+        raise TypeError(
+            f"cannot stably hash {type(obj).__name__}; add an encoding "
+            "for it or pass a canonical representation"
+        )
+
+
+def stable_hash(*parts: Any) -> str:
+    """Hex SHA-256 of the canonical encoding of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        _update(h, part)
+    return h.hexdigest()
+
+
+def system_fingerprint(system: FilamentSystem) -> str:
+    """Content hash of a filament system (geometry + wire bookkeeping).
+
+    Two systems with identical filaments in identical order (and the
+    same name -- netlist titles embed it, so cached circuits do too)
+    produce the same fingerprint.  The filaments are packed into one
+    float array so the hash costs a single SHA-256 pass instead of a
+    per-filament Python traversal -- this runs on every warm cache hit,
+    so it must stay cheap for thousand-filament systems.
+    """
+    packed = np.array(
+        [
+            (
+                *filament.origin,
+                filament.length,
+                filament.width,
+                filament.thickness,
+                float(filament.axis.value),
+                float(filament.wire),
+                float(filament.segment),
+            )
+            for filament in system
+        ],
+        dtype=np.float64,
+    ).reshape(len(system), 9)
+    h = hashlib.sha256()
+    _update(h, system.name)
+    _update(h, len(system))
+    _update(h, packed)
+    return h.hexdigest()

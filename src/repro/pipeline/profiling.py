@@ -1,0 +1,149 @@
+"""Per-stage timing and counter instrumentation.
+
+The pipeline's stages -- ``extract`` (geometry to parasitics),
+``invert`` (the full ``O(N^3)`` inversion), ``sparsify`` (truncation or
+window solves), ``stamp`` (netlist assembly), ``solve`` (AC / transient
+linear solves) -- are wrapped in :func:`stage` context managers at the
+point where the work happens.  When nothing is collecting, a stage is a
+few-nanosecond no-op, so the instrumentation can live permanently inside
+the hot paths.
+
+Collection is scoped with :func:`collect`::
+
+    with collect() as profile:
+        parasitics = extract(aligned_bus(64))
+        built = build_model(gw_spec(8), parasitics)
+    print(profile.to_table())
+
+The active profile is a :class:`contextvars.ContextVar`, so collection
+composes with threads; worker processes each collect their own profile
+and ship it back pickled (see :mod:`repro.pipeline.parallel`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional
+
+#: The stage names the core pipeline emits (others are allowed; these are
+#: the ones surfaced by ``--profile`` and asserted by the regression
+#: tests).
+CORE_STAGES = ("extract", "invert", "sparsify", "stamp", "solve")
+
+
+@dataclass
+class StageProfile:
+    """Accumulated wall-clock seconds, call counts, and event counters.
+
+    ``seconds[name]`` is the total (inclusive) wall time spent inside
+    ``stage(name)`` blocks; ``calls[name]`` how many blocks ran;
+    ``counters[name]`` free-form event tallies (cache hits, LU
+    factorizations, swept frequency points, ...).
+    """
+
+    seconds: Dict[str, float] = field(default_factory=dict)
+    calls: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def add_time(self, name: str, elapsed: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def add_counter(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def merge(self, other: "StageProfile") -> None:
+        """Fold another profile (e.g. from a worker process) into this one."""
+        for name, value in other.seconds.items():
+            self.seconds[name] = self.seconds.get(name, 0.0) + value
+        for name, value in other.calls.items():
+            self.calls[name] = self.calls.get(name, 0) + value
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Mapping]:
+        ordered = sorted(self.seconds, key=lambda n: -self.seconds[n])
+        return {
+            "stages": {
+                name: {
+                    "seconds": self.seconds[name],
+                    "calls": self.calls.get(name, 0),
+                }
+                for name in ordered
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def to_table(self) -> str:
+        """Human-readable stage table for terminal output."""
+        lines = ["stage        seconds  calls"]
+        for name in sorted(self.seconds, key=lambda n: -self.seconds[n]):
+            lines.append(
+                f"{name:<12} {self.seconds[name]:>7.4f}  {self.calls.get(name, 0):>5d}"
+            )
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"{name:<12} {value:>13d}")
+        return "\n".join(lines)
+
+
+_ACTIVE: ContextVar[Optional[StageProfile]] = ContextVar(
+    "repro_stage_profile", default=None
+)
+
+
+def active_profile() -> Optional[StageProfile]:
+    """The profile currently collecting, or ``None``."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Time a pipeline stage (no-op unless a profile is collecting).
+
+    Timing is inclusive: a ``solve`` stage nested inside a wider block
+    contributes to both.  The core stages are disjoint by construction.
+    """
+    profile = _ACTIVE.get()
+    if profile is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        profile.add_time(name, time.perf_counter() - start)
+
+
+def add_counter(name: str, amount: int = 1) -> None:
+    """Bump an event counter (no-op unless a profile is collecting)."""
+    profile = _ACTIVE.get()
+    if profile is not None:
+        profile.add_counter(name, amount)
+
+
+@contextmanager
+def collect(
+    into: Optional[StageProfile] = None,
+) -> Iterator[StageProfile]:
+    """Collect stage timings for the duration of the block.
+
+    Nested ``collect`` blocks shadow the outer one (the inner block's
+    stages are not double-counted); pass ``into`` to accumulate several
+    blocks into one profile.
+    """
+    profile = into if into is not None else StageProfile()
+    token = _ACTIVE.set(profile)
+    try:
+        yield profile
+    finally:
+        _ACTIVE.reset(token)

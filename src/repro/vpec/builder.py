@@ -36,6 +36,7 @@ import numpy as np
 from repro.circuit.netlist import Circuit
 from repro.extraction.parasitics import Parasitics
 from repro.peec.builder import ElectricalSkeleton, build_skeleton
+from repro.pipeline.profiling import add_counter, stage
 from repro.vpec.effective import VpecNetwork
 
 #: Unit inductance of the magnetic circuit's differentiator, henries.
@@ -102,6 +103,15 @@ def build_vpec(
         (:mod:`repro.vpec.windowing`).
     """
     _validate_networks(parasitics, networks)
+    with stage("stamp"):
+        return _stamp_vpec(parasitics, networks, title)
+
+
+def _stamp_vpec(
+    parasitics: Parasitics,
+    networks: List[VpecNetwork],
+    title: Optional[str],
+) -> VpecModel:
     system = parasitics.system
     skeleton = build_skeleton(parasitics, title or f"vpec:{system.name}")
     circuit = skeleton.circuit
@@ -145,6 +155,7 @@ def build_vpec(
             )
             coupling_count += 1
 
+    add_counter("stamped_elements", len(circuit))
     return VpecModel(
         circuit=circuit,
         skeleton=skeleton,

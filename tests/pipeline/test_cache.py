@@ -1,0 +1,129 @@
+"""Content-addressed cache: storage semantics, keys, cached extraction."""
+
+import numpy as np
+import pytest
+
+from repro.extraction.capacitance import CapacitanceModel
+from repro.extraction.constants import COPPER_RESISTIVITY
+from repro.geometry.bus import aligned_bus
+from repro.pipeline.cache import (
+    CACHE_DIR_ENV,
+    PipelineCache,
+    cached_extract,
+    default_cache_dir,
+    parasitics_fingerprint,
+    parasitics_key,
+    resolve_cache,
+)
+
+
+@pytest.fixture()
+def cache(tmp_path) -> PipelineCache:
+    return PipelineCache(tmp_path / "store")
+
+
+class TestStore:
+    def test_round_trip(self, cache):
+        value = {"a": np.arange(5.0), "b": "text"}
+        cache.put("kindA", "ab" + "0" * 62, value)
+        loaded = cache.get("kindA", "ab" + "0" * 62)
+        assert loaded["b"] == "text"
+        np.testing.assert_array_equal(loaded["a"], value["a"])
+        assert cache.stats.writes == 1 and cache.stats.hits == 1
+
+    def test_miss_returns_none(self, cache):
+        assert cache.get("kindA", "ff" + "0" * 62) is None
+        assert cache.stats.misses == 1
+
+    def test_fetch_builds_once(self, cache):
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return 42
+
+        key = "cd" + "0" * 62
+        assert cache.fetch("kindA", key, builder) == 42
+        assert cache.fetch("kindA", key, builder) == 42
+        assert len(calls) == 1
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [b"not a pickle", b"garbage\n", b"", b"\x80\x05"],
+        ids=["opcode-error", "value-error", "empty", "truncated"],
+    )
+    def test_corrupt_entry_is_a_miss(self, cache, garbage):
+        key = "ee" + "0" * 62
+        cache.put("kindA", key, [1, 2, 3])
+        path = cache._path("kindA", key)
+        path.write_bytes(garbage)
+        assert cache.get("kindA", key) is None
+
+    def test_entries_and_clear(self, cache):
+        cache.put("parasitics", "aa" + "0" * 62, 1)
+        cache.put("parasitics", "bb" + "0" * 62, 2)
+        cache.put("models", "cc" + "0" * 62, 3)
+        assert cache.entries() == {"models": 1, "parasitics": 2}
+        assert cache.size_bytes() > 0
+        assert cache.clear("parasitics") == 2
+        assert cache.entries() == {"models": 1, "parasitics": 0}
+        assert cache.clear() == 1
+
+    def test_resolve_cache(self, tmp_path):
+        assert resolve_cache(tmp_path, enabled=False) is None
+        resolved = resolve_cache(tmp_path, enabled=True)
+        assert resolved is not None and resolved.root == tmp_path
+
+    def test_default_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env-root"))
+        assert default_cache_dir() == tmp_path / "env-root"
+
+
+class TestKeys:
+    def test_key_covers_every_option(self):
+        system = aligned_bus(5)
+        base = parasitics_key(
+            system, COPPER_RESISTIVITY, 0.0, CapacitanceModel(), True
+        )
+        variants = [
+            parasitics_key(system, 2e-8, 0.0, CapacitanceModel(), True),
+            parasitics_key(system, COPPER_RESISTIVITY, 1e9, CapacitanceModel(), True),
+            parasitics_key(system, COPPER_RESISTIVITY, 0.0, CapacitanceModel(), False),
+            parasitics_key(
+                aligned_bus(6), COPPER_RESISTIVITY, 0.0, CapacitanceModel(), True
+            ),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+    def test_parasitics_fingerprint_tracks_content(self, bus5):
+        fingerprint = parasitics_fingerprint(bus5)
+        assert fingerprint == parasitics_fingerprint(bus5)
+        perturbed = cached_extract(aligned_bus(5, spacing=3e-6))
+        assert parasitics_fingerprint(perturbed) != fingerprint
+
+
+class TestCachedExtract:
+    def test_without_cache_is_plain_extract(self, bus5):
+        rebuilt = cached_extract(aligned_bus(5))
+        np.testing.assert_array_equal(rebuilt.inductance, bus5.inductance)
+
+    def test_warm_hit_is_bit_exact(self, cache):
+        system = aligned_bus(7)
+        cold = cached_extract(system, cache=cache)
+        warm = cached_extract(aligned_bus(7), cache=cache)
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert warm.inductance.tobytes() == cold.inductance.tobytes()
+        assert warm.resistance.tobytes() == cold.resistance.tobytes()
+        assert (
+            warm.ground_capacitance.tobytes() == cold.ground_capacitance.tobytes()
+        )
+        assert warm.coupling_capacitance == cold.coupling_capacitance
+        for axis, (indices, block) in cold.inductance_blocks.items():
+            warm_indices, warm_block = warm.inductance_blocks[axis]
+            assert list(warm_indices) == list(indices)
+            assert warm_block.tobytes() == block.tobytes()
+
+    def test_option_change_misses(self, cache):
+        cached_extract(aligned_bus(5), cache=cache)
+        cached_extract(aligned_bus(5), cache=cache, frequency=1e9)
+        assert cache.stats.misses == 2

@@ -1,0 +1,178 @@
+"""Equivalence guarantees of the cached / parallel pipeline.
+
+The two properties the acceptance criteria pin down:
+
+- warm-cache results are *bitwise* identical to cold builds (pickle
+  round-trips of float64 arrays are exact);
+- a parallel run returns results identical to the serial run of the
+  same job list, in the same order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.jobs import (
+    SimJob,
+    execute_job,
+    geometry_spec,
+    run_jobs,
+    step_spec,
+    stimulus_spec,
+)
+from repro.experiments.runner import (
+    build_model,
+    full_spec,
+    gw_spec,
+    model_key,
+    nt_spec,
+    peec_spec,
+)
+from repro.pipeline.cache import PipelineCache, cached_extract
+from repro.pipeline.profiling import collect
+
+
+@pytest.fixture()
+def cache(tmp_path) -> PipelineCache:
+    return PipelineCache(tmp_path / "store")
+
+
+def small_jobs():
+    """Four independent jobs: two sizes x two model families."""
+    return [
+        SimJob(
+            geometry=geometry_spec("aligned_bus", bits=bits),
+            model=model,
+            stimulus=step_spec(),
+            t_stop=50e-12,
+            dt=1e-12,
+            observe_bits=(1,),
+        )
+        for bits in (5, 8)
+        for model in (peec_spec(), gw_spec(4))
+    ]
+
+
+def assert_results_bitwise_equal(lhs, rhs):
+    assert len(lhs) == len(rhs)
+    for a, b in zip(lhs, rhs):
+        assert a.label == b.label
+        assert a.element_count == b.element_count
+        assert a.netlist_bytes == b.netlist_bytes
+        assert set(a.waveforms) == set(b.waveforms)
+        for key in a.waveforms:
+            assert a.waveforms[key].t.tobytes() == b.waveforms[key].t.tobytes()
+            assert a.waveforms[key].v.tobytes() == b.waveforms[key].v.tobytes()
+
+
+class TestWarmCacheEquivalence:
+    def test_cached_model_build_is_bit_exact(self, cache, bus5):
+        for spec in (full_spec(), gw_spec(2), nt_spec(1e-3), peec_spec()):
+            cold = build_model(spec, bus5, cache=cache)
+            warm = build_model(spec, bus5, cache=cache)
+            assert warm.label == cold.label
+            assert warm.element_count() == cold.element_count()
+            assert warm.netlist_bytes() == cold.netlist_bytes()
+            assert warm.sparse_factor == cold.sparse_factor
+
+    def test_cached_fetches_are_independent_objects(self, cache, bus5):
+        build_model(full_spec(), bus5, cache=cache)
+        first = build_model(full_spec(), bus5, cache=cache)
+        second = build_model(full_spec(), bus5, cache=cache)
+        assert first is not second
+        assert first.circuit is not second.circuit
+
+    def test_model_key_separates_specs_and_parasitics(self, bus5, bus16):
+        assert model_key(full_spec(), bus5) != model_key(gw_spec(2), bus5)
+        assert model_key(full_spec(), bus5) != model_key(full_spec(), bus16)
+        assert model_key(gw_spec(2), bus5) == model_key(gw_spec(2), bus5)
+
+    def test_warm_jobs_match_cold_jobs_bitwise(self, cache):
+        jobs = small_jobs()
+        cold = run_jobs(jobs, parallel=1, cache=cache)
+        assert cache.stats.misses > 0
+        warm = run_jobs(jobs, parallel=1, cache=cache)
+        assert_results_bitwise_equal(cold, warm)
+
+    def test_no_cache_matches_cached_bitwise(self, cache):
+        jobs = small_jobs()
+        uncached = run_jobs(jobs, parallel=1, cache=None)
+        cached = run_jobs(jobs, parallel=1, cache=cache)
+        assert_results_bitwise_equal(uncached, cached)
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial_bitwise(self):
+        jobs = small_jobs()
+        serial = run_jobs(jobs, parallel=1)
+        parallel = run_jobs(jobs, parallel=2)
+        assert_results_bitwise_equal(serial, parallel)
+
+    def test_parallel_preserves_job_order(self):
+        jobs = small_jobs()
+        results = run_jobs(jobs, parallel=2)
+        assert [r.job for r in results] == jobs
+
+    def test_parallel_with_shared_cache(self, cache):
+        jobs = small_jobs()
+        serial = run_jobs(jobs, parallel=1, cache=cache)
+        parallel = run_jobs(jobs, parallel=2, cache=cache)
+        assert_results_bitwise_equal(serial, parallel)
+
+    def test_worker_profiles_merge_into_collector(self):
+        jobs = small_jobs()
+        with collect() as profile:
+            run_jobs(jobs, parallel=2)
+        assert profile.calls.get("solve", 0) == len(jobs)
+        assert profile.calls.get("extract", 0) == len(jobs)
+
+
+class TestJobSpecs:
+    def test_bus_ac_needs_frequencies(self):
+        with pytest.raises(ValueError):
+            SimJob(
+                geometry=geometry_spec("aligned_bus", bits=5),
+                model=full_spec(),
+                analysis="bus_ac",
+            )
+
+    def test_unknown_analysis_rejected(self):
+        with pytest.raises(ValueError):
+            SimJob(
+                geometry=geometry_spec("aligned_bus", bits=5),
+                model=full_spec(),
+                analysis="nope",
+            )
+
+    def test_unknown_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            geometry_spec("torus", bits=5)
+
+    def test_unknown_stimulus_rejected(self):
+        with pytest.raises(ValueError):
+            stimulus_spec("chirp")
+
+    def test_execute_job_ac_analysis(self):
+        job = SimJob(
+            geometry=geometry_spec("aligned_bus", bits=5),
+            model=full_spec(),
+            analysis="bus_ac",
+            stimulus=stimulus_spec("ac_unit"),
+            frequencies=(1e6, 1e8, 1e9),
+            observe_bits=(1,),
+        )
+        result = execute_job(job)
+        assert set(result.waveforms) == {"far1"}
+        assert result.waveforms["far1"].t.size == 3
+        assert result.profile.counters.get("ac_points") == 3
+
+    def test_execute_job_two_port(self):
+        job = SimJob(
+            geometry=geometry_spec("spiral", turns=2, total_segments=24),
+            model=nt_spec(1e-3),
+            analysis="two_port_transient",
+            t_stop=50e-12,
+            dt=1e-12,
+        )
+        result = execute_job(job)
+        assert set(result.waveforms) == {"out"}
+        assert np.all(np.isfinite(result.waveforms["out"].v))

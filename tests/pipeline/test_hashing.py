@@ -1,0 +1,70 @@
+"""Stable content hashing: determinism, sensitivity, canonicalization."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ModelSpec
+from repro.geometry.bus import aligned_bus
+from repro.pipeline.hashing import stable_hash, system_fingerprint
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        parts = ("tag", 1, 2.5, np.arange(6, dtype=float))
+        assert stable_hash(*parts) == stable_hash(*parts)
+
+    def test_hex_sha256_shape(self):
+        key = stable_hash("x")
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+    def test_value_sensitivity(self):
+        assert stable_hash(1.0) != stable_hash(1.0 + 1e-15)
+        assert stable_hash("a") != stable_hash("b")
+        assert stable_hash(0) != stable_hash(0.0)  # int vs float tag
+        assert stable_hash(False) != stable_hash(0)
+
+    def test_structure_sensitivity(self):
+        assert stable_hash(["a", "b"]) != stable_hash(["ab"])
+        assert stable_hash([1, [2, 3]]) != stable_hash([1, 2, 3])
+
+    def test_dict_order_independent(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+
+    def test_array_dtype_and_shape_matter(self):
+        data = np.arange(6)
+        assert stable_hash(data.astype(np.float64)) != stable_hash(
+            data.astype(np.int64)
+        )
+        assert stable_hash(data.reshape(2, 3)) != stable_hash(data.reshape(3, 2))
+
+    def test_noncontiguous_array_equals_contiguous_copy(self):
+        base = np.arange(24, dtype=float).reshape(4, 6)
+        view = base[:, ::2]
+        assert stable_hash(view) == stable_hash(np.ascontiguousarray(view))
+
+    def test_dataclass_fields_hashed(self):
+        assert stable_hash(ModelSpec("gw", window=4)) != stable_hash(
+            ModelSpec("gw", window=8)
+        )
+        assert stable_hash(ModelSpec("gw", window=4)) == stable_hash(
+            ModelSpec("gw", window=4)
+        )
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            stable_hash(object())
+
+
+class TestSystemFingerprint:
+    def test_identical_geometry_same_fingerprint(self):
+        assert system_fingerprint(aligned_bus(5)) == system_fingerprint(
+            aligned_bus(5)
+        )
+
+    def test_geometry_changes_fingerprint(self):
+        base = system_fingerprint(aligned_bus(5))
+        assert system_fingerprint(aligned_bus(6)) != base
+        assert system_fingerprint(aligned_bus(5, spacing=3e-6)) != base
+        assert system_fingerprint(aligned_bus(5, segments_per_line=2)) != base

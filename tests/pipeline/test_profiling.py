@@ -1,0 +1,104 @@
+"""Stage timing and counter collection semantics."""
+
+import json
+
+from repro.pipeline.profiling import (
+    CORE_STAGES,
+    StageProfile,
+    active_profile,
+    add_counter,
+    collect,
+    stage,
+)
+
+
+class TestStageCollection:
+    def test_noop_without_collector(self):
+        assert active_profile() is None
+        with stage("extract"):
+            pass
+        add_counter("events")
+        assert active_profile() is None
+
+    def test_collect_records_time_and_calls(self):
+        with collect() as profile:
+            with stage("extract"):
+                pass
+            with stage("extract"):
+                pass
+            with stage("solve"):
+                pass
+        assert profile.calls["extract"] == 2
+        assert profile.calls["solve"] == 1
+        assert profile.seconds["extract"] >= 0.0
+        assert active_profile() is None
+
+    def test_counters(self):
+        with collect() as profile:
+            add_counter("cache_hits")
+            add_counter("cache_hits", 3)
+        assert profile.counters == {"cache_hits": 4}
+
+    def test_nested_collect_shadows_outer(self):
+        with collect() as outer:
+            with stage("extract"):
+                pass
+            with collect() as inner:
+                with stage("solve"):
+                    pass
+        assert "solve" not in outer.calls
+        assert inner.calls == {"solve": 1}
+
+    def test_collect_into_accumulates(self):
+        total = StageProfile()
+        for _ in range(3):
+            with collect(into=total):
+                with stage("stamp"):
+                    pass
+        assert total.calls["stamp"] == 3
+
+    def test_exception_still_records(self):
+        with collect() as profile:
+            try:
+                with stage("solve"):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+        assert profile.calls["solve"] == 1
+
+
+class TestStageProfile:
+    def test_merge_adds_everything(self):
+        a = StageProfile(
+            seconds={"extract": 1.0}, calls={"extract": 1}, counters={"hits": 2}
+        )
+        b = StageProfile(
+            seconds={"extract": 0.5, "solve": 2.0},
+            calls={"extract": 2, "solve": 1},
+            counters={"hits": 1},
+        )
+        a.merge(b)
+        assert a.seconds == {"extract": 1.5, "solve": 2.0}
+        assert a.calls == {"extract": 3, "solve": 1}
+        assert a.counters == {"hits": 3}
+
+    def test_to_dict_and_json_round_trip(self):
+        profile = StageProfile(
+            seconds={"solve": 2.0, "extract": 1.0},
+            calls={"solve": 4, "extract": 1},
+            counters={"ac_points": 7},
+        )
+        payload = json.loads(profile.to_json())
+        assert list(payload["stages"]) == ["solve", "extract"]  # sorted by time
+        assert payload["stages"]["solve"] == {"seconds": 2.0, "calls": 4}
+        assert payload["counters"] == {"ac_points": 7}
+
+    def test_to_table_lists_stages_and_counters(self):
+        profile = StageProfile(
+            seconds={"stamp": 0.25}, calls={"stamp": 3}, counters={"hits": 9}
+        )
+        table = profile.to_table()
+        assert "stamp" in table and "hits" in table
+
+    def test_core_stage_names(self):
+        assert CORE_STAGES == ("extract", "invert", "sparsify", "stamp", "solve")

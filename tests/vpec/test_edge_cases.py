@@ -1,0 +1,111 @@
+"""Degenerate-input edge cases of windowing and truncation.
+
+Each case must still produce a symmetric, passive effective-resistance
+network (Theorems 1-2 hold in the limits, not just the typical sizes):
+
+- a single-filament system (no couplings at all);
+- a geometric window larger than the bus (windowing degenerates to the
+  exact full inversion);
+- a truncation threshold that drops every off-diagonal (diagonal-only
+  model).
+"""
+
+import numpy as np
+import pytest
+
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.vpec.flow import truncated_vpec, windowed_vpec
+from repro.vpec.full import full_vpec_networks
+from repro.vpec.passivity import audit_network
+from repro.vpec.truncation import truncate_numerical
+from repro.vpec.windowing import (
+    geometric_windows,
+    numerical_windows,
+    windowed_vpec_networks,
+)
+
+
+@pytest.fixture(scope="module")
+def bus1():
+    return extract(aligned_bus(1))
+
+
+def assert_symmetric_and_passive(network):
+    dense = network.dense_ghat()
+    np.testing.assert_allclose(dense, dense.T, rtol=0, atol=0)
+    report = audit_network(network)
+    assert report.symmetric
+    assert report.passive
+
+
+class TestSingleFilament:
+    def test_full_network(self, bus1):
+        networks = full_vpec_networks(bus1)
+        assert len(networks) == 1
+        network = networks[0]
+        assert network.size == 1
+        assert network.coupling_count() == 0
+        assert_symmetric_and_passive(network)
+
+    def test_windowed_network(self, bus1):
+        networks = windowed_vpec_networks(bus1, window_size=1)
+        assert networks[0].size == 1
+        assert_symmetric_and_passive(networks[0])
+        # Degenerate window == exact inversion of the 1x1 block.
+        np.testing.assert_allclose(
+            networks[0].dense_ghat(), full_vpec_networks(bus1)[0].dense_ghat()
+        )
+
+    def test_built_models(self, bus1):
+        windowed = windowed_vpec(bus1, window_size=1)
+        truncated = truncated_vpec(bus1, threshold=1e-6)
+        for result in (windowed, truncated):
+            assert result.model.coupling_resistor_count == 0
+            assert result.sparse_factor == 1.0  # nothing to sparsify
+
+
+class TestOversizedWindow:
+    def test_window_clamps_to_system_size(self, bus5):
+        (indices, _block) = next(iter(bus5.inductance_blocks.values()))
+        windows = geometric_windows(bus5.system, indices, window_size=999)
+        for window in windows:
+            assert window.size == len(indices)
+
+    def test_oversized_window_equals_full_inversion(self, bus5):
+        windowed = windowed_vpec_networks(bus5, window_size=999)
+        full = full_vpec_networks(bus5)
+        assert len(windowed) == len(full)
+        for w_net, f_net in zip(windowed, full):
+            assert list(w_net.indices) == list(f_net.indices)
+            np.testing.assert_allclose(
+                w_net.dense_ghat(), f_net.dense_ghat(), rtol=1e-10, atol=1e-30
+            )
+            assert_symmetric_and_passive(w_net)
+
+
+class TestDropAllCouplings:
+    def test_threshold_above_max_strength_drops_everything(self, bus5):
+        for network in full_vpec_networks(bus5):
+            truncated = truncate_numerical(network, threshold=1.0)
+            dense = truncated.dense_ghat()
+            off = dense[~np.eye(dense.shape[0], dtype=bool)]
+            assert np.all(off == 0.0)
+            assert truncated.coupling_count() == 0
+            # Diagonal survives untouched.
+            np.testing.assert_array_equal(
+                np.diag(dense), np.diag(network.dense_ghat())
+            )
+            assert_symmetric_and_passive(truncated)
+
+    def test_numerical_windows_collapse_to_self(self, bus5):
+        for _indices, block in bus5.inductance_blocks.values():
+            windows = numerical_windows(block, threshold=1e9)
+            for m, window in enumerate(windows):
+                assert window.tolist() == [m]
+
+    def test_diagonal_only_wvpec_is_passive(self, bus5):
+        result = windowed_vpec(bus5, threshold=1e9)
+        assert result.model.coupling_resistor_count == 0
+        for network in result.model.networks:
+            assert_symmetric_and_passive(network)
