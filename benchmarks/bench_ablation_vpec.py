@@ -24,7 +24,6 @@ from repro.circuit.sources import step
 from repro.extraction.parasitics import extract
 from repro.geometry.bus import aligned_bus
 from repro.experiments.runner import build_model, peec_spec, run_bus_transient
-from repro.vpec.effective import VpecNetwork
 from repro.vpec.passivity import diagonal_dominance_margin, is_positive_definite
 from repro.vpec.windowing import geometric_windows, windowed_inverse
 

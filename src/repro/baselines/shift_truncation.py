@@ -27,7 +27,6 @@ import numpy as np
 from repro.extraction.inductance import mutual_parallel_filaments
 from repro.extraction.parasitics import Parasitics
 from repro.peec.model import PeecModel
-from repro.vpec.effective import VpecNetwork  # noqa: F401 (doc cross-ref)
 
 
 def shift_truncated_inductance(

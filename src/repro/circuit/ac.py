@@ -22,9 +22,10 @@ import numpy as np
 from scipy.sparse import csc_matrix
 from scipy.sparse.linalg import splu
 
-from repro.circuit.mna import MnaSystem, build_mna
+from repro.circuit.mna import build_mna
 from repro.circuit.netlist import Circuit
 from repro.circuit.waveform import ACResult
+from repro.health.solvers import DEFAULT_POLICY, FallbackPolicy, factorize
 from repro.pipeline.profiling import add_counter, stage
 
 
@@ -52,13 +53,20 @@ class SweepSolver:
     ``permc_spec="NATURAL"``, reusing that ordering.  If the alignment
     cannot be established (a degenerate pattern mismatch) the solver
     falls back to an independent factorization per point.
+
+    Numerical failures escalate per sweep point: when the fast direct
+    path cannot factorize (or returns a non-finite solution), the point
+    is re-solved through :func:`repro.health.solvers.factorize` --
+    Tikhonov-regularized LU, then GMRES + incomplete LU -- raising
+    typed errors only when the whole chain is exhausted.
     """
 
-    def __init__(self, g_mat, c_mat) -> None:
+    def __init__(self, g_mat, c_mat, policy: Optional[FallbackPolicy] = None) -> None:
         g_csc = g_mat.tocsc().astype(complex)
         c_csc = c_mat.tocsc().astype(complex)
         self._g = g_csc
         self._c = c_csc
+        self._policy = policy if policy is not None else DEFAULT_POLICY
         self._perm_c: Optional[np.ndarray] = None
 
         union = (g_csc + c_csc).tocsc()
@@ -84,23 +92,47 @@ class SweepSolver:
     def solve(self, omega: float, rhs: np.ndarray) -> np.ndarray:
         """Solve ``(G + j omega C) x = rhs`` for one sweep point."""
         if not self._aligned:
-            add_counter("lu_orderings")
-            return splu((self._g + 1j * omega * self._c).tocsc()).solve(rhs)
+            a_mat = (self._g + 1j * omega * self._c).tocsc()
+            try:
+                add_counter("lu_orderings")
+                x = splu(a_mat).solve(rhs)
+                if np.all(np.isfinite(x)):
+                    return x
+            except (RuntimeError, ValueError):
+                pass
+            return self._escalate(a_mat, rhs, omega)
         a_mat = csc_matrix(
             (self._g_data + 1j * omega * self._c_data, self._indices, self._indptr),
             shape=self._shape,
         )
-        if self._perm_c is None:
-            lu = splu(a_mat)
-            self._perm_c = lu.perm_c.copy()
-            add_counter("lu_orderings")
-            return lu.solve(rhs)
-        permuted = a_mat[:, self._perm_c].tocsc()
-        lu = splu(permuted, permc_spec="NATURAL")
-        y = lu.solve(rhs)
-        x = np.empty_like(y)
-        x[self._perm_c] = y
-        return x
+        try:
+            if self._perm_c is None:
+                lu = splu(a_mat)
+                self._perm_c = lu.perm_c.copy()
+                add_counter("lu_orderings")
+                x = lu.solve(rhs)
+            else:
+                permuted = a_mat[:, self._perm_c].tocsc()
+                lu = splu(permuted, permc_spec="NATURAL")
+                y = lu.solve(rhs)
+                x = np.empty_like(y)
+                x[self._perm_c] = y
+            if np.all(np.isfinite(x)):
+                return x
+        except (RuntimeError, ValueError):
+            pass
+        return self._escalate(a_mat, rhs, omega)
+
+    def _escalate(
+        self, a_mat: csc_matrix, rhs: np.ndarray, omega: float
+    ) -> np.ndarray:
+        """Route one defective sweep point through the fallback chain."""
+        add_counter("solve_fallbacks")
+        return factorize(
+            a_mat,
+            policy=self._policy,
+            name=f"AC system at omega={omega:.4g} rad/s",
+        ).solve(rhs)
 
 
 def ac_analysis(
@@ -108,6 +140,7 @@ def ac_analysis(
     frequencies: Iterable[float],
     probe_nodes: Optional[Sequence[str]] = None,
     probe_branches: Optional[Sequence[str]] = None,
+    policy: Optional[FallbackPolicy] = None,
 ) -> ACResult:
     """Frequency sweep of a linear circuit.
 
@@ -137,7 +170,7 @@ def ac_analysis(
     volt = np.empty((len(nodes), freqs.size), dtype=complex)
     curr = np.empty((len(branches), freqs.size), dtype=complex)
     with stage("solve"):
-        solver = SweepSolver(system.G, system.C)
+        solver = SweepSolver(system.G, system.C, policy=policy)
         for k, freq in enumerate(freqs):
             omega = 2.0 * np.pi * freq
             solution = solver.solve(omega, rhs)

@@ -5,28 +5,44 @@ branch row reduces to ``v1 - v2 = 0``), so the solve needs only the ``G``
 matrix.  The VPEC model is stamped in MNA form, so -- unlike the nodal
 K-element formulation the paper criticizes -- it keeps correct DC
 information; tests verify PEEC and VPEC reach identical operating points.
+
+The solve runs through the fault-tolerant chain of
+:mod:`repro.health.solvers`: sparse LU fast path, Tikhonov-regularized
+retry, then GMRES + incomplete LU.  A circuit whose ``G`` is singular
+beyond repair (floating node, source loop) raises a typed
+:class:`~repro.health.errors.SingularMatrixError` instead of a bare
+``LinAlgError`` or a silently non-finite solution.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import spsolve
 
 from repro.circuit.mna import MnaSystem, build_mna
 from repro.circuit.netlist import Circuit
 from repro.circuit.waveform import DCSolution
+from repro.health.solvers import DEFAULT_POLICY, FallbackPolicy, factorize
 
 #: Minimum node-to-ground conductance, siemens (SPICE's ``gmin``): keeps
 #: nodes that only connect through capacitors -- open at DC -- solvable.
 GMIN = 1e-12
 
 
-def solve_dc(system: MnaSystem, gmin: float = GMIN) -> np.ndarray:
+def solve_dc(
+    system: MnaSystem,
+    gmin: float = GMIN,
+    policy: Optional[FallbackPolicy] = None,
+) -> np.ndarray:
     """Raw DC solution vector of an assembled MNA system.
 
     ``gmin`` is stamped from every node to ground (branch rows are left
-    untouched), exactly as a production SPICE regularizes floating nodes.
+    untouched), exactly as a production SPICE regularizes floating
+    nodes.  ``policy`` governs the solver escalation chain (resilient by
+    default); every solution is residual-checked, so the result is
+    finite and consistent or a typed error is raised.
     """
     rhs = system.rhs_dc()
     g_mat = system.G.tocsc()
@@ -34,14 +50,12 @@ def solve_dc(system: MnaSystem, gmin: float = GMIN) -> np.ndarray:
         leak = np.zeros(system.size)
         leak[: system.num_nodes] = gmin
         g_mat = g_mat + sparse.diags(leak).tocsc()
-    solution = spsolve(g_mat, rhs)
-    solution = np.atleast_1d(solution)
-    if not np.all(np.isfinite(solution)):
-        raise ArithmeticError(
-            "DC solve produced non-finite values; the circuit likely has a "
-            "floating node or a source loop"
-        )
-    return solution
+    solution = factorize(
+        g_mat,
+        policy=policy if policy is not None else DEFAULT_POLICY,
+        name="DC conductance matrix",
+    ).solve(rhs)
+    return np.atleast_1d(solution)
 
 
 def dc_operating_point(circuit: Circuit) -> DCSolution:

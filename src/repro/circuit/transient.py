@@ -22,12 +22,12 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 import numpy as np
-from scipy.sparse.linalg import splu
 
 from repro.circuit.dc import solve_dc
-from repro.circuit.mna import MnaSystem, build_mna
+from repro.circuit.mna import build_mna
 from repro.circuit.netlist import Circuit
 from repro.circuit.waveform import TransientResult
+from repro.health.solvers import DEFAULT_POLICY, FallbackPolicy, factorize
 from repro.pipeline.profiling import add_counter, stage
 
 _METHODS = ("trapezoidal", "backward_euler")
@@ -41,6 +41,7 @@ def transient_analysis(
     probe_nodes: Optional[Sequence[str]] = None,
     probe_branches: Optional[Sequence[str]] = None,
     x0: Optional[np.ndarray] = None,
+    policy: Optional[FallbackPolicy] = None,
 ) -> TransientResult:
     """Integrate a circuit from 0 to ``t_stop`` with fixed step ``dt``.
 
@@ -61,6 +62,10 @@ def transient_analysis(
     x0:
         Optional initial solution vector (defaults to the DC operating
         point at the sources' ``t = 0`` values).
+    policy:
+        Fallback policy of the left-hand-side factorization (resilient
+        by default): LU -> Tikhonov retry -> GMRES + ILU, with typed
+        errors when the chain is exhausted.
     """
     if t_stop <= 0 or dt <= 0:
         raise ValueError("t_stop and dt must be positive")
@@ -96,12 +101,15 @@ def transient_analysis(
         c_mat = system.C.tocsc()
         if method == "trapezoidal":
             c_scaled = (2.0 / dt) * c_mat
-            lhs = splu((g_mat + c_scaled).tocsc())
             history = c_scaled - g_mat
         else:
             c_scaled = (1.0 / dt) * c_mat
-            lhs = splu((g_mat + c_scaled).tocsc())
             history = c_scaled
+        lhs = factorize(
+            (g_mat + c_scaled).tocsc(),
+            policy=policy if policy is not None else DEFAULT_POLICY,
+            name=f"transient LHS ({method}, dt={dt:.3g}s)",
+        )
         add_counter("lu_orderings")
 
         _record(volt, curr, 0, x, node_rows, branch_rows)

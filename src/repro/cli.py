@@ -37,6 +37,8 @@ from repro.extraction.parasitics import Parasitics
 from repro.geometry.bus import aligned_bus, nonaligned_bus
 from repro.geometry.spiral import square_spiral
 from repro.experiments.runner import ModelSpec, build_model
+from repro.health.diagnostics import certify_passivity, check_spd, reports_to_json
+from repro.health.errors import NumericalHealthError
 from repro.pipeline.cache import (
     PipelineCache,
     cached_extract,
@@ -198,6 +200,8 @@ def _cmd_crosstalk(args: argparse.Namespace) -> int:
 
 def _cmd_audit(args: argparse.Namespace) -> int:
     parasitics = cached_extract(_geometry(args), cache=_cache(args))
+    if args.health:
+        return _audit_health(args, parasitics)
     result = _vpec_flow(args, parasitics)
     print(f"model: {result.flavor} (sparse factor {result.sparse_factor:.3f})")
     ok = True
@@ -211,6 +215,56 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         )
         ok = ok and report.passive
     print("PASS: model is passive" if ok else "FAIL: model is not passive")
+    return 0 if ok else 1
+
+
+def _audit_health(args: argparse.Namespace, parasitics: Parasitics) -> int:
+    """Numerical-health audit: L-block SPD reports + Ghat certificates."""
+    parasitics.validate()
+    reports = []
+    for axis, (_, block) in parasitics.inductance_blocks.items():
+        reports.append(
+            check_spd(block, name=f"L[{axis.name}] ({block.shape[0]}x{block.shape[0]})")
+        )
+    result = _vpec_flow(args, parasitics)
+    # The Lemma-1 sign check (all Ghat off-diagonals <= 0, all row sums
+    # >= 0) is a *bus-structure* property: spirals carry legitimately
+    # positive coupling resistances in their exact inverse while staying
+    # passive by Theorem 2 (diagonal dominance).  It is therefore opt-in
+    # (--strict-signs) rather than part of the default audit.
+    sign_structure = bool(getattr(args, "strict_signs", False))
+    for group, network in enumerate(result.model.networks):
+        reports.append(
+            certify_passivity(
+                network.dense_ghat(),
+                name=f"Ghat[group {group}] ({result.flavor})",
+                sign_structure=sign_structure,
+            )
+        )
+    print(f"model: {result.flavor} (sparse factor {result.sparse_factor:.3f})")
+    for report in reports:
+        condition = (
+            f"{report.condition:.3e}" if np.isfinite(report.condition) else "inf"
+        )
+        print(
+            f"  {report.name}: ok={report.ok} certificate={report.certificate} "
+            f"cond={condition}"
+        )
+        for note in report.notes:
+            print(f"    note: {note}")
+    ok = all(report.ok for report in reports)
+    if args.health_json:
+        document = reports_to_json(
+            reports,
+            system=parasitics.system.name,
+            model=result.flavor,
+            sparse_factor=result.sparse_factor,
+        )
+        target = Path(args.health_json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(document + "\n", encoding="ascii")
+        print(f"health report -> {args.health_json}")
+    print("PASS: model is healthy" if ok else "FAIL: model failed health checks")
     return 0 if ok else 1
 
 
@@ -286,6 +340,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_geometry_arguments(p_audit)
     _add_model_arguments(p_audit)
     _add_pipeline_arguments(p_audit)
+    p_audit.add_argument(
+        "--health",
+        action="store_true",
+        help="numerical-health audit: condition numbers, SPD checks, "
+        "passivity certificates (structured HealthReport per matrix)",
+    )
+    p_audit.add_argument(
+        "--health-json",
+        metavar="FILE",
+        help="with --health, also write the reports as a JSON document",
+    )
+    p_audit.add_argument(
+        "--strict-signs",
+        action="store_true",
+        help="with --health, additionally require the Lemma-1 sign "
+        "structure of Ghat (bus geometries; catches sign-flipped "
+        "mutual couplings)",
+    )
     p_audit.set_defaults(func=_cmd_audit)
 
     p_cache = commands.add_parser(
@@ -320,16 +392,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Numerical failures surface as the typed taxonomy of
+    :mod:`repro.health.errors` and exit with code 2 -- a bare traceback
+    from deep inside a solve never reaches the terminal.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     destination = getattr(args, "profile", None)
     if destination is None:
-        return args.func(args)
+        try:
+            return args.func(args)
+        except NumericalHealthError as error:
+            print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+            return 2
     # Stage timings go to stderr so --profile composes with commands
     # that stream their payload (e.g. a netlist) to stdout.
     with collect() as profile:
-        code = args.func(args)
+        try:
+            code = args.func(args)
+        except NumericalHealthError as error:
+            print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+            code = 2
     print(profile.to_table(), file=sys.stderr)
     if destination != "-":
         try:

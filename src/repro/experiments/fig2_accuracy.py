@@ -15,13 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-import numpy as np
-
 from repro.analysis.metrics import WaveformDifference, waveform_difference
 from repro.circuit.ac import logspace_frequencies
 from repro.circuit.sources import ac_unit, step
 from repro.circuit.waveform import Waveform
-from repro.extraction.parasitics import extract
 from repro.pipeline.cache import PipelineCache, cached_extract
 from repro.geometry.bus import aligned_bus
 from repro.experiments.runner import (

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.extraction.parasitics import Parasitics, extract
+from repro.extraction.parasitics import Parasitics
 from repro.pipeline.cache import PipelineCache, cached_extract
 from repro.geometry.bus import aligned_bus
 from repro.vpec.truncation import truncate_geometric

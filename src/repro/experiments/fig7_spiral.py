@@ -29,7 +29,7 @@ from repro.analysis.metrics import WaveformDifference, waveform_difference
 from repro.circuit.sources import step
 from repro.circuit.waveform import Waveform
 from repro.constants import SUBSTRATE_RESISTIVITY
-from repro.extraction.parasitics import Parasitics, extract
+from repro.extraction.parasitics import Parasitics
 from repro.pipeline.cache import PipelineCache, cached_extract
 from repro.geometry.spiral import square_spiral
 from repro.experiments.runner import (

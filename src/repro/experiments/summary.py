@@ -120,6 +120,56 @@ def _check_table4() -> List[ClaimCheck]:
     ]
 
 
+def _check_health() -> List[ClaimCheck]:
+    """Degradation claim: faulted inputs produce typed errors or
+    certified fallbacks, never bare ``LinAlgError`` / garbage output."""
+    import numpy as np
+
+    from repro.extraction.parasitics import extract
+    from repro.geometry.bus import aligned_bus
+    from repro.health import (
+        DEFAULT_POLICY,
+        NumericalHealthError,
+        SingularMatrixError,
+        inject_fault,
+    )
+    from repro.vpec.flow import full_vpec
+    from repro.vpec.full import invert_spd
+
+    parasitics = extract(aligned_bus(8))
+    faulted = inject_fault(parasitics, "rank_deficient_l", drop=2)
+    block = next(iter(faulted.inductance_blocks.values()))[1]
+
+    typed = False
+    try:
+        invert_spd(block)
+    except SingularMatrixError:
+        typed = True
+    except Exception:  # noqa: BLE001 - any other escape fails the claim
+        typed = False
+
+    certified = False
+    try:
+        result = full_vpec(faulted, policy=DEFAULT_POLICY)
+        ghat = result.model.networks[0].dense_ghat()
+        eigenvalues = np.linalg.eigvalsh((ghat + ghat.T) / 2.0)
+        certified = bool(
+            np.all(np.isfinite(ghat))
+            and eigenvalues.min() >= -1e-9 * max(abs(eigenvalues.max()), 1.0)
+        )
+    except NumericalHealthError:
+        certified = False
+
+    return [
+        ClaimCheck(
+            "Health",
+            "singular L degrades to typed error / certified PSD fallback",
+            f"typed={typed}, fallback PSD={certified}",
+            typed and certified,
+        )
+    ]
+
+
 def _check_fig7() -> List[ClaimCheck]:
     result = run_fig7(turns=2, total_segments=24, t_stop=250e-12, dt=1e-12)
     error = result.diff_vs_peec["nwVPEC"].mean_relative_to_peak
@@ -140,6 +190,7 @@ _CHECKS: List[Callable[[], List[ClaimCheck]]] = [
     _check_fig4,
     _check_table4,
     _check_fig7,
+    _check_health,
 ]
 
 

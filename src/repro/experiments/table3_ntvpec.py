@@ -19,7 +19,6 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.metrics import WaveformDifference, waveform_difference
 from repro.circuit.sources import step
-from repro.extraction.parasitics import extract
 from repro.pipeline.cache import PipelineCache, cached_extract
 from repro.geometry.bus import nonaligned_bus
 from repro.experiments.runner import (

@@ -24,7 +24,6 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.metrics import WaveformDifference, waveform_difference
 from repro.circuit.sources import step
 from repro.circuit.waveform import Waveform
-from repro.extraction.parasitics import extract
 from repro.pipeline.cache import PipelineCache, cached_extract
 from repro.geometry.bus import aligned_bus
 from repro.experiments.runner import (

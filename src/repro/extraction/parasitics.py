@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.extraction.capacitance import CapacitanceModel, extract_capacitances
 from repro.extraction.constants import COPPER_RESISTIVITY
-from repro.extraction.inductance import inductance_blocks, partial_inductance_matrix
+from repro.extraction.inductance import inductance_blocks
 from repro.extraction.resistance import extract_resistances
 from repro.geometry.filament import Axis
 from repro.geometry.system import FilamentSystem
@@ -51,6 +51,24 @@ class Parasitics:
             raise ValueError("inductance matrix shape does not match the system")
         if self.resistance.shape != (n,) or self.ground_capacitance.shape != (n,):
             raise ValueError("per-filament arrays must have one entry per filament")
+
+    def validate(self) -> None:
+        """Check every numeric array for NaN / infinity.
+
+        Raises :class:`repro.health.errors.NonFiniteInputError` naming
+        the offending quantity -- the health layer's first line of
+        defense against corrupted extraction artifacts reaching the
+        model builders.
+        """
+        from repro.health.solvers import require_finite
+
+        require_finite(self.inductance, name="partial inductance matrix")
+        for axis, (_, block) in self.inductance_blocks.items():
+            require_finite(block, name=f"{axis.name}-direction inductance block")
+        require_finite(self.resistance, name="resistance vector")
+        require_finite(self.ground_capacitance, name="ground capacitance vector")
+        values = np.array(list(self.coupling_capacitance.values()), dtype=float)
+        require_finite(values, name="coupling capacitances")
 
 
 def extract(

@@ -1,0 +1,128 @@
+"""Deterministic fault injection for the degradation paths.
+
+The fallback chains of :mod:`repro.health.solvers` only earn their keep
+if the failure modes they guard against can actually be produced on
+demand -- in tests, in CI, and in the ``repro report`` health claim.
+This module perturbs inputs into each certified fault class:
+
+- :func:`rank_deficient` -- project out the smallest eigenvalues of a
+  symmetric matrix, producing an *exactly* singular (but still
+  symmetric PSD) ``L`` block;
+- :func:`flip_mutual_signs` -- negate off-diagonal couplings, breaking
+  the diagonal-dominance and definiteness properties passivity needs;
+- :func:`inject_nan` -- overwrite entries with NaN (corrupted
+  parasitics, e.g. a truncated extraction artifact);
+- :func:`inject_fault` -- apply any of the above to every inductance
+  block of an extracted :class:`~repro.extraction.parasitics.Parasitics`
+  set, returning a faulted copy (the original is never mutated).
+
+All randomness flows from an explicit seed, so a CI failure reproduces
+locally from the fault name and seed alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Callable, Dict
+
+import numpy as np
+from scipy import linalg
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.extraction.parasitics import Parasitics
+
+#: The fault classes the health tests and CI smoke job exercise.
+FAULT_KINDS = ("rank_deficient_l", "sign_flipped_mutuals", "nan_parasitics")
+
+
+def rank_deficient(matrix: np.ndarray, drop: int = 1) -> np.ndarray:
+    """Make a symmetric matrix exactly singular by zeroing eigenvalues.
+
+    The ``drop`` smallest eigenvalues are set to zero and the matrix is
+    reassembled, so the result is symmetric, positive *semi*definite
+    when the input was SPD, and has a nullspace of dimension ``drop``.
+    """
+    dense = np.asarray(matrix, dtype=float)
+    if drop < 1:
+        raise ValueError("drop must be >= 1")
+    n = dense.shape[0]
+    if drop >= n:
+        return np.zeros_like(dense)
+    values, vectors = linalg.eigh((dense + dense.T) / 2.0)
+    values[:drop] = 0.0
+    faulted = (vectors * values) @ vectors.T
+    return (faulted + faulted.T) / 2.0
+
+
+def flip_mutual_signs(
+    matrix: np.ndarray, fraction: float = 1.0, seed: int = 0
+) -> np.ndarray:
+    """Flip the sign of a fraction of the off-diagonal (mutual) entries.
+
+    Flips are applied to symmetric pairs, so the result stays symmetric
+    but loses the sign structure (and typically the definiteness) the
+    passivity certificates check for.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    dense = np.asarray(matrix, dtype=float).copy()
+    n = dense.shape[0]
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    if not pairs:
+        return dense
+    rng = np.random.default_rng(seed)
+    count = max(1, int(round(fraction * len(pairs))))
+    chosen = rng.choice(len(pairs), size=count, replace=False)
+    for index in chosen:
+        i, j = pairs[int(index)]
+        dense[i, j] = -dense[i, j]
+        dense[j, i] = -dense[j, i]
+    return dense
+
+
+def inject_nan(matrix: np.ndarray, count: int = 1, seed: int = 0) -> np.ndarray:
+    """Overwrite ``count`` symmetric entry pairs with NaN."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    dense = np.asarray(matrix, dtype=float).copy()
+    n = dense.shape[0]
+    rng = np.random.default_rng(seed)
+    for _ in range(count):
+        i = int(rng.integers(n))
+        j = int(rng.integers(n))
+        dense[i, j] = np.nan
+        dense[j, i] = np.nan
+    return dense
+
+
+_BLOCK_FAULTS: Dict[str, Callable[..., np.ndarray]] = {
+    "rank_deficient_l": rank_deficient,
+    "sign_flipped_mutuals": flip_mutual_signs,
+    "nan_parasitics": inject_nan,
+}
+
+
+def inject_fault(
+    parasitics: "Parasitics", kind: str, **options: object
+) -> "Parasitics":
+    """A faulted copy of an extracted parasitic set.
+
+    ``kind`` is one of :data:`FAULT_KINDS`; ``options`` are forwarded to
+    the per-block fault function (``drop``, ``fraction``, ``count``,
+    ``seed``).  Every per-direction inductance block is perturbed and
+    the full matrix is rebuilt from the faulted blocks, so both views
+    stay consistent.  The input object is left untouched.
+    """
+    if kind not in _BLOCK_FAULTS:
+        raise ValueError(f"kind must be one of {FAULT_KINDS}, got {kind!r}")
+    fault = _BLOCK_FAULTS[kind]
+    blocks = {
+        axis: (list(indices), fault(block, **options))
+        for axis, (indices, block) in parasitics.inductance_blocks.items()
+    }
+    full = np.array(parasitics.inductance, dtype=float, copy=True)
+    for indices, block in blocks.values():
+        full[np.ix_(indices, indices)] = block
+    return dataclasses.replace(
+        parasitics, inductance=full, inductance_blocks=blocks
+    )

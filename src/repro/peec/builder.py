@@ -22,7 +22,7 @@ FastHenry's convention of orienting every branch along the positive axis.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

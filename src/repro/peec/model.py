@@ -11,8 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
-
 from repro.circuit.netlist import Circuit
 from repro.extraction.parasitics import Parasitics
 from repro.peec.builder import ElectricalSkeleton, build_skeleton

@@ -66,6 +66,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    evictions: int = 0
 
 
 @dataclass
@@ -94,11 +95,24 @@ class PipelineCache:
         # Any unpickling failure is a miss: a truncated or corrupted
         # entry raises whatever the garbage bytes decode to (ValueError,
         # UnpicklingError, EOFError, ImportError, ...), and the store
-        # must recompute rather than crash.
+        # must recompute rather than crash.  The bad file is evicted so
+        # it is rewritten by the recompute instead of failing every
+        # future lookup of the same key.
         try:
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            add_counter("cache_misses")
+            return None
         except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            else:
+                self.stats.evictions += 1
+                add_counter("cache_evictions")
             self.stats.misses += 1
             add_counter("cache_misses")
             return None

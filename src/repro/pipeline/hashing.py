@@ -24,7 +24,7 @@ import dataclasses
 import enum
 import hashlib
 import struct
-from typing import Any, Iterable
+from typing import Any
 
 import numpy as np
 

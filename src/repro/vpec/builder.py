@@ -29,9 +29,7 @@ the two ``l_i`` gains, mirroring how FastHenry orients branches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import List, Optional
 
 from repro.circuit.netlist import Circuit
 from repro.extraction.parasitics import Parasitics

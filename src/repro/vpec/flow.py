@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.extraction.parasitics import Parasitics
+from repro.health.solvers import FallbackPolicy
 from repro.pipeline.profiling import stage
 from repro.vpec.builder import VpecModel, build_vpec
 from repro.vpec.effective import VpecNetwork
@@ -56,11 +57,18 @@ class VpecBuildResult:
         return self.model.sparse_factor()
 
 
-def full_vpec(parasitics: Parasitics) -> VpecBuildResult:
-    """The inversion-based full VPEC model (Section II)."""
+def full_vpec(
+    parasitics: Parasitics, policy: Optional[FallbackPolicy] = None
+) -> VpecBuildResult:
+    """The inversion-based full VPEC model (Section II).
+
+    ``policy`` selects the inversion fallback behavior: strict typed
+    errors by default, graceful Tikhonov / spectral escalation with a
+    resilient :class:`~repro.health.solvers.FallbackPolicy`.
+    """
     start = time.perf_counter()
     with stage("invert"):
-        networks = full_vpec_networks(parasitics)
+        networks = full_vpec_networks(parasitics, policy=policy)
     elapsed = time.perf_counter() - start
     model = build_vpec(
         parasitics, networks, title=f"vpec-full:{parasitics.system.name}"
@@ -73,6 +81,7 @@ def truncated_vpec(
     nw: Optional[int] = None,
     nl: Optional[int] = None,
     threshold: Optional[float] = None,
+    policy: Optional[FallbackPolicy] = None,
 ) -> VpecBuildResult:
     """The tVPEC model (Section IV): full inversion plus truncation.
 
@@ -89,7 +98,7 @@ def truncated_vpec(
 
     start = time.perf_counter()
     with stage("invert"):
-        networks = full_vpec_networks(parasitics)
+        networks = full_vpec_networks(parasitics, policy=policy)
     with stage("sparsify"):
         if geometric:
             flavor = "gtVPEC"
@@ -110,6 +119,7 @@ def windowed_vpec(
     parasitics: Parasitics,
     window_size: int = 0,
     threshold: float = 0.0,
+    policy: Optional[FallbackPolicy] = None,
 ) -> VpecBuildResult:
     """The wVPEC model (Section V): windowed sparse approximate inverse.
 
@@ -119,7 +129,10 @@ def windowed_vpec(
     start = time.perf_counter()
     with stage("sparsify"):
         networks = windowed_vpec_networks(
-            parasitics, window_size=window_size, threshold=threshold
+            parasitics,
+            window_size=window_size,
+            threshold=threshold,
+            policy=policy,
         )
     elapsed = time.perf_counter() - start
     flavor = "gwVPEC" if window_size > 0 else "nwVPEC"
@@ -129,11 +142,13 @@ def windowed_vpec(
     return VpecBuildResult(model=model, build_seconds=elapsed, flavor=flavor)
 
 
-def localized_vpec(parasitics: Parasitics) -> VpecBuildResult:
+def localized_vpec(
+    parasitics: Parasitics, policy: Optional[FallbackPolicy] = None
+) -> VpecBuildResult:
     """The localized VPEC baseline of [15]: adjacent couplings only."""
     start = time.perf_counter()
     with stage("invert"):
-        inverted = full_vpec_networks(parasitics)
+        inverted = full_vpec_networks(parasitics, policy=policy)
     with stage("sparsify"):
         networks = [localize(network, parasitics.system) for network in inverted]
     elapsed = time.perf_counter() - start

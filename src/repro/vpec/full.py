@@ -5,43 +5,67 @@ inversion of that direction's partial inductance block.  ``L`` is
 symmetric positive definite, so the inversion uses a Cholesky
 factorization (the "direct LU or Cholesky factorization-based inversion"
 the paper prescribes for systems below ~1000 wires).
+
+Failure handling is explicit (:mod:`repro.health`): by default a non-SPD
+``L`` raises a typed :class:`~repro.health.errors.SingularMatrixError`
+-- for a partial inductance matrix that indicates an extraction bug, so
+it must not pass silently.  Callers that prefer graceful degradation
+(production screening over possibly-corrupted extractions) pass a
+resilient :class:`~repro.health.solvers.FallbackPolicy`, which escalates
+through a Tikhonov-regularized retry to eigenvalue clipping and always
+returns a symmetric positive definite inverse.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
-from scipy import linalg
 
 from repro.extraction.parasitics import Parasitics
+from repro.health.solvers import STRICT_POLICY, AttemptLog, FallbackPolicy, spd_inverse
 from repro.vpec.effective import VpecNetwork
 
 
-def invert_spd(matrix: np.ndarray) -> np.ndarray:
+def invert_spd(
+    matrix: np.ndarray,
+    policy: Optional[FallbackPolicy] = None,
+    log: Optional[AttemptLog] = None,
+) -> np.ndarray:
     """Inverse of a symmetric positive definite matrix via Cholesky.
 
-    Raises ``np.linalg.LinAlgError`` when the matrix is not SPD -- for a
-    partial inductance matrix that indicates an extraction bug, so it
-    must not pass silently.
+    With the default (strict) policy a non-SPD matrix raises
+    :class:`~repro.health.errors.SingularMatrixError` and a matrix with
+    NaN / infinity raises
+    :class:`~repro.health.errors.NonFiniteInputError`.  A resilient
+    policy (e.g. :data:`repro.health.solvers.DEFAULT_POLICY`) instead
+    escalates -- Tikhonov ridge, then eigenvalue clipping -- and returns
+    a certified symmetric positive definite inverse; the attempts are
+    recorded in ``log`` and the active profiling collector.
     """
-    chol, lower = linalg.cho_factor(matrix, lower=True, check_finite=False)
-    identity = np.eye(matrix.shape[0])
-    inverse = linalg.cho_solve((chol, lower), identity, check_finite=False)
-    return (inverse + inverse.T) / 2.0
+    return spd_inverse(
+        matrix,
+        policy=policy if policy is not None else STRICT_POLICY,
+        name="inductance block",
+        log=log,
+    )
 
 
-def full_vpec_networks(parasitics: Parasitics) -> List[VpecNetwork]:
+def full_vpec_networks(
+    parasitics: Parasitics, policy: Optional[FallbackPolicy] = None
+) -> List[VpecNetwork]:
     """Full (dense) VPEC networks, one per current direction.
 
     Each network carries ``Ghat = D L_block^-1 D`` over its axis group;
     together with the shared electrical skeleton they define the full
     VPEC model, which tests verify is waveform-identical to PEEC.
+    ``policy`` selects the inversion fallback behavior (strict by
+    default, see :func:`invert_spd`).
     """
     networks: List[VpecNetwork] = []
     all_lengths = parasitics.system.lengths()
     for indices, block in parasitics.inductance_blocks.values():
-        s_matrix = invert_spd(block)
+        s_matrix = invert_spd(block, policy=policy)
         networks.append(
             VpecNetwork.from_inverse(
                 indices=indices,

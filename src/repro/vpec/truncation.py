@@ -23,8 +23,6 @@ model and then only keep the adjacently coupled resistances").
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
-
 import numpy as np
 from scipy import sparse
 

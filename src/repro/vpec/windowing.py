@@ -24,13 +24,20 @@ Window selection comes in the paper's two flavors:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
 
 from repro.extraction.parasitics import Parasitics
 from repro.geometry.system import FilamentSystem
+from repro.health.solvers import (
+    DEFAULT_POLICY,
+    FallbackPolicy,
+    dense_solve,
+    require_finite,
+)
+from repro.pipeline.profiling import add_counter
 from repro.vpec.effective import VpecNetwork
 
 
@@ -115,6 +122,7 @@ def windowed_inverse(
     block: np.ndarray,
     windows: Sequence[np.ndarray],
     merge: str = "max",
+    policy: Optional[FallbackPolicy] = None,
 ) -> sparse.csr_matrix:
     """Sparse approximate inverse ``S'`` from per-aggressor window solves.
 
@@ -122,9 +130,19 @@ def windowed_inverse(
     solves ``L(m) s(m) = i(m)`` followed by the eq. 18 merge.  When only
     one of a pair's two windows produced an estimate, that estimate is
     used directly.
+
+    A singular window submatrix (rank-deficient ``L``) does not abort
+    the whole construction: the offending windows fall back to the
+    escalation chain of :func:`repro.health.solvers.dense_solve`
+    (Tikhonov ridge, then least squares) under ``policy`` -- non-finite
+    input raises :class:`~repro.health.errors.NonFiniteInputError`
+    up front instead.
     """
     if merge not in MERGE_RULES:
         raise ValueError(f"merge must be one of {MERGE_RULES}, got {merge!r}")
+    if policy is None:
+        policy = DEFAULT_POLICY
+    require_finite(block, name="inductance block")
     n = block.shape[0]
     if len(windows) != n:
         raise ValueError("one window per aggressor is required")
@@ -150,7 +168,26 @@ def windowed_inverse(
         rhs = np.zeros((len(aggressors), size))
         for row, m in enumerate(aggressors):
             rhs[row, int(np.nonzero(normalized[m] == m)[0][0])] = 1.0
-        solutions = np.linalg.solve(subs, rhs[:, :, None])[:, :, 0]
+        try:
+            solutions = np.linalg.solve(subs, rhs[:, :, None])[:, :, 0]
+            if not np.all(np.isfinite(solutions)):
+                raise np.linalg.LinAlgError("non-finite window solutions")
+        except np.linalg.LinAlgError:
+            # One singular window poisons the whole batched call; redo
+            # the batch per window through the escalation chain so only
+            # the defective windows pay the fallback cost.
+            add_counter("window_fallback_batches")
+            solutions = np.stack(
+                [
+                    dense_solve(
+                        subs[row],
+                        rhs[row],
+                        policy=policy,
+                        name=f"window of aggressor {m}",
+                    )
+                    for row, m in enumerate(aggressors)
+                ]
+            )
         for row, m in enumerate(aggressors):
             for position, neighbor in enumerate(normalized[m]):
                 value = float(solutions[row, position])
@@ -188,11 +225,14 @@ def windowed_vpec_networks(
     parasitics: Parasitics,
     window_size: int = 0,
     threshold: float = 0.0,
+    policy: Optional[FallbackPolicy] = None,
 ) -> List[VpecNetwork]:
     """wVPEC networks for every current direction.
 
     Exactly one of ``window_size`` (geometric, > 0) or ``threshold``
-    (numerical, > 0) selects the windowing flavor.
+    (numerical, > 0) selects the windowing flavor.  ``policy`` governs
+    the fallback chain of the window solves (see
+    :func:`windowed_inverse`).
     """
     if (window_size > 0) == (threshold > 0):
         raise ValueError(
@@ -206,7 +246,7 @@ def windowed_vpec_networks(
             windows = geometric_windows(parasitics.system, indices, window_size)
         else:
             windows = numerical_windows(block, threshold)
-        s_prime = windowed_inverse(block, windows)
+        s_prime = windowed_inverse(block, windows, policy=policy)
         networks.append(
             VpecNetwork.from_inverse(
                 indices=indices,

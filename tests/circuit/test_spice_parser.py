@@ -8,7 +8,6 @@ from repro.circuit.dc import dc_operating_point
 from repro.circuit.elements import (
     CCCS,
     Capacitor,
-    Inductor,
     MutualInductance,
     Resistor,
     VoltageSource,

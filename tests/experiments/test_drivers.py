@@ -5,7 +5,6 @@ workload and asserts the paper's *qualitative* claims (who wins, in
 which direction); the full-size numbers live in the benchmark harness.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.fig2_accuracy import run_fig2

@@ -19,6 +19,7 @@ class TestQuickChecks:
             "Fig. 4",
             "Table IV",
             "Figs. 6-7",
+            "Health",
         }
 
     def test_report_formatting(self):

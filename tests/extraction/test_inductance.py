@@ -8,7 +8,6 @@ import pytest
 from repro.constants import MU_0
 from repro.extraction.inductance import (
     gmd_parallel_tapes,
-    inductance_blocks,
     mutual_collinear_filaments,
     mutual_parallel_filaments,
     partial_inductance_matrix,
@@ -16,7 +15,6 @@ from repro.extraction.inductance import (
 )
 from repro.geometry.bus import aligned_bus
 from repro.geometry.filament import Axis, Filament
-from repro.geometry.spiral import square_spiral
 from repro.geometry.system import FilamentSystem
 
 

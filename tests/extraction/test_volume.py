@@ -5,7 +5,6 @@ import pytest
 
 from repro.extraction.resistance import dc_resistance, skin_effect_resistance
 from repro.extraction.volume import (
-    ConductorImpedance,
     conductor_impedance,
     counts_for_skin_depth,
     subdivide_cross_section,

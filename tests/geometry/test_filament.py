@@ -1,7 +1,5 @@
 """Unit tests for the rectangular filament primitive."""
 
-import math
-
 import pytest
 
 from repro.geometry.filament import Axis, Filament

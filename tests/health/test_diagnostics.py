@@ -1,0 +1,129 @@
+"""Health reports: condition estimates, SPD checks, passivity certificates."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.health.diagnostics import (
+    HealthReport,
+    assert_passive,
+    certify_passivity,
+    check_spd,
+    condition_estimate,
+    reports_to_json,
+)
+from repro.health.errors import PassivityViolationError
+
+
+class TestConditionEstimate:
+    def test_identity_is_one(self):
+        assert condition_estimate(np.eye(4)) == pytest.approx(1.0)
+
+    def test_symmetric_uses_eigenvalue_ratio(self):
+        assert condition_estimate(np.diag([1.0, 1e6])) == pytest.approx(1e6)
+
+    def test_nonsymmetric_uses_singular_values(self):
+        matrix = np.array([[1.0, 100.0], [0.0, 1.0]])
+        estimate = condition_estimate(matrix)
+        assert estimate == pytest.approx(np.linalg.cond(matrix), rel=1e-6)
+
+    def test_singular_is_inf(self):
+        assert condition_estimate(np.diag([1.0, 0.0])) == np.inf
+        assert condition_estimate(np.zeros((2, 2))) == np.inf
+
+    def test_non_finite_is_nan(self):
+        assert np.isnan(condition_estimate(np.array([[1.0, np.nan], [0.0, 1.0]])))
+
+    def test_empty_is_zero(self):
+        assert condition_estimate(np.empty((0, 0))) == 0.0
+
+
+class TestCheckSpd:
+    def test_spd_gets_cholesky_certificate(self):
+        report = check_spd(np.array([[4.0, 1.0], [1.0, 3.0]]), name="L")
+        assert report.ok and report.certificate == "cholesky"
+        assert report.positive_definite and report.name == "L"
+
+    def test_indefinite_reports_min_eigenvalue(self):
+        report = check_spd(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        assert not report.ok and report.certificate is None
+        assert report.min_eigenvalue == pytest.approx(-1.0)
+
+    def test_nonsymmetric_is_not_ok(self):
+        report = check_spd(np.array([[1.0, 0.5], [0.0, 1.0]]))
+        assert not report.ok and not report.symmetric
+
+    def test_non_finite_short_circuits(self):
+        report = check_spd(np.array([[np.nan, 0.0], [0.0, 1.0]]))
+        assert not report.finite and not report.ok
+        assert np.isnan(report.condition)
+
+
+class TestCertifyPassivity:
+    def test_dominant_m_matrix_certified_cheaply(self):
+        ghat = np.array([[2.0, -1.0], [-1.0, 2.0]])
+        report = certify_passivity(ghat)
+        assert report.ok and report.certificate == "diagonal-dominance"
+
+    def test_psd_but_not_dominant_falls_back_to_eigenvalues(self):
+        # Equicorrelated 3x3: eigenvalues {2.6, 0.2, 0.2} (PSD), but
+        # every off-diagonal row sum (1.6) exceeds the diagonal (1.0).
+        ghat = np.full((3, 3), 0.8) + 0.2 * np.eye(3)
+        report = certify_passivity(ghat)
+        assert report.ok and report.certificate == "eigenvalue"
+        assert not report.diagonally_dominant
+        assert report.min_eigenvalue == pytest.approx(0.2)
+
+    def test_indefinite_gets_no_certificate(self):
+        report = certify_passivity(np.array([[1.0, -2.0], [-2.0, 1.0]]))
+        assert not report.ok and report.certificate is None
+
+    def test_sign_structure_catches_positive_coupling(self):
+        # PSD and diagonally dominant, but the positive off-diagonal is
+        # a *negative* coupling resistance -- Lemma 1 must veto it.
+        ghat = np.array([[2.0, 1.0], [1.0, 2.0]])
+        assert certify_passivity(ghat).ok
+        report = certify_passivity(ghat, sign_structure=True)
+        assert not report.ok and report.certificate is None
+        assert any("Lemma 1" in note for note in report.notes)
+
+    def test_sign_structure_accepts_a_true_vpec_ghat(self):
+        ghat = np.array([[2.0, -0.5], [-0.5, 2.0]])
+        assert certify_passivity(ghat, sign_structure=True).ok
+
+
+class TestAssertPassive:
+    def test_passive_returns_report(self):
+        report = assert_passive(np.eye(3) * 2.0)
+        assert report.ok
+
+    def test_violation_raises_with_context(self):
+        with pytest.raises(PassivityViolationError) as excinfo:
+            assert_passive(np.array([[1.0, -2.0], [-2.0, 1.0]]), name="Ghat[0]")
+        assert excinfo.value.context["name"] == "Ghat[0]"
+        assert excinfo.value.context["certificate"] is None
+
+
+class TestReportSerialization:
+    def test_to_dict_round_trips_through_json(self):
+        report = check_spd(np.eye(2), name="L[X]")
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["name"] == "L[X]" and payload["ok"] is True
+        assert payload["shape"] == [2, 2]
+
+    def test_reports_to_json_aggregates_ok(self):
+        good = check_spd(np.eye(2))
+        bad = check_spd(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        document = json.loads(reports_to_json([good, bad], system="bus"))
+        assert document["ok"] is False and document["system"] == "bus"
+        assert [r["ok"] for r in document["reports"]] == [True, False]
+        assert json.loads(reports_to_json([good]))["ok"] is True
+
+    def test_ok_requires_certificate(self):
+        report = HealthReport(
+            name="m", shape=(1, 1), finite=True, symmetric=True,
+            positive_definite=False, diagonally_dominant=True,
+            condition=1.0, certificate=None,
+        )
+        assert not report.ok

@@ -1,0 +1,58 @@
+"""The typed error taxonomy: inheritance and context payloads."""
+
+import numpy as np
+import pytest
+
+from repro.health.errors import (
+    ConvergenceError,
+    NonFiniteInputError,
+    NumericalHealthError,
+    PassivityViolationError,
+    SingularMatrixError,
+)
+
+_ALL_ERRORS = [
+    NonFiniteInputError,
+    SingularMatrixError,
+    PassivityViolationError,
+    ConvergenceError,
+]
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize("error_type", _ALL_ERRORS)
+    def test_all_derive_from_base(self, error_type):
+        assert issubclass(error_type, NumericalHealthError)
+
+    def test_one_except_clause_catches_everything(self):
+        for error_type in _ALL_ERRORS:
+            with pytest.raises(NumericalHealthError):
+                raise error_type("boom")
+
+    def test_singular_is_a_linalgerror(self):
+        # Legacy callers written before the taxonomy say
+        # ``except np.linalg.LinAlgError`` -- they must keep working.
+        assert issubclass(SingularMatrixError, np.linalg.LinAlgError)
+        with pytest.raises(np.linalg.LinAlgError):
+            raise SingularMatrixError("singular")
+
+    def test_non_finite_is_a_valueerror(self):
+        assert issubclass(NonFiniteInputError, ValueError)
+        with pytest.raises(ValueError):
+            raise NonFiniteInputError("NaN")
+
+
+class TestContext:
+    def test_defaults_to_empty_dict(self):
+        error = NumericalHealthError("plain")
+        assert error.context == {}
+
+    def test_context_is_copied(self):
+        payload = {"name": "L", "attempts": ["cholesky"]}
+        error = SingularMatrixError("singular", context=payload)
+        payload["name"] = "mutated"
+        assert error.context["name"] == "L"
+
+    def test_message_survives(self):
+        error = ConvergenceError("gmres info=400", context={"name": "A"})
+        assert "gmres info=400" in str(error)

@@ -1,0 +1,110 @@
+"""Fault injectors: each must produce exactly the defect it names."""
+
+import numpy as np
+import pytest
+
+from repro.health.faults import (
+    FAULT_KINDS,
+    flip_mutual_signs,
+    inject_fault,
+    inject_nan,
+    rank_deficient,
+)
+
+
+def _spd(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestRankDeficient:
+    def test_result_is_singular_symmetric_psd(self):
+        faulted = rank_deficient(_spd(6), drop=2)
+        np.testing.assert_allclose(faulted, faulted.T)
+        eigenvalues = np.linalg.eigvalsh(faulted)
+        assert eigenvalues[0] == pytest.approx(0.0, abs=1e-10)
+        assert eigenvalues[1] == pytest.approx(0.0, abs=1e-10)
+        assert eigenvalues[2] > 1e-6  # only `drop` directions removed
+
+    def test_nullspace_dimension_matches_drop(self):
+        faulted = rank_deficient(_spd(5), drop=3)
+        assert np.linalg.matrix_rank(faulted, tol=1e-9) == 2
+
+    def test_drop_everything_is_zero(self):
+        np.testing.assert_array_equal(
+            rank_deficient(_spd(3), drop=3), np.zeros((3, 3))
+        )
+
+    def test_rejects_non_positive_drop(self):
+        with pytest.raises(ValueError):
+            rank_deficient(_spd(3), drop=0)
+
+
+class TestFlipMutualSigns:
+    def test_full_flip_negates_every_off_diagonal(self):
+        matrix = _spd(5)
+        flipped = flip_mutual_signs(matrix, fraction=1.0)
+        off = ~np.eye(5, dtype=bool)
+        np.testing.assert_allclose(flipped[off], -matrix[off])
+        np.testing.assert_allclose(np.diag(flipped), np.diag(matrix))
+
+    def test_stays_symmetric_and_is_deterministic(self):
+        matrix = _spd(6, seed=1)
+        a = flip_mutual_signs(matrix, fraction=0.3, seed=7)
+        b = flip_mutual_signs(matrix, fraction=0.3, seed=7)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_allclose(a, a.T)
+        assert not np.array_equal(a, flip_mutual_signs(matrix, 0.3, seed=8))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            flip_mutual_signs(_spd(3), fraction=0.0)
+        with pytest.raises(ValueError):
+            flip_mutual_signs(_spd(3), fraction=1.5)
+
+
+class TestInjectNan:
+    def test_injects_symmetric_nan_pairs(self):
+        faulted = inject_nan(_spd(5), count=2, seed=3)
+        rows, cols = np.nonzero(np.isnan(faulted))
+        assert rows.size >= 1
+        assert np.all(np.isnan(faulted[cols, rows]))
+
+    def test_deterministic_per_seed(self):
+        np.testing.assert_array_equal(
+            inject_nan(_spd(5), count=2, seed=3),
+            inject_nan(_spd(5), count=2, seed=3),
+        )
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            inject_nan(_spd(3), count=0)
+
+
+class TestInjectFault:
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_original_parasitics_untouched(self, bus5, kind):
+        before = bus5.inductance.copy()
+        inject_fault(bus5, kind)
+        np.testing.assert_array_equal(bus5.inductance, before)
+
+    def test_blocks_and_full_matrix_stay_consistent(self, bus5):
+        faulted = inject_fault(bus5, "rank_deficient_l", drop=1)
+        for indices, block in faulted.inductance_blocks.values():
+            np.testing.assert_array_equal(
+                faulted.inductance[np.ix_(indices, indices)], block
+            )
+            assert np.linalg.matrix_rank(block, tol=1e-12) == len(indices) - 1
+
+    def test_nan_fault_fails_validate(self, bus5):
+        from repro.health.errors import NonFiniteInputError
+
+        faulted = inject_fault(bus5, "nan_parasitics")
+        with pytest.raises(NonFiniteInputError):
+            faulted.validate()
+        bus5.validate()  # the clean original still passes
+
+    def test_unknown_kind_rejected(self, bus5):
+        with pytest.raises(ValueError, match="kind must be one of"):
+            inject_fault(bus5, "cosmic_rays")

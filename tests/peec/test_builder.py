@@ -6,7 +6,6 @@ import pytest
 from repro.circuit.elements import Capacitor, Resistor, VoltageSource
 from repro.circuit.sources import step
 from repro.extraction.parasitics import extract
-from repro.geometry.bus import aligned_bus
 from repro.geometry.spiral import square_spiral
 from repro.peec.builder import (
     attach_bus_testbench,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.circuit.elements import Inductor, MutualInductance
-from repro.circuit.mna import build_mna
 from repro.circuit.sources import dc
 from repro.circuit.ac import ac_analysis
 from repro.extraction.parasitics import extract

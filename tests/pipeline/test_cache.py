@@ -58,6 +58,21 @@ class TestStore:
         path = cache._path("kindA", key)
         path.write_bytes(garbage)
         assert cache.get("kindA", key) is None
+        assert not path.exists(), "corrupted entry must be evicted"
+        assert cache.stats.evictions == 1
+
+    def test_evicted_entry_is_rewritten_by_fetch(self, cache):
+        key = "ee" + "0" * 62
+        cache.put("kindA", key, [1, 2, 3])
+        path = cache._path("kindA", key)
+        path.write_bytes(b"garbage")
+        assert cache.fetch("kindA", key, lambda: [4, 5, 6]) == [4, 5, 6]
+        assert cache.get("kindA", key) == [4, 5, 6]
+        assert cache.stats.evictions == 1 and cache.stats.writes == 2
+
+    def test_plain_miss_does_not_evict(self, cache):
+        assert cache.get("kindA", "ff" + "0" * 62) is None
+        assert cache.stats.evictions == 0 and cache.stats.misses == 1
 
     def test_entries_and_clear(self, cache):
         cache.put("parasitics", "aa" + "0" * 62, 1)

@@ -27,7 +27,7 @@ from repro.experiments.runner import (
     nt_spec,
     peec_spec,
 )
-from repro.pipeline.cache import PipelineCache, cached_extract
+from repro.pipeline.cache import PipelineCache
 from repro.pipeline.profiling import collect
 
 

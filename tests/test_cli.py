@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -162,3 +164,45 @@ class TestAudit:
         assert code == 0
         out = capsys.readouterr().out
         assert out.count("direction group") == 2
+
+    def test_health_strict_signs_json(self, tmp_path, capsys):
+        target = tmp_path / "health.json"
+        code = main(
+            [
+                "audit",
+                "--bus",
+                "4",
+                "--model",
+                "full",
+                "--no-cache",
+                "--health",
+                "--strict-signs",
+                "--health-json",
+                str(target),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        document = json.loads(target.read_text())
+        assert document["ok"] is True
+        assert any(r["certificate"] for r in document["reports"])
+
+    def test_health_spiral_without_strict_signs(self, capsys):
+        # A spiral's exact inverse carries positive coupling resistances,
+        # so the default health pass (no Lemma-1 sign check) must accept it.
+        code = main(
+            [
+                "audit",
+                "--spiral",
+                "2",
+                "--spiral-segments",
+                "20",
+                "--model",
+                "full",
+                "--no-cache",
+                "--health",
+            ]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out

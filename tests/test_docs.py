@@ -7,7 +7,6 @@ reference files that actually exist.
 
 import pathlib
 import re
-import runpy
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for VPEC circuit assembly (the Fig. 1 topology)."""
 
-import numpy as np
 import pytest
 
 from repro.circuit.elements import (
@@ -9,7 +8,6 @@ from repro.circuit.elements import (
     VCVS,
     Inductor,
     MutualInductance,
-    Resistor,
     VoltageSource,
 )
 from repro.vpec.builder import UNIT_INDUCTANCE, build_vpec

@@ -15,8 +15,7 @@ from repro.circuit.dc import dc_operating_point
 from repro.circuit.sources import ac_unit, dc, step
 from repro.circuit.transient import transient_analysis
 from repro.extraction.parasitics import extract
-from repro.geometry.bus import aligned_bus, nonaligned_bus
-from repro.geometry.spiral import square_spiral
+from repro.geometry.bus import aligned_bus
 from repro.peec.builder import attach_bus_testbench, attach_two_port_testbench
 from repro.peec.model import build_peec
 from repro.vpec.builder import build_vpec
