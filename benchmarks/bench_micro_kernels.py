@@ -10,11 +10,17 @@ the substrate are caught independently of the experiment logic:
 - batched windowed inverse (the wVPEC cost center);
 - MNA assembly and one factorized transient run;
 - the geometry adjacency sweep.
+
+The ``TestVectorizedSpeedups`` class reproduces the PR-4 acceptance
+ratios against the scalar reference kernels (``repro.bench.reference``)
+on the paper's 1024-line bus, using the same runner that maintains
+``BENCH_kernels.json`` (``repro bench``).
 """
 
 import numpy as np
 import pytest
 
+from repro.bench import run_suite
 from repro.circuit.sources import step
 from repro.circuit.transient import transient_analysis
 from repro.circuit.mna import build_mna
@@ -82,3 +88,37 @@ def test_kernel_transient_run(benchmark):
         iterations=1,
     )
     assert result.voltage(victim).peak > 0
+
+
+class TestVectorizedSpeedups:
+    """PR-4 acceptance: vectorized kernels vs the scalar seed paths.
+
+    One suite run on the 1024-line bus measures both variants of each
+    kernel; the ratios below are the committed floors (warm 1024-bus
+    extraction >= 5x, windowed inverse at b=8 >= 3x).  Timing asserts
+    live here in ``benchmarks/`` -- outside the tier-1 ``tests/``
+    collection -- so hot CI runners cannot flake the main suite.
+    """
+
+    @pytest.fixture(scope="class")
+    def suite(self):
+        results = run_suite(
+            kernels=("extraction_bus1024", "windowed_inverse_bus1024_b8"),
+            repeats=3,
+            include_seed=True,
+        )
+        return {(r.kernel, r.variant): r for r in results}
+
+    def _ratio(self, suite, kernel):
+        seed = suite[(kernel, "seed")]
+        vectorized = suite[(kernel, "vectorized")]
+        assert seed.checksum == vectorized.checksum, (
+            f"{kernel}: seed and vectorized outputs diverge"
+        )
+        return seed.seconds / vectorized.seconds
+
+    def test_extraction_bus1024_speedup(self, suite):
+        assert self._ratio(suite, "extraction_bus1024") >= 5.0
+
+    def test_windowed_inverse_bus1024_b8_speedup(self, suite):
+        assert self._ratio(suite, "windowed_inverse_bus1024_b8") >= 3.0

@@ -1,0 +1,201 @@
+"""Scalar reference kernels: the pre-vectorization ("seed") hot paths.
+
+These reproduce the per-pair Python loops the extraction and windowing
+kernels shipped with before PR 4, using the same closed-form primitives
+as the vectorized paths.  They exist for two reasons: the benchmark
+trajectory keeps honest "before" entries that any machine can re-measure
+(``repro bench --with-seed``), and the equivalence test suite has an
+executable specification to diff the vectorized kernels against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.extraction.inductance import (
+    _COLLINEAR_TOL,
+    _GMD_CUTOFF,
+    _mutual_parallel_vec,
+    gmd_rectangles,
+    mutual_collinear_filaments,
+    mutual_parallel_filaments,
+    self_inductance_bar,
+)
+from repro.geometry.system import FilamentSystem
+
+
+def scalar_partial_inductance(
+    system: FilamentSystem, gmd_correction: bool = True
+) -> np.ndarray:
+    """Seed-path partial inductance matrix: per-pair Python loops.
+
+    Mirrors the pre-vectorization ``_axis_block`` / ``_apply_gmd`` /
+    ``_finish_block`` structure: the full ``m x m`` mutual grid is
+    evaluated (collinear pairs at a placeholder distance, discarded
+    afterwards), close pairs get a per-pair GMD loop with a local
+    memoization dict, and collinear couplings are filled one scalar call
+    at a time.
+    """
+    n = len(system)
+    matrix = np.zeros((n, n))
+    for axis, indices in system.indices_by_axis().items():
+        block = _scalar_axis_block(system, indices, axis, gmd_correction)
+        matrix[np.ix_(indices, indices)] = block
+    return matrix
+
+
+def _scalar_axis_block(system, indices, axis, gmd_correction):
+    filaments = [system[i] for i in indices]
+    m = len(filaments)
+    lengths = np.array([f.length for f in filaments])
+    widths = np.array([f.width for f in filaments])
+    thicknesses = np.array([f.thickness for f in filaments])
+    starts = np.array([f.axial_span[0] for f in filaments])
+    perp_axes = [k for k in range(3) if k != axis.value]
+    centers = np.array([f.center for f in filaments])[:, perp_axes]
+
+    block = np.zeros((m, m))
+    diag = np.array(
+        [self_inductance_bar(f.length, f.width, f.thickness) for f in filaments]
+    )
+    np.fill_diagonal(block, diag)
+    if m == 1:
+        return block
+
+    delta = centers[:, None, :] - centers[None, :, :]
+    distance = np.hypot(delta[:, :, 0], delta[:, :, 1])
+    offset = starts[None, :] - starts[:, None]
+    len_a = np.broadcast_to(lengths[:, None], (m, m))
+    len_b = np.broadcast_to(lengths[None, :], (m, m))
+
+    lateral = distance > _COLLINEAR_TOL
+    eff_distance = np.where(lateral, distance, 1.0)
+    if gmd_correction:
+        _scalar_apply_gmd(
+            eff_distance, lateral, distance, delta, widths, thicknesses
+        )
+
+    mutual = _mutual_parallel_vec(len_a, len_b, eff_distance, offset)
+    off_diag = ~np.eye(m, dtype=bool)
+    block[off_diag & lateral] = mutual[off_diag & lateral]
+
+    collinear = off_diag & ~lateral
+    for i, j in zip(*np.nonzero(collinear)):
+        block[i, j] = mutual_collinear_filaments(
+            float(len_a[i, j]), float(len_b[i, j]), float(offset[i, j])
+        )
+    return (block + block.T) / 2.0
+
+
+def _scalar_apply_gmd(
+    eff_distance, lateral, distance, delta, widths, thicknesses
+):
+    dims = np.maximum(widths, thicknesses)
+    pair_dim = np.maximum(dims[:, None], dims[None, :])
+    close = lateral & (distance < _GMD_CUTOFF * pair_dim)
+    cache: Dict[tuple, float] = {}
+    rows, cols = np.nonzero(np.triu(close, k=1))
+    for a, b in zip(rows, cols):
+        section_a = (round(widths[a] * 1e12), round(thicknesses[a] * 1e12))
+        section_b = (round(widths[b] * 1e12), round(thicknesses[b] * 1e12))
+        off_w = abs(delta[a, b, 0])
+        off_t = abs(delta[a, b, 1])
+        key = (
+            min(section_a, section_b),
+            max(section_a, section_b),
+            round(off_w * 1e12),
+            round(off_t * 1e12),
+        )
+        gmd = cache.get(key)
+        if gmd is None:
+            gmd = gmd_rectangles(
+                widths[a], thicknesses[a], widths[b], thicknesses[b], off_w, off_t
+            )
+            cache[key] = gmd
+        eff_distance[a, b] = eff_distance[b, a] = gmd
+
+
+def scalar_windowed_inverse(
+    block: np.ndarray,
+    windows: Sequence[np.ndarray],
+    merge: str = "max",
+) -> sparse.csr_matrix:
+    """Seed-path windowed inverse: batched solves, dict-of-lists merge.
+
+    Every window is solved (no stencil dedup) and the eq. 18 merge runs
+    through a per-pair Python dict, as the pre-vectorization
+    ``windowed_inverse`` did.
+    """
+    n = block.shape[0]
+    normalized = [np.asarray(w, dtype=int) for w in windows]
+    diagonal = np.zeros(n)
+    estimates: Dict[Tuple[int, int], List[float]] = {}
+    by_size: Dict[int, List[int]] = {}
+    for m, window in enumerate(normalized):
+        by_size.setdefault(window.size, []).append(m)
+    for size, aggressors in by_size.items():
+        stack = np.array([normalized[m] for m in aggressors])
+        subs = block[stack[:, :, None], stack[:, None, :]]
+        rhs = np.zeros((len(aggressors), size))
+        for row, m in enumerate(aggressors):
+            rhs[row, int(np.nonzero(normalized[m] == m)[0][0])] = 1.0
+        solutions = np.linalg.solve(subs, rhs[:, :, None])[:, :, 0]
+        for row, m in enumerate(aggressors):
+            for position, neighbor in enumerate(normalized[m]):
+                value = float(solutions[row, position])
+                if neighbor == m:
+                    diagonal[m] = value
+                else:
+                    key = (min(m, int(neighbor)), max(m, int(neighbor)))
+                    estimates.setdefault(key, []).append(value)
+
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    for m in range(n):
+        rows.append(m)
+        cols.append(m)
+        vals.append(diagonal[m])
+    for (a, b), values in estimates.items():
+        if merge == "max":
+            value = max(values)
+        elif merge == "min":
+            value = min(values)
+        else:
+            value = sum(values) / len(values)
+        if value != 0.0:
+            rows.extend((a, b))
+            cols.extend((b, a))
+            vals.extend((value, value))
+    return sparse.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+
+
+def scalar_record(
+    volt: np.ndarray,
+    curr: np.ndarray,
+    step: int,
+    x: np.ndarray,
+    node_rows: np.ndarray,
+    branch_rows: np.ndarray,
+) -> None:
+    """Seed-path transient sample recording: one Python loop per probe."""
+    for pos, row in enumerate(node_rows):
+        volt[pos, step] = x[row] if row >= 0 else 0.0
+    for pos, row in enumerate(branch_rows):
+        curr[pos, step] = x[row]
+
+
+# Re-export the scalar closed forms so equivalence tests can reach every
+# reference primitive through one module.
+__all__ = [
+    "scalar_partial_inductance",
+    "scalar_windowed_inverse",
+    "scalar_record",
+    "mutual_parallel_filaments",
+    "mutual_collinear_filaments",
+    "self_inductance_bar",
+    "gmd_rectangles",
+]

@@ -1,0 +1,106 @@
+"""Trajectory comparison: fresh benchmark runs vs the committed record.
+
+The contract CI enforces: a *checksum mismatch* means the kernel now
+computes something numerically different and fails the check; a *time
+regression* beyond the tolerance only warns, because shared-runner
+timing is noisy and the committed baseline may come from different
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.results import BenchResult
+
+#: A fresh run slower than tolerance x the committed time warns.
+DEFAULT_TIME_TOLERANCE = 1.5
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Verdict for one fresh result against the committed trajectory."""
+
+    result: BenchResult
+    status: str  # "ok" | "new" | "time-regression" | "checksum-mismatch"
+    message: str
+
+    @property
+    def is_failure(self) -> bool:
+        return self.status == "checksum-mismatch"
+
+    @property
+    def is_warning(self) -> bool:
+        return self.status == "time-regression"
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    comparisons: Tuple[Comparison, ...]
+
+    @property
+    def failures(self) -> List[Comparison]:
+        return [c for c in self.comparisons if c.is_failure]
+
+    @property
+    def warnings(self) -> List[Comparison]:
+        return [c for c in self.comparisons if c.is_warning]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def check_results(
+    fresh: Sequence[BenchResult],
+    committed: Sequence[BenchResult],
+    time_tolerance: float = DEFAULT_TIME_TOLERANCE,
+) -> RegressionReport:
+    """Compare fresh results against the committed trajectory.
+
+    Entries match on ``(kernel, variant, size)``; when the trajectory
+    holds several (a growing history), the most recent -- last -- entry
+    is the baseline.
+    """
+    if time_tolerance <= 0:
+        raise ValueError("time tolerance must be positive")
+    baseline: Dict[tuple, BenchResult] = {}
+    for entry in committed:
+        baseline[entry.key] = entry  # later entries win
+
+    comparisons: List[Comparison] = []
+    for result in fresh:
+        reference = baseline.get(result.key)
+        if reference is None:
+            comparisons.append(
+                Comparison(result, "new", "no committed baseline")
+            )
+        elif result.checksum != reference.checksum:
+            comparisons.append(
+                Comparison(
+                    result,
+                    "checksum-mismatch",
+                    f"output changed: {result.checksum[:12]} != "
+                    f"committed {reference.checksum[:12]}",
+                )
+            )
+        elif result.seconds > reference.seconds * time_tolerance:
+            comparisons.append(
+                Comparison(
+                    result,
+                    "time-regression",
+                    f"{result.seconds * 1e3:.2f} ms vs committed "
+                    f"{reference.seconds * 1e3:.2f} ms "
+                    f"(tolerance {time_tolerance:g}x)",
+                )
+            )
+        else:
+            comparisons.append(
+                Comparison(
+                    result,
+                    "ok",
+                    f"{result.seconds * 1e3:.2f} ms, checksum match",
+                )
+            )
+    return RegressionReport(tuple(comparisons))

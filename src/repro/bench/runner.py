@@ -1,0 +1,182 @@
+"""The micro-kernel benchmark suite.
+
+Each kernel times one hot path on a canonical workload -- the paper's
+uniform 1024-line bus by default -- and checksums its numerical output,
+so a run is comparable across commits *and* machines (wall time within a
+tolerance, checksum exactly; see :mod:`repro.bench.regression`).
+
+Kernels:
+
+- ``extraction_bus1024``: warm partial inductance extraction of the
+  aligned bus (the GMD cache is primed by an untimed call, matching the
+  steady-state cost inside the experiment pipeline);
+- ``windowed_inverse_bus1024_b8``: the wVPEC sparse approximate inverse
+  with geometric windows of size 8;
+- ``geometric_windows_bus1024_b8``: window selection itself;
+- ``symmetrize_windows_bus1024``: the membership-union pass.
+
+Passing ``include_seed=True`` also measures the scalar reference
+variants from :mod:`repro.bench.reference` where one exists, producing
+the "before" rows of the trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.reference import (
+    scalar_partial_inductance,
+    scalar_windowed_inverse,
+)
+from repro.bench.results import BenchResult, array_checksum
+from repro.extraction.inductance import partial_inductance_matrix
+from repro.geometry.bus import aligned_bus
+from repro.vpec.windowing import (
+    geometric_windows,
+    symmetrize_windows,
+    windowed_inverse,
+)
+
+DEFAULT_KERNELS = (
+    "extraction_bus1024",
+    "windowed_inverse_bus1024_b8",
+    "geometric_windows_bus1024_b8",
+    "symmetrize_windows_bus1024",
+)
+
+#: Kernels with a scalar reference variant.
+SEED_KERNELS = ("extraction_bus1024", "windowed_inverse_bus1024_b8")
+
+
+def _best_time(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
+    """Minimum wall time over ``repeats`` runs and the last result."""
+    best = np.inf
+    result: object = None
+    for _ in range(max(1, repeats)):
+        begin = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - begin)
+    return best, result
+
+
+def _windows_checksum(windows: Sequence[np.ndarray]) -> str:
+    sizes = np.array([np.asarray(w).size for w in windows], dtype=float)
+    if len(windows) == 0:
+        return array_checksum(sizes)
+    return array_checksum(sizes, np.concatenate([np.asarray(w) for w in windows]))
+
+
+def run_suite(
+    kernels: Optional[Sequence[str]] = None,
+    size: int = 1024,
+    window: int = 8,
+    repeats: int = 3,
+    include_seed: bool = False,
+) -> List[BenchResult]:
+    """Execute the suite and return one :class:`BenchResult` per kernel.
+
+    ``size`` and ``window`` shrink the workload for tests; kernel names
+    in the results always reflect the canonical (documented) workload
+    names so trajectories stay comparable, which is why non-default
+    sizes are recorded in the ``size`` field.
+    """
+    selected = tuple(kernels) if kernels is not None else DEFAULT_KERNELS
+    unknown = set(selected) - set(DEFAULT_KERNELS)
+    if unknown:
+        raise ValueError(f"unknown kernels: {sorted(unknown)}")
+
+    system = aligned_bus(size)
+    indices = list(range(size))
+    results: List[BenchResult] = []
+
+    # Shared fixtures: the extraction output feeds the windowing kernels.
+    block = partial_inductance_matrix(system)  # also primes the GMD cache
+    windows = geometric_windows(system, indices, window)
+
+    if "extraction_bus1024" in selected:
+        seconds, matrix = _best_time(
+            lambda: partial_inductance_matrix(system), repeats
+        )
+        results.append(
+            BenchResult(
+                kernel="extraction_bus1024",
+                variant="vectorized",
+                size=size,
+                seconds=seconds,
+                checksum=array_checksum(matrix),
+            )
+        )
+        if include_seed:
+            seconds, matrix = _best_time(
+                lambda: scalar_partial_inductance(system), repeats
+            )
+            results.append(
+                BenchResult(
+                    kernel="extraction_bus1024",
+                    variant="seed",
+                    size=size,
+                    seconds=seconds,
+                    checksum=array_checksum(matrix),
+                )
+            )
+
+    if "windowed_inverse_bus1024_b8" in selected:
+        seconds, s_prime = _best_time(
+            lambda: windowed_inverse(block, windows), repeats
+        )
+        results.append(
+            BenchResult(
+                kernel="windowed_inverse_bus1024_b8",
+                variant="vectorized",
+                size=size,
+                seconds=seconds,
+                checksum=array_checksum(s_prime.toarray()),
+            )
+        )
+        if include_seed:
+            seconds, s_prime = _best_time(
+                lambda: scalar_windowed_inverse(block, windows), repeats
+            )
+            results.append(
+                BenchResult(
+                    kernel="windowed_inverse_bus1024_b8",
+                    variant="seed",
+                    size=size,
+                    seconds=seconds,
+                    checksum=array_checksum(s_prime.toarray()),
+                )
+            )
+
+    if "geometric_windows_bus1024_b8" in selected:
+        seconds, built = _best_time(
+            lambda: geometric_windows(system, indices, window), repeats
+        )
+        results.append(
+            BenchResult(
+                kernel="geometric_windows_bus1024_b8",
+                variant="vectorized",
+                size=size,
+                seconds=seconds,
+                checksum=_windows_checksum(built),
+            )
+        )
+
+    if "symmetrize_windows_bus1024" in selected:
+        asymmetric = [w[w <= m] for m, w in enumerate(windows)]
+        seconds, built = _best_time(
+            lambda: symmetrize_windows(asymmetric), repeats
+        )
+        results.append(
+            BenchResult(
+                kernel="symmetrize_windows_bus1024",
+                variant="vectorized",
+                size=size,
+                seconds=seconds,
+                checksum=_windows_checksum(built),
+            )
+        )
+
+    return results

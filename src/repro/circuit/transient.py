@@ -143,7 +143,7 @@ def _record(
     node_rows: np.ndarray,
     branch_rows: np.ndarray,
 ) -> None:
-    for pos, row in enumerate(node_rows):
-        volt[pos, step] = x[row] if row >= 0 else 0.0
-    for pos, row in enumerate(branch_rows):
-        curr[pos, step] = x[row]
+    # One gather per step; ground probes carry row -1, which the mask
+    # zeroes before the wrapped-index value can leak through.
+    volt[:, step] = np.where(node_rows >= 0, x[node_rows], 0.0)
+    curr[:, step] = x[branch_rows]

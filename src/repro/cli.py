@@ -9,7 +9,9 @@ Five commands cover the everyday flows without writing Python:
   model and print the noise report;
 - ``audit``     -- passivity audit (Theorems 1-2 / Lemma 1) of a VPEC
   model's effective-resistance networks;
-- ``cache``     -- inspect or clear the on-disk pipeline cache.
+- ``cache``     -- inspect or clear the on-disk pipeline cache;
+- ``bench``     -- run the micro-kernel benchmark suite and check it
+  against the committed ``BENCH_kernels.json`` trajectory.
 
 Geometry is selected with ``--bus N`` (aligned), ``--nonaligned-bus N``
 or ``--spiral TURNS``; models with ``--model`` plus its parameter
@@ -380,7 +382,116 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="scaled-down check of every paper claim"
     )
     p_report.set_defaults(func=_cmd_report)
+
+    p_bench = commands.add_parser(
+        "bench", help="run the micro-kernel benchmark suite"
+    )
+    p_bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed trajectory: time regressions "
+        "warn, checksum mismatches fail (exit 1)",
+    )
+    p_bench.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the trajectory file with the fresh results",
+    )
+    p_bench.add_argument(
+        "--trajectory",
+        default="BENCH_kernels.json",
+        metavar="FILE",
+        help="trajectory file (default: BENCH_kernels.json)",
+    )
+    p_bench.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the fresh results as a trajectory-format JSON",
+    )
+    p_bench.add_argument(
+        "--kernel",
+        action="append",
+        metavar="NAME",
+        help="run only this kernel (repeatable)",
+    )
+    p_bench.add_argument(
+        "--size", type=int, default=1024, help="bus size (default 1024)"
+    )
+    p_bench.add_argument(
+        "--window", type=int, default=8, help="window size b (default 8)"
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (default 3)"
+    )
+    p_bench.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=None,
+        help="slowdown factor that triggers a warning (default 1.5)",
+    )
+    p_bench.add_argument(
+        "--with-seed",
+        action="store_true",
+        help="also measure the scalar reference (seed) kernel variants",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        check_results,
+        load_trajectory,
+        run_suite,
+        save_trajectory,
+    )
+    from repro.bench.regression import DEFAULT_TIME_TOLERANCE
+
+    results = run_suite(
+        kernels=args.kernel,
+        size=args.size,
+        window=args.window,
+        repeats=args.repeats,
+        include_seed=args.with_seed,
+    )
+    width = max(len(r.kernel) for r in results)
+    for result in results:
+        print(
+            f"{result.kernel:<{width}}  {result.variant:<10}  "
+            f"{result.seconds * 1e3:9.3f} ms  {result.checksum[:12]}"
+        )
+    if args.json:
+        save_trajectory(args.json, results)
+        print(f"wrote {args.json}")
+
+    code = 0
+    if args.check:
+        committed = load_trajectory(args.trajectory)
+        tolerance = (
+            args.time_tolerance
+            if args.time_tolerance is not None
+            else DEFAULT_TIME_TOLERANCE
+        )
+        report = check_results(results, committed, time_tolerance=tolerance)
+        for comparison in report.comparisons:
+            print(
+                f"[{comparison.status}] {comparison.result.kernel} "
+                f"({comparison.result.variant}): {comparison.message}"
+            )
+        if report.warnings:
+            print(
+                f"{len(report.warnings)} time regression(s) -- warning only",
+                file=sys.stderr,
+            )
+        if not report.ok:
+            print(
+                f"{len(report.failures)} checksum mismatch(es)", file=sys.stderr
+            )
+            code = 1
+    if args.update:
+        save_trajectory(args.trajectory, results)
+        print(f"updated {args.trajectory}")
+    return code
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

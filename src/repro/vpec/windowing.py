@@ -65,10 +65,8 @@ def geometric_windows(
     centers = np.array([system[i].center for i in indices])
     delta = centers[:, None, :] - centers[None, :, :]
     distance = np.sqrt(np.sum(delta * delta, axis=2))
-    windows: List[np.ndarray] = []
-    for m in range(n):
-        nearest = np.argpartition(distance[m], b - 1)[:b]
-        windows.append(np.sort(nearest))
+    nearest = np.argpartition(distance, b - 1, axis=1)[:, :b]
+    windows = [np.sort(nearest[m]) for m in range(n)]
     return symmetrize_windows(windows) if symmetrize else windows
 
 
@@ -104,11 +102,62 @@ def symmetrize_windows(windows: Sequence[np.ndarray]) -> List[np.ndarray]:
     dominance of ``S'``) hold.  Unioning the memberships restores the
     guarantee at a negligible cost in window size.
     """
-    members: List[set] = [set(np.asarray(w, dtype=int).tolist()) for w in windows]
-    for m, window in enumerate(members):
-        for n in window:
-            members[n].add(m)
-    return [np.array(sorted(w), dtype=int) for w in members]
+    n = len(windows)
+    if n == 0:
+        return []
+    sizes = [np.asarray(w).size for w in windows]
+    rows = np.repeat(np.arange(n), sizes)
+    cols = np.concatenate([np.asarray(w, dtype=int) for w in windows])
+    membership = sparse.csr_matrix(
+        (np.ones(rows.size, dtype=bool), (rows, cols)), shape=(n, n)
+    )
+    union = (membership + membership.T).tocsr()
+    union.sum_duplicates()
+    union.sort_indices()
+    return [
+        union.indices[union.indptr[m] : union.indptr[m + 1]].astype(int)
+        for m in range(n)
+    ]
+
+
+#: Per-column multiplier seed for the row-hash dedup (splitmix64's
+#: golden-ratio increment); any fixed odd constant works, the exact
+#: verification below never trusts the hash alone.
+_HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _dedup_rows(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """First-occurrence indices and inverse map of identical rows.
+
+    Rows are bucketed by a vectorized 64-bit mixing hash and every row is
+    then verified bit-for-bit against its bucket representative, so a
+    hash collision can never alias two distinct systems -- it only drops
+    the affected group to an exact dict-based pass.
+    """
+    count, width = keys.shape
+    multipliers = (
+        np.arange(1, width + 1, dtype=np.uint64) * _HASH_MULTIPLIER
+    ) | np.uint64(1)
+    with np.errstate(over="ignore"):
+        hashes = (keys * multipliers).sum(axis=1, dtype=np.uint64)
+    _, solve_rows, inverse = np.unique(
+        hashes, return_index=True, return_inverse=True
+    )
+    inverse = np.asarray(inverse).ravel()
+    if np.array_equal(keys, keys[solve_rows][inverse]):
+        return solve_rows, inverse
+    # Hash collision (vanishingly rare): fall back to exact hashing of
+    # the raw row bytes.
+    slot_of: Dict[bytes, int] = {}
+    first_rows: List[int] = []
+    inverse = np.empty(count, dtype=np.intp)
+    for row in range(count):
+        key = keys[row].tobytes()
+        slot = slot_of.setdefault(key, len(first_rows))
+        if slot == len(first_rows):
+            first_rows.append(row)
+        inverse[row] = slot
+    return np.asarray(first_rows), inverse
 
 
 #: Merge rules for the two directional estimates of one S' entry.
@@ -123,6 +172,7 @@ def windowed_inverse(
     windows: Sequence[np.ndarray],
     merge: str = "max",
     policy: Optional[FallbackPolicy] = None,
+    dedup: bool = True,
 ) -> sparse.csr_matrix:
     """Sparse approximate inverse ``S'`` from per-aggressor window solves.
 
@@ -130,6 +180,15 @@ def windowed_inverse(
     solves ``L(m) s(m) = i(m)`` followed by the eq. 18 merge.  When only
     one of a pair's two windows produced an estimate, that estimate is
     used directly.
+
+    ``dedup`` (on by default) solves each *distinct* window system only
+    once: regular buses are translation-invariant, so every interior
+    window extracts the same ``(b, b)`` stencil, and one LAPACK solve
+    serves all aggressors sharing it (keyed on the submatrix bytes plus
+    the unit-vector position, so the fan-out is bit-identical to solving
+    each window separately).  The number of solves saved is recorded as
+    the ``window_dedup_hits`` profiling counter.  Disable it only to
+    cross-check equivalence.
 
     A singular window submatrix (rank-deficient ``L``) does not abort
     the whole construction: the offending windows fall back to the
@@ -146,30 +205,61 @@ def windowed_inverse(
     n = block.shape[0]
     if len(windows) != n:
         raise ValueError("one window per aggressor is required")
-    normalized: List[np.ndarray] = []
-    for m, window in enumerate(windows):
-        window = np.asarray(window, dtype=int)
-        if m not in window:
-            raise ValueError(f"window of aggressor {m} must contain {m}")
-        normalized.append(window)
+    normalized = [np.asarray(window, dtype=int) for window in windows]
 
     # Batch the O(b^3) solves by window size: all same-size submatrices
     # are gathered into one (K, b, b) stack and solved in a single LAPACK
     # call, which is what keeps the O(N b^3) construction ahead of the
     # O(N^3) full inversion in practice, not just asymptotically.
     diagonal = np.zeros(n)
-    estimates: Dict[Tuple[int, int], List[float]] = {}
+    aggressor_parts: List[np.ndarray] = []
+    neighbor_parts: List[np.ndarray] = []
+    value_parts: List[np.ndarray] = []
     by_size: Dict[int, List[int]] = {}
     for m, window in enumerate(normalized):
         by_size.setdefault(window.size, []).append(m)
     for size, aggressors in by_size.items():
+        agg = np.asarray(aggressors)
         stack = np.array([normalized[m] for m in aggressors])
+        if size == 0:
+            raise ValueError(
+                f"window of aggressor {int(agg[0])} must contain {int(agg[0])}"
+            )
         subs = block[stack[:, :, None], stack[:, None, :]]
-        rhs = np.zeros((len(aggressors), size))
-        for row, m in enumerate(aggressors):
-            rhs[row, int(np.nonzero(normalized[m] == m)[0][0])] = 1.0
+        self_mask = stack == agg[:, None]
+        has_self = self_mask.any(axis=1)
+        if not has_self.all():
+            bad = int(agg[np.argmin(has_self)])
+            raise ValueError(f"window of aggressor {bad} must contain {bad}")
+        positions = np.argmax(self_mask, axis=1)
+        rhs = np.zeros((agg.size, size))
+        rhs[np.arange(agg.size), positions] = 1.0
+
+        if dedup:
+            # Identical (submatrix bits, unit position) systems share one
+            # solve; LAPACK is deterministic per matrix, so fanning the
+            # solution out is bit-identical to solving each window.  The
+            # uint64 view compares raw float bits, so -0.0/0.0 and NaN
+            # payloads never alias distinct systems.
+            keys = np.concatenate(
+                [
+                    np.ascontiguousarray(subs).reshape(agg.size, -1).view(
+                        np.uint64
+                    ),
+                    positions[:, None].astype(np.uint64),
+                ],
+                axis=1,
+            )
+            solve_rows, inverse = _dedup_rows(keys)
+            add_counter("window_dedup_hits", agg.size - solve_rows.size)
+        else:
+            solve_rows = np.arange(agg.size)
+            inverse = solve_rows
+
+        sub_stack = subs[solve_rows]
+        rhs_stack = rhs[solve_rows]
         try:
-            solutions = np.linalg.solve(subs, rhs[:, :, None])[:, :, 0]
+            solutions = np.linalg.solve(sub_stack, rhs_stack[:, :, None])[:, :, 0]
             if not np.all(np.isfinite(solutions)):
                 raise np.linalg.LinAlgError("non-finite window solutions")
         except np.linalg.LinAlgError:
@@ -180,44 +270,56 @@ def windowed_inverse(
             solutions = np.stack(
                 [
                     dense_solve(
-                        subs[row],
-                        rhs[row],
+                        sub_stack[k],
+                        rhs_stack[k],
                         policy=policy,
-                        name=f"window of aggressor {m}",
+                        name=f"window of aggressor {agg[solve_rows[k]]}",
                     )
-                    for row, m in enumerate(aggressors)
+                    for k in range(solve_rows.size)
                 ]
             )
-        for row, m in enumerate(aggressors):
-            for position, neighbor in enumerate(normalized[m]):
-                value = float(solutions[row, position])
-                if neighbor == m:
-                    diagonal[m] = value
-                else:
-                    key = (min(m, int(neighbor)), max(m, int(neighbor)))
-                    estimates.setdefault(key, []).append(value)
+        solutions = solutions[inverse]
 
-    rows: List[int] = []
-    cols: List[int] = []
-    vals: List[float] = []
-    for m in range(n):
-        rows.append(m)
-        cols.append(m)
-        vals.append(diagonal[m])
-    for (a, b), values in estimates.items():
-        # eq. 18: keep the max (entries are negative, so the smaller
-        # magnitude) of the two directional estimates; the alternative
-        # rules exist for the ablation study only.
-        if merge == "max":
-            value = max(values)
-        elif merge == "min":
-            value = min(values)
-        else:
-            value = sum(values) / len(values)
-        if value != 0.0:
-            rows.extend((a, b))
-            cols.extend((b, a))
-            vals.extend((value, value))
+        diagonal[agg] = solutions[self_mask]
+        aggressor_parts.append(np.repeat(agg, size - 1))
+        neighbor_parts.append(stack[~self_mask])
+        value_parts.append(solutions[~self_mask])
+
+    # eq. 18 merge, vectorized: each unordered pair carries at most two
+    # directional estimates; scatter/reduce them by a canonical pair id.
+    # "max" is the paper's rule (entries are negative, so max keeps the
+    # smaller magnitude and guarantees eq. 19); "min" and "mean" exist
+    # for the ablation benchmark that shows why eq. 18 picks max.
+    aggressor_ids = (
+        np.concatenate(aggressor_parts) if aggressor_parts else np.zeros(0, int)
+    )
+    neighbor_ids = (
+        np.concatenate(neighbor_parts) if neighbor_parts else np.zeros(0, int)
+    )
+    values = np.concatenate(value_parts) if value_parts else np.zeros(0)
+    low = np.minimum(aggressor_ids, neighbor_ids)
+    high = np.maximum(aggressor_ids, neighbor_ids)
+    pair_ids, pair_index = np.unique(low * n + high, return_inverse=True)
+    if merge == "max":
+        merged = np.full(pair_ids.size, -np.inf)
+        np.maximum.at(merged, pair_index, values)
+    elif merge == "min":
+        merged = np.full(pair_ids.size, np.inf)
+        np.minimum.at(merged, pair_index, values)
+    else:
+        merged = np.zeros(pair_ids.size)
+        np.add.at(merged, pair_index, values)
+        counts = np.zeros(pair_ids.size)
+        np.add.at(counts, pair_index, 1.0)
+        merged /= counts
+    keep = merged != 0.0
+    pair_low = pair_ids[keep] // n
+    pair_high = pair_ids[keep] % n
+    merged = merged[keep]
+
+    rows = np.concatenate([np.arange(n), pair_low, pair_high])
+    cols = np.concatenate([np.arange(n), pair_high, pair_low])
+    vals = np.concatenate([diagonal, merged, merged])
     return sparse.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
 
 

@@ -1,0 +1,68 @@
+"""Regression verdicts: checksum mismatches fail, slowdowns only warn."""
+
+import pytest
+
+from repro.bench.regression import check_results
+from repro.bench.results import BenchResult
+
+
+def result(kernel="k", variant="vectorized", size=8, seconds=0.01, checksum="aa"):
+    return BenchResult(
+        kernel=kernel,
+        variant=variant,
+        size=size,
+        seconds=seconds,
+        checksum=checksum,
+    )
+
+
+class TestCheckResults:
+    def test_matching_entry_is_ok(self):
+        report = check_results([result()], [result(seconds=0.009)])
+        assert report.ok
+        assert report.comparisons[0].status == "ok"
+
+    def test_checksum_mismatch_fails(self):
+        report = check_results([result(checksum="aa")], [result(checksum="bb")])
+        assert not report.ok
+        assert report.failures[0].status == "checksum-mismatch"
+
+    def test_slowdown_within_tolerance_is_ok(self):
+        report = check_results(
+            [result(seconds=0.014)], [result(seconds=0.01)], time_tolerance=1.5
+        )
+        assert report.comparisons[0].status == "ok"
+
+    def test_slowdown_beyond_tolerance_warns_but_passes(self):
+        report = check_results(
+            [result(seconds=0.02)], [result(seconds=0.01)], time_tolerance=1.5
+        )
+        assert report.ok  # warnings never fail the check
+        assert report.warnings[0].status == "time-regression"
+
+    def test_unknown_kernel_is_new(self):
+        report = check_results([result(kernel="fresh")], [result()])
+        assert report.ok
+        assert report.comparisons[0].status == "new"
+
+    def test_latest_committed_entry_wins(self):
+        committed = [result(checksum="old"), result(checksum="aa")]
+        report = check_results([result(checksum="aa")], committed)
+        assert report.ok
+
+    def test_variants_compared_independently(self):
+        committed = [
+            result(variant="seed", checksum="ss"),
+            result(variant="vectorized", checksum="vv"),
+        ]
+        fresh = [
+            result(variant="seed", checksum="ss"),
+            result(variant="vectorized", checksum="xx"),
+        ]
+        report = check_results(fresh, committed)
+        assert len(report.failures) == 1
+        assert report.failures[0].result.variant == "vectorized"
+
+    def test_tolerance_must_be_positive(self):
+        with pytest.raises(ValueError):
+            check_results([], [], time_tolerance=0.0)

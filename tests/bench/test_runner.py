@@ -1,0 +1,42 @@
+"""run_suite on a shrunken workload: shape of results, seed variants."""
+
+import pytest
+
+from repro.bench.runner import DEFAULT_KERNELS, SEED_KERNELS, run_suite
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    return run_suite(size=8, window=2, repeats=1, include_seed=True)
+
+
+class TestRunSuite:
+    def test_one_result_per_kernel_plus_seed_variants(self, small_suite):
+        keys = {(r.kernel, r.variant) for r in small_suite}
+        expected = {(k, "vectorized") for k in DEFAULT_KERNELS}
+        expected |= {(k, "seed") for k in SEED_KERNELS}
+        assert keys == expected
+
+    def test_seed_and_vectorized_checksums_agree(self, small_suite):
+        by_key = {(r.kernel, r.variant): r for r in small_suite}
+        for kernel in SEED_KERNELS:
+            assert (
+                by_key[(kernel, "seed")].checksum
+                == by_key[(kernel, "vectorized")].checksum
+            )
+
+    def test_records_workload_size(self, small_suite):
+        assert all(r.size == 8 for r in small_suite)
+
+    def test_times_are_positive(self, small_suite):
+        assert all(r.seconds > 0 for r in small_suite)
+
+    def test_kernel_subset_selection(self):
+        results = run_suite(
+            kernels=("symmetrize_windows_bus1024",), size=8, window=2, repeats=1
+        )
+        assert [r.kernel for r in results] == ["symmetrize_windows_bus1024"]
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernels"):
+            run_suite(kernels=("no_such_kernel",), size=8)

@@ -121,6 +121,15 @@ class TestStageTimings:
         assert profile.counters["extracted_filaments"] == 5
         assert profile.counters["transient_steps"] == 50
         assert profile.counters["stamped_elements"] > 0
+        # Kernel-dedup counters: the GMD quadrature runs at most once per
+        # distance class (the module-level cache may already hold them
+        # all, so only the *sum* is guaranteed), and the uniform bus has
+        # translation-identical windows for the windowed inverse.
+        assert (
+            profile.counters["gmd_unique_evals"]
+            + profile.counters["gmd_cache_hits"]
+        ) >= 1
+        assert profile.counters["window_dedup_hits"] >= 1
 
     def test_inversion_models_record_invert_stage(self, fresh_bus5):
         from repro.pipeline.profiling import collect
