@@ -1,0 +1,67 @@
+"""Acceptance benchmarks of the columnar simulation backend.
+
+Counterpart of :class:`bench_micro_kernels.TestVectorizedSpeedups` for
+the circuit layer: one sim-suite run measures the columnar fast paths
+and the object-path seed references together, and the ratios below are
+the committed floors of the columnar-netlist PR -- most importantly the
+>= 10x build + MNA assembly speedup on the 256-bit Fig. 8 bus.
+
+Two layers of enforcement:
+
+- ``TestSimSpeedups`` re-measures live (timing asserts stay here in
+  ``benchmarks/``, outside the tier-1 ``tests/`` collection, so hot CI
+  runners cannot flake the main suite);
+- ``test_committed_assembly_ratio`` checks the ratio recorded in the
+  committed ``BENCH_sim.json`` trajectory, which is deterministic.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import load_trajectory
+from repro.bench.sim import SIM_KERNELS, run_sim_suite
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_TRAJECTORY = _REPO_ROOT / "BENCH_sim.json"
+
+
+class TestSimSpeedups:
+    """Columnar backend vs the object-path seed, measured live."""
+
+    @pytest.fixture(scope="class")
+    def suite(self):
+        results = run_sim_suite(
+            kernels=SIM_KERNELS, repeats=3, include_seed=True
+        )
+        return {(r.kernel, r.variant): r for r in results}
+
+    def _ratio(self, suite, kernel):
+        seed = suite[(kernel, "seed")]
+        columnar = suite[(kernel, "columnar")]
+        assert seed.checksum == columnar.checksum, (
+            f"{kernel}: seed and columnar outputs diverge"
+        )
+        return seed.seconds / columnar.seconds
+
+    def test_assembly_bus256_speedup(self, suite):
+        """The PR acceptance floor: >= 10x build + assembly."""
+        assert self._ratio(suite, "peec_assembly_bus256") >= 10.0
+
+    def test_transient_bus64_not_slower(self, suite):
+        # Solve-dominated, so the floor only guards regressions (the
+        # batched-RHS win is the per-step Python loop, not the LU).
+        assert self._ratio(suite, "transient_bus64") >= 0.8
+
+    def test_ac_sweep_bus64_not_slower(self, suite):
+        assert self._ratio(suite, "ac_sweep_bus64") >= 0.8
+
+
+def test_committed_assembly_ratio():
+    """The committed trajectory must record the >= 10x acceptance ratio."""
+    entries = load_trajectory(_TRAJECTORY)
+    by_key = {(r.kernel, r.variant): r for r in entries}
+    seed = by_key[("peec_assembly_bus256", "seed")]
+    columnar = by_key[("peec_assembly_bus256", "columnar")]
+    assert seed.checksum == columnar.checksum
+    assert seed.seconds / columnar.seconds >= 10.0

@@ -24,8 +24,11 @@ from repro.bench.results import (
     save_trajectory,
 )
 from repro.bench.runner import DEFAULT_KERNELS, run_suite
+from repro.bench.sim import SIM_KERNELS, run_sim_suite
 
 __all__ = [
+    "SIM_KERNELS",
+    "run_sim_suite",
     "SCHEMA_VERSION",
     "BenchResult",
     "Comparison",

@@ -173,6 +173,508 @@ def scalar_windowed_inverse(
     return sparse.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
 
 
+def _seed_oriented_paths(parasitics):
+    """The pre-vectorization wire-traversal resolver (scalar loops).
+
+    Frozen copy of the original ``repro.peec.builder._oriented_paths``:
+    per-endpoint Python quantization and 27-cell grid probing, one
+    ``math.dist`` at a time.  Kept verbatim so the seed bench variant
+    prices the old geometry walk, not today's array version.
+    """
+    import math
+
+    tol = 1e-9
+    system = parasitics.system
+    signs = np.ones(len(system))
+    endpoints: List[Tuple[int, int]] = [(-1, -1)] * len(system)
+    points: List[Tuple[float, float, float]] = []
+    grid: Dict[Tuple[int, int, int], int] = {}
+
+    def point_id(p: Tuple[float, float, float]) -> int:
+        base = tuple(int(round(c / (tol / 2.0))) for c in p)
+        for dx in (0, -1, 1):
+            for dy in (0, -1, 1):
+                for dz in (0, -1, 1):
+                    key = (base[0] + dx, base[1] + dy, base[2] + dz)
+                    pid = grid.get(key)
+                    if pid is not None and math.dist(p, points[pid]) < tol:
+                        return pid
+        points.append(p)
+        grid[base] = len(points) - 1
+        return len(points) - 1
+
+    def wire_orientation(members) -> List[bool]:
+        if len(members) == 1:
+            return [True]
+
+        def touches(point, filament) -> bool:
+            return (
+                math.dist(point, filament.start) < tol
+                or math.dist(point, filament.end) < tol
+            )
+
+        orientation: List[bool] = []
+        first, second = system[members[0]], system[members[1]]
+        if touches(first.end, second):
+            orientation.append(True)
+            cursor = first.end
+        elif touches(first.start, second):
+            orientation.append(False)
+            cursor = first.start
+        else:
+            raise ValueError(
+                f"wire {first.wire}: segments 0 and 1 do not share an endpoint"
+            )
+        for filament_index in members[1:]:
+            f = system[filament_index]
+            if math.dist(f.start, cursor) < tol:
+                orientation.append(True)
+                cursor = f.end
+            elif math.dist(f.end, cursor) < tol:
+                orientation.append(False)
+                cursor = f.start
+            else:
+                raise ValueError(
+                    f"wire {f.wire}: segment {f.segment} does not touch the "
+                    "previous segment"
+                )
+        return orientation
+
+    for wire in system.wire_ids:
+        members = system.wire_filaments(wire)
+        orientation = wire_orientation(members)
+        for filament_index, forward in zip(members, orientation):
+            f = system[filament_index]
+            first, second = (f.start, f.end) if forward else (f.end, f.start)
+            signs[filament_index] = 1.0 if forward else -1.0
+            endpoints[filament_index] = (point_id(first), point_id(second))
+    return list(range(len(points))), signs, endpoints
+
+
+def _seed_pair_endpoints(system, i, j, ends_i, ends_j):
+    """Frozen copy of the original scalar ``_pair_endpoints``."""
+    import math
+
+    f_i, f_j = system[i], system[j]
+    straight = math.dist(f_i.start, f_j.start) + math.dist(f_i.end, f_j.end)
+    crossed = math.dist(f_i.start, f_j.end) + math.dist(f_i.end, f_j.start)
+    if straight <= crossed:
+        return [(ends_i[0], ends_j[0]), (ends_i[1], ends_j[1])]
+    return [(ends_i[0], ends_j[1]), (ends_i[1], ends_j[0])]
+
+
+def seed_build_peec(parasitics) -> "object":
+    """Seed-path PEEC construction: one scalar ``add`` per element.
+
+    Reproduces the pre-columnar builders exactly -- per-filament
+    ``add_resistor`` / ``add_capacitor`` / ``add_inductor`` calls and the
+    nested per-pair mutual-inductance loop -- so the bench trajectory
+    keeps an honest object-path "before" cost for the netlist layer.
+    The emitted circuit is element-for-element identical to the columnar
+    one (same names, nodes, values, per-class order).
+    """
+    from repro.circuit.netlist import Circuit
+    from repro.peec.builder import ElectricalSkeleton
+    from repro.peec.builder import WirePorts
+    from repro.peec.model import PeecModel
+
+    system = parasitics.system
+    circuit = Circuit(f"peec:{system.name}")
+    _, signs, endpoints = _seed_oriented_paths(parasitics)
+
+    node_names: Dict[int, str] = {}
+
+    def node_name(pid: int) -> str:
+        if pid not in node_names:
+            node_names[pid] = f"n{pid}"
+        return node_names[pid]
+
+    slot_nodes: List[Tuple[str, str]] = []
+    ground_cap: Dict[str, float] = {}
+    for index in range(len(system)):
+        pid_in, pid_out = endpoints[index]
+        n_in, n_out = node_name(pid_in), node_name(pid_out)
+        mid = f"x{index}"
+        circuit.add_resistor(
+            n_in, mid, float(parasitics.resistance[index]), name=f"R{index}"
+        )
+        slot_nodes.append((mid, n_out))
+        half_c = float(parasitics.ground_capacitance[index]) / 2.0
+        ground_cap[n_in] = ground_cap.get(n_in, 0.0) + half_c
+        ground_cap[n_out] = ground_cap.get(n_out, 0.0) + half_c
+
+    for node, value in ground_cap.items():
+        if value > 0:
+            circuit.add_capacitor(node, "0", value, name=f"Cg_{node}")
+
+    def geometric_ends(index: int) -> Tuple[int, int]:
+        forward = endpoints[index]
+        return forward if signs[index] > 0 else (forward[1], forward[0])
+
+    for (i, j), value in parasitics.coupling_capacitance.items():
+        pairs = _seed_pair_endpoints(
+            system, i, j, geometric_ends(i), geometric_ends(j)
+        )
+        for pos, (pid_a, pid_b) in enumerate(pairs):
+            circuit.add_capacitor(
+                node_name(pid_a),
+                node_name(pid_b),
+                value / 2.0,
+                name=f"Cc_{i}_{j}_{pos}",
+            )
+
+    ports: Dict[int, WirePorts] = {}
+    for wire in system.wire_ids:
+        members = system.wire_filaments(wire)
+        ports[wire] = WirePorts(
+            near=node_name(endpoints[members[0]][0]),
+            far=node_name(endpoints[members[-1]][1]),
+        )
+    skeleton = ElectricalSkeleton(
+        circuit=circuit,
+        parasitics=parasitics,
+        slot_nodes=slot_nodes,
+        signs=signs,
+        ports=ports,
+    )
+
+    inductance = parasitics.inductance
+    inductor_names: List[str] = []
+    for index, (slot_a, slot_b) in enumerate(slot_nodes):
+        name = f"Lf{index}"
+        circuit.add_inductor(
+            slot_a, slot_b, float(inductance[index, index]), name=name
+        )
+        inductor_names.append(name)
+
+    mutual_count = 0
+    for _, (indices, block) in parasitics.inductance_blocks.items():
+        block_size = len(indices)
+        for a in range(block_size):
+            i = indices[a]
+            for b_pos in range(a + 1, block_size):
+                j = indices[b_pos]
+                value = float(block[a, b_pos]) * float(signs[i] * signs[j])
+                if value == 0.0:
+                    continue
+                circuit.add_mutual(
+                    inductor_names[i],
+                    inductor_names[j],
+                    value,
+                    name=f"K{i}_{j}",
+                )
+                mutual_count += 1
+
+    return PeecModel(
+        circuit=circuit,
+        skeleton=skeleton,
+        inductor_names=inductor_names,
+        mutual_count=mutual_count,
+    )
+
+
+class _SeedTripletBuilder:
+    """The pre-columnar triplet accumulator (one ``add`` per entry)."""
+
+    def __init__(self) -> None:
+        self.rows: List[int] = []
+        self.cols: List[int] = []
+        self.vals: List[float] = []
+
+    def add(self, row: int, col: int, value: float) -> None:
+        if row < 0 or col < 0:
+            return
+        self.rows.append(row)
+        self.cols.append(col)
+        self.vals.append(value)
+
+    def matrix(self, size: int) -> sparse.csc_matrix:
+        return sparse.coo_matrix(
+            (self.vals, (self.rows, self.cols)), shape=(size, size)
+        ).tocsc()
+
+
+def seed_build_mna(circuit):
+    """Seed-path MNA assembly: walk elements, three list-appends per stamp.
+
+    The pre-columnar ``build_mna`` verbatim: every element is visited as
+    a materialized record and stamped through Python-level ``add``
+    calls.  Returns the same :class:`~repro.circuit.mna.MnaSystem` type
+    as the vectorized assembler (so the analysis engines accept it), and
+    its matrices match the vectorized ones to summation-order rounding.
+    """
+    from repro.circuit.elements import (
+        CCCS,
+        CCVS,
+        VCCS,
+        VCVS,
+        Capacitor,
+        CurrentSource,
+        Inductor,
+        MutualInductance,
+        Resistor,
+        SusceptanceSet,
+        VoltageSource,
+    )
+    from repro.circuit.mna import MnaSystem
+
+    num_nodes = circuit.num_nodes
+    branch_index: Dict[str, int] = {}
+    next_row = num_nodes
+    for element in circuit:
+        if isinstance(element, (Inductor, VoltageSource, VCVS, CCVS)):
+            branch_index[element.name] = next_row
+            next_row += 1
+        elif isinstance(element, SusceptanceSet):
+            for k in range(len(element.branches)):
+                branch_index[element.branch_name(k)] = next_row
+                next_row += 1
+    size = next_row
+
+    g = _SeedTripletBuilder()
+    c = _SeedTripletBuilder()
+    voltage_rows: List[Tuple[int, object]] = []
+    current_injections: List[Tuple[int, int, object]] = []
+    source_names: List[str] = []
+    current_names: List[str] = []
+    current_stimuli: List[object] = []
+    idx = circuit.node_index
+
+    for element in circuit:
+        if isinstance(element, Resistor):
+            conductance = 1.0 / element.value
+            n1, n2 = idx(element.n1), idx(element.n2)
+            g.add(n1, n1, conductance)
+            g.add(n2, n2, conductance)
+            g.add(n1, n2, -conductance)
+            g.add(n2, n1, -conductance)
+        elif isinstance(element, Capacitor):
+            n1, n2 = idx(element.n1), idx(element.n2)
+            c.add(n1, n1, element.value)
+            c.add(n2, n2, element.value)
+            c.add(n1, n2, -element.value)
+            c.add(n2, n1, -element.value)
+        elif isinstance(element, Inductor):
+            n1, n2 = idx(element.n1), idx(element.n2)
+            row = branch_index[element.name]
+            g.add(n1, row, 1.0)
+            g.add(n2, row, -1.0)
+            g.add(row, n1, 1.0)
+            g.add(row, n2, -1.0)
+            c.add(row, row, -element.value)
+        elif isinstance(element, MutualInductance):
+            row1 = branch_index[element.inductor1]
+            row2 = branch_index[element.inductor2]
+            c.add(row1, row2, -element.value)
+            c.add(row2, row1, -element.value)
+        elif isinstance(element, VoltageSource):
+            n1, n2 = idx(element.n1), idx(element.n2)
+            row = branch_index[element.name]
+            g.add(n1, row, 1.0)
+            g.add(n2, row, -1.0)
+            g.add(row, n1, 1.0)
+            g.add(row, n2, -1.0)
+            voltage_rows.append((row, element.stimulus))
+            source_names.append(element.name)
+        elif isinstance(element, CurrentSource):
+            current_injections.append(
+                (idx(element.n1), idx(element.n2), element.stimulus)
+            )
+            current_names.append(element.name)
+            current_stimuli.append(element.stimulus)
+        elif isinstance(element, VCVS):
+            n1, n2 = idx(element.n1), idx(element.n2)
+            nc1, nc2 = idx(element.nc1), idx(element.nc2)
+            row = branch_index[element.name]
+            g.add(n1, row, 1.0)
+            g.add(n2, row, -1.0)
+            g.add(row, n1, 1.0)
+            g.add(row, n2, -1.0)
+            g.add(row, nc1, -element.gain)
+            g.add(row, nc2, element.gain)
+        elif isinstance(element, VCCS):
+            n1, n2 = idx(element.n1), idx(element.n2)
+            nc1, nc2 = idx(element.nc1), idx(element.nc2)
+            g.add(n1, nc1, element.gain)
+            g.add(n1, nc2, -element.gain)
+            g.add(n2, nc1, -element.gain)
+            g.add(n2, nc2, element.gain)
+        elif isinstance(element, CCCS):
+            n1, n2 = idx(element.n1), idx(element.n2)
+            ctrl = branch_index[element.control]
+            g.add(n1, ctrl, element.gain)
+            g.add(n2, ctrl, -element.gain)
+        elif isinstance(element, CCVS):
+            n1, n2 = idx(element.n1), idx(element.n2)
+            row = branch_index[element.name]
+            ctrl = branch_index[element.control]
+            g.add(n1, row, 1.0)
+            g.add(n2, row, -1.0)
+            g.add(row, n1, 1.0)
+            g.add(row, n2, -1.0)
+            g.add(row, ctrl, -element.gain)
+        elif isinstance(element, SusceptanceSet):
+            rows = [
+                branch_index[element.branch_name(k)]
+                for k in range(len(element.branches))
+            ]
+            nodes = [(idx(a), idx(b)) for a, b in element.branches]
+            for row, (n1, n2) in zip(rows, nodes):
+                g.add(n1, row, 1.0)
+                g.add(n2, row, -1.0)
+                c.add(row, row, -1.0)
+            k_matrix = element.k_matrix
+            if sparse.issparse(k_matrix):
+                coo = k_matrix.tocoo()
+                entries = zip(coo.row, coo.col, coo.data)
+            else:
+                dense = np.asarray(k_matrix)
+                nz = np.nonzero(dense)
+                entries = zip(nz[0], nz[1], dense[nz])
+            for m, n_pos, value in entries:
+                row = rows[int(m)]
+                n1, n2 = nodes[int(n_pos)]
+                g.add(row, n1, float(value))
+                g.add(row, n2, -float(value))
+        else:  # pragma: no cover - the element union is closed
+            raise TypeError(f"unknown element type {type(element).__name__}")
+
+    return MnaSystem(
+        circuit=circuit,
+        num_nodes=num_nodes,
+        size=size,
+        G=g.matrix(size),
+        C=c.matrix(size),
+        branch_index=branch_index,
+        voltage_rows=voltage_rows,
+        current_injections=current_injections,
+        stimuli=[stim for _, stim in voltage_rows] + current_stimuli,
+        source_index={
+            name: column
+            for column, name in enumerate(source_names + current_names)
+        },
+    )
+
+
+def seed_transient_analysis(
+    circuit,
+    t_stop: float,
+    dt: float,
+    probe_nodes: Sequence[str],
+    method: str = "trapezoidal",
+):
+    """Seed-path transient run: per-step Python RHS and probe loops.
+
+    The pre-batching time loop -- ``rhs_transient`` rebuilt at every
+    step, one scalar probe gather per sample -- over the seed assembler's
+    matrices.  Returns ``(times, volt)`` with one waveform row per probe
+    node.
+    """
+    from repro.circuit.dc import solve_dc
+    from repro.health.solvers import factorize
+
+    system = seed_build_mna(circuit)
+    nodes = list(probe_nodes)
+    node_rows = np.array([system.node_row(n) for n in nodes], dtype=int)
+    branch_rows = np.array([], dtype=int)
+
+    steps = int(np.ceil(t_stop / dt))
+    times = np.arange(steps + 1) * dt
+    x = solve_dc(system)
+
+    volt = np.empty((len(nodes), steps + 1))
+    curr = np.empty((0, steps + 1))
+    g_mat = system.G.tocsc()
+    c_mat = system.C.tocsc()
+    if method == "trapezoidal":
+        c_scaled = (2.0 / dt) * c_mat
+        history = c_scaled - g_mat
+    else:
+        c_scaled = (1.0 / dt) * c_mat
+        history = c_scaled
+    lhs = factorize(
+        (g_mat + c_scaled).tocsc(), name=f"seed transient LHS ({method})"
+    )
+    scalar_record(volt, curr, 0, x, node_rows, branch_rows)
+    b_now = system.rhs_transient(0.0)
+    for n in range(1, steps + 1):
+        b_next = system.rhs_transient(times[n])
+        if method == "trapezoidal":
+            rhs = history @ x + b_now + b_next
+        else:
+            rhs = history @ x + b_next
+        x = lhs.solve(rhs)
+        scalar_record(volt, curr, n, x, node_rows, branch_rows)
+        b_now = b_next
+    return times, volt
+
+
+def seed_ac_analysis(
+    circuit,
+    frequencies: Sequence[float],
+    probe_nodes: Sequence[str],
+):
+    """Seed-path AC sweep: per-point column re-permutation, probe loops.
+
+    Each sweep point after the first re-runs the fancy-indexed
+    ``a_mat[:, perm_c].tocsc()`` slice (the pre-optimization
+    ``SweepSolver`` behavior) and gathers probes one scalar ``solution
+    [row]`` at a time.  Returns ``(freqs, volt)``.
+    """
+    from scipy.sparse import csc_matrix
+    from scipy.sparse.linalg import splu
+
+    system = seed_build_mna(circuit)
+    freqs = np.asarray(list(frequencies), dtype=float)
+    nodes = list(probe_nodes)
+    node_rows = [system.node_row(n) for n in nodes]
+    rhs = system.rhs_ac()
+
+    g_csc = system.G.tocsc().astype(complex)
+    c_csc = system.C.tocsc().astype(complex)
+    union = (g_csc + c_csc).tocsc()
+    union.sort_indices()
+    g_aligned = (g_csc + union * 0).tocsc()
+    g_aligned.sort_indices()
+    c_aligned = (c_csc + union * 0).tocsc()
+    c_aligned.sort_indices()
+    aligned = np.array_equal(
+        g_aligned.indptr, union.indptr
+    ) and np.array_equal(
+        g_aligned.indices, union.indices
+    ) and np.array_equal(
+        c_aligned.indptr, union.indptr
+    ) and np.array_equal(c_aligned.indices, union.indices)
+
+    perm_c = None
+    volt = np.empty((len(nodes), freqs.size), dtype=complex)
+    for k, freq in enumerate(freqs):
+        omega = 2.0 * np.pi * freq
+        if aligned:
+            a_mat = csc_matrix(
+                (g_aligned.data + 1j * omega * c_aligned.data,
+                 union.indices, union.indptr),
+                shape=union.shape,
+            )
+        else:
+            a_mat = (g_csc + 1j * omega * c_csc).tocsc()
+        if not aligned:
+            solution = splu(a_mat).solve(rhs)
+        elif perm_c is None:
+            lu = splu(a_mat)
+            perm_c = lu.perm_c.copy()
+            solution = lu.solve(rhs)
+        else:
+            permuted = a_mat[:, perm_c].tocsc()
+            lu = splu(permuted, permc_spec="NATURAL")
+            y = lu.solve(rhs)
+            solution = np.empty_like(y)
+            solution[perm_c] = y
+        for row_pos, row in enumerate(node_rows):
+            volt[row_pos, k] = solution[row] if row >= 0 else 0.0
+    return freqs, volt
+
+
 def scalar_record(
     volt: np.ndarray,
     curr: np.ndarray,
@@ -194,6 +696,10 @@ __all__ = [
     "scalar_partial_inductance",
     "scalar_windowed_inverse",
     "scalar_record",
+    "seed_build_peec",
+    "seed_build_mna",
+    "seed_transient_analysis",
+    "seed_ac_analysis",
     "mutual_parallel_filaments",
     "mutual_collinear_filaments",
     "self_inductance_bar",

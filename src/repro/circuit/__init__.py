@@ -16,7 +16,7 @@ Public API
   :func:`~repro.circuit.spice_writer.netlist_size_bytes`.
 """
 
-from repro.circuit.ac import ac_analysis, logspace_frequencies
+from repro.circuit.ac import ac_analysis, ac_analysis_multi, logspace_frequencies
 from repro.circuit.adaptive import AdaptiveStats, adaptive_transient_analysis
 from repro.circuit.dc import dc_operating_point
 from repro.circuit.elements import (
@@ -44,7 +44,7 @@ from repro.circuit.spice_parser import (
     parse_value,
 )
 from repro.circuit.spice_writer import netlist_size_bytes, write_spice
-from repro.circuit.transient import transient_analysis
+from repro.circuit.transient import transient_analysis, transient_analysis_multi
 from repro.circuit.waveform import ACResult, DCSolution, TransientResult, Waveform
 
 __all__ = [
@@ -71,8 +71,10 @@ __all__ = [
     "MnaSystem",
     "dc_operating_point",
     "ac_analysis",
+    "ac_analysis_multi",
     "logspace_frequencies",
     "transient_analysis",
+    "transient_analysis_multi",
     "adaptive_transient_analysis",
     "AdaptiveStats",
     "parse_spice",

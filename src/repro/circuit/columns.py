@@ -1,0 +1,417 @@
+"""Columnar element stores: contiguous numpy columns behind the netlist.
+
+A :class:`Circuit` built one dataclass at a time spends its life in
+Python object churn -- a 256-bit dense PEEC model is ~33k
+mutual-inductance records walked twice (once to stamp, once to write).
+The stores in this module keep whole element *populations* as parallel
+columns (node names, cached node indices, values), so the builders emit
+one array per element class and the MNA assembler consumes the same
+arrays without materializing a single record.
+
+Backward compatibility is total: every store materializes the familiar
+frozen dataclasses from :mod:`repro.circuit.elements` on demand, so
+``for element in circuit`` and ``circuit.element(name)`` behave exactly
+as they always did -- the columnar layout is an internal fast path, not
+a new element model.
+
+Stores validate their populations with the same rules as the scalar
+``__post_init__`` checks (vectorized), and report the first offending
+element by name so error messages stay as actionable as the scalar
+path's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.circuit.elements import (
+    CCCS,
+    VCCS,
+    VCVS,
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    MutualInductance,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.sources import Stimulus
+
+
+def _as_float_column(values: Sequence[float], count: int, what: str) -> np.ndarray:
+    column = np.asarray(values, dtype=float)
+    if column.shape != (count,):
+        raise ValueError(
+            f"{what} column has shape {column.shape}, expected ({count},)"
+        )
+    return column
+
+
+def _check_lengths(names: Sequence[str], *columns: Sequence) -> int:
+    count = len(names)
+    for column in columns:
+        if len(column) != count:
+            raise ValueError(
+                f"column lengths disagree: {len(column)} vs {count} names"
+            )
+    return count
+
+
+@dataclass
+class _TwoTerminalColumns:
+    """Shared layout of R / C / L populations.
+
+    ``n1_index`` / ``n2_index`` are the MNA node indices (-1 for
+    ground), filled in by :meth:`Circuit.add` when the store is adopted
+    -- consumers must not rely on them before that.
+    """
+
+    kind: ClassVar[type]
+
+    names: List[str]
+    n1: List[str]
+    n2: List[str]
+    value: np.ndarray
+    n1_index: Optional[np.ndarray] = field(default=None, repr=False)
+    n2_index: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        count = _check_lengths(self.names, self.n1, self.n2, self.value)
+        self.value = _as_float_column(self.value, count, type(self).__name__)
+        self._validate()
+
+    def _validate(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def materialize(self, index: int) -> Element:
+        return self.kind(
+            self.names[index],
+            self.n1[index],
+            self.n2[index],
+            float(self.value[index]),
+        )
+
+    def __iter__(self) -> Iterator[Element]:
+        for index in range(len(self.names)):
+            yield self.materialize(index)
+
+
+@dataclass
+class ResistorColumns(_TwoTerminalColumns):
+    """A population of resistors (nonzero; negative allowed, as scalar)."""
+
+    kind: ClassVar[type] = Resistor
+
+    def _validate(self) -> None:
+        bad = np.flatnonzero(self.value == 0.0)
+        if bad.size:
+            raise ValueError(
+                f"resistor {self.names[int(bad[0])]} must have nonzero "
+                "resistance"
+            )
+
+
+@dataclass
+class CapacitorColumns(_TwoTerminalColumns):
+    """A population of capacitors (strictly positive values)."""
+
+    kind: ClassVar[type] = Capacitor
+
+    def _validate(self) -> None:
+        bad = np.flatnonzero(self.value <= 0.0)
+        if bad.size:
+            raise ValueError(
+                f"capacitor {self.names[int(bad[0])]} must have positive "
+                "capacitance"
+            )
+
+
+@dataclass
+class InductorColumns(_TwoTerminalColumns):
+    """A population of inductors (strictly positive values)."""
+
+    kind: ClassVar[type] = Inductor
+
+    def _validate(self) -> None:
+        bad = np.flatnonzero(self.value <= 0.0)
+        if bad.size:
+            raise ValueError(
+                f"inductor {self.names[int(bad[0])]} must have positive "
+                "inductance"
+            )
+
+
+@dataclass
+class MutualColumns:
+    """A population of mutual-inductance couplings.
+
+    This is the store that makes dense PEEC coupling cheap: the 256-bit
+    model's ~33k couplings are three arrays instead of ~33k dataclasses.
+    Two reference forms coexist:
+
+    - by name: ``inductor1`` / ``inductor2`` hold inductor names and the
+      MNA assembler resolves them through the branch index;
+    - positional: ``ref_store`` points at an already-adopted
+      :class:`InductorColumns` and ``pos1`` / ``pos2`` are integer
+      positions into it, so assembly is pure array indexing and the name
+      lists are only fabricated if someone materializes a member.
+    """
+
+    kind: ClassVar[type] = MutualInductance
+
+    names: List[str]
+    inductor1: Optional[List[str]]
+    inductor2: Optional[List[str]]
+    value: np.ndarray
+    ref_store: Optional[InductorColumns] = field(default=None, repr=False)
+    pos1: Optional[np.ndarray] = field(default=None, repr=False)
+    pos2: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.ref_store is not None:
+            if self.pos1 is None or self.pos2 is None:
+                raise ValueError(
+                    "positional MutualColumns needs pos1 and pos2"
+                )
+            self.pos1 = np.ascontiguousarray(self.pos1, dtype=np.int64)
+            self.pos2 = np.ascontiguousarray(self.pos2, dtype=np.int64)
+            count = _check_lengths(
+                self.names, self.pos1, self.pos2, self.value
+            )
+            self.value = _as_float_column(self.value, count, "MutualColumns")
+            limit = len(self.ref_store)
+            for pos in (self.pos1, self.pos2):
+                if pos.size and (pos.min() < 0 or pos.max() >= limit):
+                    raise ValueError(
+                        "mutual position out of range of the inductor store"
+                    )
+            bad = np.flatnonzero(self.pos1 == self.pos2)
+        else:
+            if self.inductor1 is None or self.inductor2 is None:
+                raise ValueError(
+                    "MutualColumns needs inductor names or a ref_store"
+                )
+            count = _check_lengths(
+                self.names, self.inductor1, self.inductor2, self.value
+            )
+            self.value = _as_float_column(self.value, count, "MutualColumns")
+            bad = np.flatnonzero(
+                np.asarray(self.inductor1, dtype=object)
+                == np.asarray(self.inductor2, dtype=object)
+            )
+        if bad.size:
+            raise ValueError(
+                f"mutual {self.names[int(bad[0])]} must couple two distinct "
+                "inductors"
+            )
+
+    def _resolve_names(self) -> None:
+        """Fabricate the name lists of a positional store (cached)."""
+        if self.inductor1 is None:
+            ref_names = np.asarray(self.ref_store.names, dtype=object)
+            self.inductor1 = ref_names[self.pos1].tolist()
+            self.inductor2 = ref_names[self.pos2].tolist()
+
+    def inductor1_names(self) -> List[str]:
+        """First-inductor names (resolving positional refs on demand)."""
+        self._resolve_names()
+        return self.inductor1
+
+    def inductor2_names(self) -> List[str]:
+        """Second-inductor names (resolving positional refs on demand)."""
+        self._resolve_names()
+        return self.inductor2
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def materialize(self, index: int) -> MutualInductance:
+        self._resolve_names()
+        return MutualInductance(
+            self.names[index],
+            self.inductor1[index],
+            self.inductor2[index],
+            float(self.value[index]),
+        )
+
+    def __iter__(self) -> Iterator[MutualInductance]:
+        for index in range(len(self.names)):
+            yield self.materialize(index)
+
+
+@dataclass
+class _SourceColumns:
+    """Shared layout of independent V / I source populations."""
+
+    kind: ClassVar[type]
+
+    names: List[str]
+    n1: List[str]
+    n2: List[str]
+    stimuli: List[Stimulus]
+    n1_index: Optional[np.ndarray] = field(default=None, repr=False)
+    n2_index: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        _check_lengths(self.names, self.n1, self.n2, self.stimuli)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def materialize(self, index: int) -> Element:
+        return self.kind(
+            self.names[index],
+            self.n1[index],
+            self.n2[index],
+            self.stimuli[index],
+        )
+
+    def __iter__(self) -> Iterator[Element]:
+        for index in range(len(self.names)):
+            yield self.materialize(index)
+
+
+@dataclass
+class VoltageSourceColumns(_SourceColumns):
+    kind: ClassVar[type] = VoltageSource
+
+
+@dataclass
+class CurrentSourceColumns(_SourceColumns):
+    kind: ClassVar[type] = CurrentSource
+
+
+@dataclass
+class _VoltageControlledColumns:
+    """Shared layout of VCVS / VCCS populations (two node pairs + gain)."""
+
+    kind: ClassVar[type]
+
+    names: List[str]
+    n1: List[str]
+    n2: List[str]
+    nc1: List[str]
+    nc2: List[str]
+    gain: np.ndarray
+    n1_index: Optional[np.ndarray] = field(default=None, repr=False)
+    n2_index: Optional[np.ndarray] = field(default=None, repr=False)
+    nc1_index: Optional[np.ndarray] = field(default=None, repr=False)
+    nc2_index: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        count = _check_lengths(
+            self.names, self.n1, self.n2, self.nc1, self.nc2, self.gain
+        )
+        self.gain = _as_float_column(self.gain, count, type(self).__name__)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def materialize(self, index: int) -> Element:
+        return self.kind(
+            self.names[index],
+            self.n1[index],
+            self.n2[index],
+            self.nc1[index],
+            self.nc2[index],
+            float(self.gain[index]),
+        )
+
+    def __iter__(self) -> Iterator[Element]:
+        for index in range(len(self.names)):
+            yield self.materialize(index)
+
+
+@dataclass
+class VcvsColumns(_VoltageControlledColumns):
+    kind: ClassVar[type] = VCVS
+
+
+@dataclass
+class VccsColumns(_VoltageControlledColumns):
+    kind: ClassVar[type] = VCCS
+
+
+@dataclass
+class CccsColumns:
+    """A population of CCCS elements (control is a voltage-source name)."""
+
+    kind: ClassVar[type] = CCCS
+
+    names: List[str]
+    n1: List[str]
+    n2: List[str]
+    control: List[str]
+    gain: np.ndarray
+    n1_index: Optional[np.ndarray] = field(default=None, repr=False)
+    n2_index: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        count = _check_lengths(
+            self.names, self.n1, self.n2, self.control, self.gain
+        )
+        self.gain = _as_float_column(self.gain, count, "CccsColumns")
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def materialize(self, index: int) -> CCCS:
+        return CCCS(
+            self.names[index],
+            self.n1[index],
+            self.n2[index],
+            self.control[index],
+            float(self.gain[index]),
+        )
+
+    def __iter__(self) -> Iterator[CCCS]:
+        for index in range(len(self.names)):
+            yield self.materialize(index)
+
+
+#: Every columnar store kind (a circuit entry is an Element or one of
+#: these).
+ColumnStore = Union[
+    ResistorColumns,
+    CapacitorColumns,
+    InductorColumns,
+    MutualColumns,
+    VoltageSourceColumns,
+    CurrentSourceColumns,
+    VcvsColumns,
+    VccsColumns,
+    CccsColumns,
+]
+
+COLUMN_STORE_TYPES = (
+    ResistorColumns,
+    CapacitorColumns,
+    InductorColumns,
+    MutualColumns,
+    VoltageSourceColumns,
+    CurrentSourceColumns,
+    VcvsColumns,
+    VccsColumns,
+    CccsColumns,
+)
+
+
+def store_position(store: ColumnStore, name: str) -> int:
+    """Position of ``name`` inside ``store``, via a lazily built index.
+
+    The circuit's locator maps member names to their bare store (one
+    C-level dict update per bulk add); the name -> position table is
+    only paid for by stores that actually get member lookups.
+    """
+    index = store.__dict__.get("_position_index")
+    if index is None:
+        index = {n: i for i, n in enumerate(store.names)}
+        store.__dict__["_position_index"] = index
+    return index[name]

@@ -35,6 +35,7 @@ def solve_dc(
     system: MnaSystem,
     gmin: float = GMIN,
     policy: Optional[FallbackPolicy] = None,
+    rhs: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Raw DC solution vector of an assembled MNA system.
 
@@ -43,8 +44,13 @@ def solve_dc(
     nodes.  ``policy`` governs the solver escalation chain (resilient by
     default); every solution is residual-checked, so the result is
     finite and consistent or a typed error is raised.
+
+    ``rhs`` overrides the circuit's own ``b(0)``; a 2-D ``(size, k)``
+    override solves ``k`` source scenarios against one factorization
+    (the multi-scenario transient initial condition).
     """
-    rhs = system.rhs_dc()
+    if rhs is None:
+        rhs = system.rhs_dc()
     g_mat = system.G.tocsc()
     if gmin > 0:
         leak = np.zeros(system.size)

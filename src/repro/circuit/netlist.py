@@ -1,9 +1,36 @@
-"""The :class:`Circuit` container: nodes, elements, and add-helpers."""
+"""The :class:`Circuit` container: nodes, elements, and add-helpers.
+
+Elements live in one ordered sequence of *entries*, where an entry is
+either a single dataclass record (the scalar ``add_*`` helpers) or a
+columnar store holding a whole population of one element class
+(:mod:`repro.circuit.columns`, the ``add_*_array`` helpers).  Iteration,
+name lookup, and type queries behave identically for both -- stores
+materialize the familiar frozen dataclasses on demand -- while bulk
+consumers (:func:`repro.circuit.mna.build_mna`, the SPICE writer) walk
+:meth:`Circuit.entries` and operate on whole arrays at a time.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from itertools import repeat
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from repro.circuit.columns import (
+    COLUMN_STORE_TYPES,
+    CapacitorColumns,
+    CccsColumns,
+    ColumnStore,
+    CurrentSourceColumns,
+    InductorColumns,
+    MutualColumns,
+    ResistorColumns,
+    VccsColumns,
+    VcvsColumns,
+    VoltageSourceColumns,
+    store_position,
+)
 from repro.circuit.elements import (
     CCCS,
     CCVS,
@@ -21,6 +48,9 @@ from repro.circuit.elements import (
 )
 from repro.circuit.sources import Stimulus, dc as dc_stimulus
 
+#: A circuit entry: one element record or one columnar population.
+Entry = Union[Element, ColumnStore]
+
 
 class Circuit:
     """A flat netlist of linear elements.
@@ -33,11 +63,23 @@ class Circuit:
     The class is the single hand-off format between the model builders
     (:mod:`repro.peec`, :mod:`repro.vpec`), the analyses
     (:mod:`repro.circuit.mna` and friends), and the SPICE netlist writer.
+
+    Two construction styles coexist:
+
+    - scalar: ``add_resistor(n1, n2, value)`` and friends, one record at
+      a time (tests, small hand-built circuits, the SPICE parser);
+    - columnar: ``add_resistor_array([...], [...], values)`` and
+      friends, one contiguous numpy-backed store per call (the model
+      builders' fast path; see :mod:`repro.circuit.columns`).
     """
 
     def __init__(self, title: str = "circuit") -> None:
         self.title = title
-        self._elements: Dict[str, Element] = {}
+        # Ordered entries (Element records or column stores) plus a name
+        # locator: name -> Element, or the owning store for store members
+        # (the member's position is resolved lazily on lookup).
+        self._entries: List[Entry] = []
+        self._locator: Dict[str, Entry] = {}
         self._nodes: Dict[str, int] = {GROUND: -1}
         self._counters: Dict[str, int] = {}
 
@@ -67,12 +109,59 @@ class Circuit:
         """Number of non-ground nodes."""
         return len(self._nodes) - 1
 
+    def _register_node_columns(
+        self, *columns: Sequence[str]
+    ) -> List[np.ndarray]:
+        """Register node-name columns and return their MNA index arrays.
+
+        Registration is row-major across the columns -- the same
+        first-use order the scalar ``add`` path produces when it walks
+        each element's ``n1, n2, (nc1, nc2)`` attributes -- so a circuit
+        built columnar gets bit-identical node numbering to the same
+        circuit built one element at a time.
+        """
+        nodes = self._nodes
+        count = len(columns[0])
+        width = len(columns)
+        # Row-major flatten, then one C-level map() for the lookups;
+        # only first-use names fall back to the Python assignment loop.
+        if width == 1:
+            flat = list(columns[0])
+        else:
+            flat = [None] * (count * width)
+            for position, column in enumerate(columns):
+                flat[position::width] = column
+        ids = list(map(nodes.get, flat))
+        if None in ids:
+            for k, known in enumerate(ids):
+                if known is None:
+                    name = flat[k]
+                    index = nodes.get(name)
+                    if index is None:
+                        index = len(nodes) - 1
+                        nodes[name] = index
+                    ids[k] = index
+        matrix = np.asarray(ids, dtype=np.int64).reshape(count, width)
+        return [
+            np.ascontiguousarray(matrix[:, position])
+            for position in range(width)
+        ]
+
     # ------------------------------------------------------------------
     # Elements
     # ------------------------------------------------------------------
+    def kind_of(self, name: str) -> Optional[type]:
+        """Element class of a name without materializing it (None if absent)."""
+        entry = self._locator.get(name)
+        if entry is None:
+            return None
+        if isinstance(entry, COLUMN_STORE_TYPES):
+            return type(entry).kind
+        return type(entry)
+
     def add(self, element: Element) -> Element:
         """Add a pre-built element record."""
-        if element.name in self._elements:
+        if element.name in self._locator:
             raise ValueError(f"duplicate element name {element.name!r}")
         for attr in ("n1", "n2", "nc1", "nc2"):
             node = getattr(element, attr, None)
@@ -84,31 +173,104 @@ class Circuit:
                 self.node(n2)
         if isinstance(element, MutualInductance):
             for ref in (element.inductor1, element.inductor2):
-                target = self._elements.get(ref)
-                if not isinstance(target, Inductor):
+                if self.kind_of(ref) is not Inductor:
                     raise ValueError(
                         f"mutual {element.name} references {ref!r}, which is "
                         "not an inductor added before it"
                     )
         if isinstance(element, (CCCS, CCVS)):
-            target = self._elements.get(element.control)
-            if not isinstance(target, VoltageSource):
+            if self.kind_of(element.control) is not VoltageSource:
                 raise ValueError(
                     f"{element.name} senses {element.control!r}, which is not "
                     "a voltage source added before it"
                 )
-        self._elements[element.name] = element
+        self._locator[element.name] = element
+        self._entries.append(element)
         return element
+
+    def _adopt_store(self, store: ColumnStore) -> ColumnStore:
+        """Register a columnar store: names, nodes, and index caches."""
+        names = store.names
+        locator = self._locator
+        # Set algebra keeps the happy path in C; the scan that names the
+        # offender only runs once a collision is known to exist.
+        if len(set(names)) != len(names) or not locator.keys().isdisjoint(
+            names
+        ):
+            seen: set = set()
+            for name in names:
+                if name in seen or name in locator:
+                    raise ValueError(f"duplicate element name {name!r}")
+                seen.add(name)
+        if isinstance(store, MutualColumns):
+            if store.ref_store is not None:
+                # Positional form: membership of the referenced inductor
+                # store in this circuit implies every ref is an inductor
+                # added before the couplings (positions were range-checked
+                # at construction).
+                ref = store.ref_store
+                if len(ref) and self._locator.get(ref.names[0]) is not ref:
+                    raise ValueError(
+                        "mutual store's inductor store is not part of this "
+                        "circuit"
+                    )
+            else:
+                refs = set(store.inductor1)
+                refs.update(store.inductor2)
+                for ref in refs:
+                    if self.kind_of(ref) is not Inductor:
+                        raise ValueError(
+                            f"mutual store references {ref!r}, which is not "
+                            "an inductor added before it"
+                        )
+        elif isinstance(store, CccsColumns):
+            for ref in set(store.control):
+                if self.kind_of(ref) is not VoltageSource:
+                    raise ValueError(
+                        f"CCCS store senses {ref!r}, which is not a voltage "
+                        "source added before it"
+                    )
+        # Node registration + cached MNA index columns.
+        if isinstance(store, (VcvsColumns, VccsColumns)):
+            n1, n2, nc1, nc2 = self._register_node_columns(
+                store.n1, store.n2, store.nc1, store.nc2
+            )
+            store.n1_index, store.n2_index = n1, n2
+            store.nc1_index, store.nc2_index = nc1, nc2
+        elif not isinstance(store, MutualColumns):
+            n1, n2 = self._register_node_columns(store.n1, store.n2)
+            store.n1_index, store.n2_index = n1, n2
+        # Every name maps to the bare store; the member's position is
+        # recovered lazily (see ``element``) so registering ~33k mutual
+        # names costs one C-level dict update, not ~33k tuples.
+        locator.update(zip(names, repeat(store)))
+        self._entries.append(store)
+        return store
 
     def _auto_name(self, prefix: str) -> str:
         count = self._counters.get(prefix, 0) + 1
         self._counters[prefix] = count
         name = f"{prefix}{count}"
-        while name in self._elements:
+        while name in self._locator:
             count += 1
             self._counters[prefix] = count
             name = f"{prefix}{count}"
         return name
+
+    def _auto_names(self, prefix: str, count: int) -> List[str]:
+        return [self._auto_name(prefix) for _ in range(count)]
+
+    def _names_for(
+        self, names: Optional[Sequence[str]], prefix: str, count: int
+    ) -> List[str]:
+        if names is None:
+            return self._auto_names(prefix, count)
+        names = list(names)
+        if len(names) != count:
+            raise ValueError(
+                f"got {len(names)} names for {count} elements"
+            )
+        return names
 
     # Convenience constructors -----------------------------------------
     def add_resistor(
@@ -215,43 +377,274 @@ class Circuit:
     ) -> CCVS:
         return self.add(CCVS(name or self._auto_name("H"), n1, n2, control, gain))
 
+    # Bulk (columnar) constructors -------------------------------------
+    def add_resistor_array(
+        self,
+        n1: Sequence[str],
+        n2: Sequence[str],
+        values: Sequence[float],
+        names: Optional[Sequence[str]] = None,
+    ) -> ResistorColumns:
+        """Add a whole resistor population as one columnar store."""
+        return self._adopt_store(
+            ResistorColumns(
+                self._names_for(names, "R", len(n1)),
+                list(n1),
+                list(n2),
+                np.asarray(values, dtype=float),
+            )
+        )
+
+    def add_capacitor_array(
+        self,
+        n1: Sequence[str],
+        n2: Sequence[str],
+        values: Sequence[float],
+        names: Optional[Sequence[str]] = None,
+    ) -> CapacitorColumns:
+        """Add a whole capacitor population as one columnar store."""
+        return self._adopt_store(
+            CapacitorColumns(
+                self._names_for(names, "C", len(n1)),
+                list(n1),
+                list(n2),
+                np.asarray(values, dtype=float),
+            )
+        )
+
+    def add_inductor_array(
+        self,
+        n1: Sequence[str],
+        n2: Sequence[str],
+        values: Sequence[float],
+        names: Optional[Sequence[str]] = None,
+    ) -> InductorColumns:
+        """Add a whole inductor population as one columnar store."""
+        return self._adopt_store(
+            InductorColumns(
+                self._names_for(names, "L", len(n1)),
+                list(n1),
+                list(n2),
+                np.asarray(values, dtype=float),
+            )
+        )
+
+    def add_mutual_array(
+        self,
+        inductor1: Optional[Sequence[str]],
+        inductor2: Optional[Sequence[str]],
+        values: Sequence[float],
+        names: Optional[Sequence[str]] = None,
+        *,
+        store: Optional[InductorColumns] = None,
+        positions: Optional[
+            Tuple[Sequence[int], Sequence[int]]
+        ] = None,
+    ) -> MutualColumns:
+        """Add a whole mutual-coupling population as one columnar store.
+
+        Couplings reference inductors either by name (``inductor1`` /
+        ``inductor2``) or positionally: pass ``store`` (an
+        :class:`~repro.circuit.columns.InductorColumns` already added to
+        this circuit) plus ``positions=(pos1, pos2)`` with integer
+        positions into it, and leave the name sequences ``None``.  The
+        positional form skips all per-name work -- fabrication, lookup,
+        and validation happen on integer arrays -- which is what makes
+        dense PEEC coupling sets cheap.
+        """
+        if store is not None:
+            if positions is None:
+                raise ValueError(
+                    "positional add_mutual_array needs positions=(pos1, pos2)"
+                )
+            pos1, pos2 = positions
+            pos1 = np.asarray(pos1, dtype=np.int64)
+            return self._adopt_store(
+                MutualColumns(
+                    self._names_for(names, "K", len(pos1)),
+                    None,
+                    None,
+                    np.asarray(values, dtype=float),
+                    ref_store=store,
+                    pos1=pos1,
+                    pos2=np.asarray(pos2, dtype=np.int64),
+                )
+            )
+        return self._adopt_store(
+            MutualColumns(
+                self._names_for(names, "K", len(inductor1)),
+                list(inductor1),
+                list(inductor2),
+                np.asarray(values, dtype=float),
+            )
+        )
+
+    def add_voltage_source_array(
+        self,
+        n1: Sequence[str],
+        n2: Sequence[str],
+        stimuli: Sequence[Stimulus],
+        names: Optional[Sequence[str]] = None,
+    ) -> VoltageSourceColumns:
+        """Add a whole voltage-source population as one columnar store.
+
+        ``None`` entries in ``stimuli`` become quiet 0-V sources (e.g.
+        current senses), mirroring the scalar helper's default.
+        """
+        return self._adopt_store(
+            VoltageSourceColumns(
+                self._names_for(names, "V", len(n1)),
+                list(n1),
+                list(n2),
+                [s if s is not None else dc_stimulus(0.0) for s in stimuli],
+            )
+        )
+
+    def add_current_source_array(
+        self,
+        n1: Sequence[str],
+        n2: Sequence[str],
+        stimuli: Sequence[Stimulus],
+        names: Optional[Sequence[str]] = None,
+    ) -> CurrentSourceColumns:
+        """Add a whole current-source population as one columnar store."""
+        return self._adopt_store(
+            CurrentSourceColumns(
+                self._names_for(names, "I", len(n1)),
+                list(n1),
+                list(n2),
+                list(stimuli),
+            )
+        )
+
+    def add_vcvs_array(
+        self,
+        n1: Sequence[str],
+        n2: Sequence[str],
+        nc1: Sequence[str],
+        nc2: Sequence[str],
+        gains: Sequence[float],
+        names: Optional[Sequence[str]] = None,
+    ) -> VcvsColumns:
+        """Add a whole VCVS population as one columnar store."""
+        return self._adopt_store(
+            VcvsColumns(
+                self._names_for(names, "E", len(n1)),
+                list(n1),
+                list(n2),
+                list(nc1),
+                list(nc2),
+                np.asarray(gains, dtype=float),
+            )
+        )
+
+    def add_vccs_array(
+        self,
+        n1: Sequence[str],
+        n2: Sequence[str],
+        nc1: Sequence[str],
+        nc2: Sequence[str],
+        gains: Sequence[float],
+        names: Optional[Sequence[str]] = None,
+    ) -> VccsColumns:
+        """Add a whole VCCS population as one columnar store."""
+        return self._adopt_store(
+            VccsColumns(
+                self._names_for(names, "G", len(n1)),
+                list(n1),
+                list(n2),
+                list(nc1),
+                list(nc2),
+                np.asarray(gains, dtype=float),
+            )
+        )
+
+    def add_cccs_array(
+        self,
+        n1: Sequence[str],
+        n2: Sequence[str],
+        controls: Sequence[str],
+        gains: Sequence[float],
+        names: Optional[Sequence[str]] = None,
+    ) -> CccsColumns:
+        """Add a whole CCCS population as one columnar store."""
+        return self._adopt_store(
+            CccsColumns(
+                self._names_for(names, "F", len(n1)),
+                list(n1),
+                list(n2),
+                list(controls),
+                np.asarray(gains, dtype=float),
+            )
+        )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def entries(self) -> Iterator[Entry]:
+        """The raw entry sequence: element records and column stores.
+
+        The bulk consumers' fast path -- :func:`repro.circuit.mna.build_mna`
+        and the SPICE writer stamp/print whole stores without
+        materializing their members.
+        """
+        return iter(self._entries)
+
     def __len__(self) -> int:
-        return len(self._elements)
+        return sum(
+            len(entry) if isinstance(entry, COLUMN_STORE_TYPES) else 1
+            for entry in self._entries
+        )
 
     def __iter__(self) -> Iterator[Element]:
-        return iter(self._elements.values())
+        for entry in self._entries:
+            if isinstance(entry, COLUMN_STORE_TYPES):
+                yield from entry
+            else:
+                yield entry
 
     def __contains__(self, name: str) -> bool:
-        return name in self._elements
+        return name in self._locator
 
     def element(self, name: str) -> Element:
-        """Look up an element by name."""
+        """Look up an element by name (store members materialize lazily)."""
         try:
-            return self._elements[name]
+            entry = self._locator[name]
         except KeyError:
             raise KeyError(f"unknown element {name!r}") from None
+        if isinstance(entry, COLUMN_STORE_TYPES):
+            return entry.materialize(store_position(entry, name))
+        return entry
 
     def elements_of_type(self, kind: type) -> List[Element]:
         """All elements of one dataclass kind, in insertion order."""
-        return [e for e in self._elements.values() if isinstance(e, kind)]
+        found: List[Element] = []
+        for entry in self._entries:
+            if isinstance(entry, COLUMN_STORE_TYPES):
+                if issubclass(type(entry).kind, kind):
+                    found.extend(entry)
+            elif isinstance(entry, kind):
+                found.append(entry)
+        return found
 
     def element_counts(self) -> Dict[str, int]:
         """``{kind name: count}`` summary (the model-size metric)."""
         counts: Dict[str, int] = {}
-        for element in self._elements.values():
-            key = type(element).__name__
-            counts[key] = counts.get(key, 0) + 1
+        for entry in self._entries:
+            if isinstance(entry, COLUMN_STORE_TYPES):
+                key = type(entry).kind.__name__
+                counts[key] = counts.get(key, 0) + len(entry)
+            else:
+                key = type(entry).__name__
+                counts[key] = counts.get(key, 0) + 1
         return counts
 
     def stats(self) -> Tuple[int, int]:
         """``(num_nodes, num_elements)``."""
-        return (self.num_nodes, len(self._elements))
+        return (self.num_nodes, len(self))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Circuit(title={self.title!r}, nodes={self.num_nodes}, "
-            f"elements={len(self._elements)})"
+            f"elements={len(self)})"
         )

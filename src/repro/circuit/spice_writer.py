@@ -10,13 +10,31 @@ external simulator.
 Mutual inductances are emitted as ``K`` cards with the coupling
 coefficient ``k = M / sqrt(L1 L2)`` (the SPICE convention), clamped to the
 valid open interval when rounding would push |k| to 1.
+
+The writer walks the circuit's *entries* -- columnar stores are emitted
+as whole populations (coupling coefficients computed in one vectorized
+pass) without materializing a single element record, so writing a dense
+PEEC netlist costs string formatting, not object churn.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Dict, List
 
+import numpy as np
+
+from repro.circuit.columns import (
+    CapacitorColumns,
+    CccsColumns,
+    CurrentSourceColumns,
+    InductorColumns,
+    MutualColumns,
+    ResistorColumns,
+    VccsColumns,
+    VcvsColumns,
+    VoltageSourceColumns,
+)
 from repro.circuit.elements import (
     CCCS,
     CCVS,
@@ -31,6 +49,11 @@ from repro.circuit.elements import (
     VoltageSource,
 )
 from repro.circuit.netlist import Circuit
+from repro.circuit.sources import Stimulus
+
+#: |k| clamp keeping emitted coupling coefficients inside SPICE's open
+#: interval even when rounding would push them to 1.
+_K_CLAMP = 0.999999
 
 
 def _fmt(value: float) -> str:
@@ -38,68 +61,108 @@ def _fmt(value: float) -> str:
     return f"{value:.6g}"
 
 
+def _source_spec(stimulus: Stimulus) -> str:
+    return stimulus.label or f"DC {_fmt(stimulus.dc)}"
+
+
+def _inductance_table(circuit: Circuit) -> Dict[str, float]:
+    """Inductor name -> value, without materializing store members."""
+    table: Dict[str, float] = {}
+    for entry in circuit.entries():
+        if isinstance(entry, InductorColumns):
+            table.update(zip(entry.names, entry.value.tolist()))
+        elif isinstance(entry, Inductor):
+            table[entry.name] = entry.value
+    return table
+
+
 def write_spice(circuit: Circuit) -> str:
     """Render a circuit as SPICE netlist text."""
     lines: List[str] = [f"* {circuit.title}"]
-    inductors = {
-        e.name: e for e in circuit.elements_of_type(Inductor)
-    }
-    for element in circuit:
-        if isinstance(element, Resistor):
-            lines.append(
-                f"{element.name} {element.n1} {element.n2} {_fmt(element.value)}"
+    inductance = _inductance_table(circuit)
+    for entry in circuit.entries():
+        if isinstance(
+            entry, (ResistorColumns, CapacitorColumns, InductorColumns)
+        ):
+            lines.extend(
+                f"{name} {n1} {n2} {_fmt(value)}"
+                for name, n1, n2, value in zip(
+                    entry.names, entry.n1, entry.n2, entry.value.tolist()
+                )
             )
-        elif isinstance(element, Capacitor):
-            lines.append(
-                f"{element.name} {element.n1} {element.n2} {_fmt(element.value)}"
+        elif isinstance(entry, MutualColumns):
+            ref1 = entry.inductor1_names()
+            ref2 = entry.inductor2_names()
+            l1 = np.array([inductance[name] for name in ref1])
+            l2 = np.array([inductance[name] for name in ref2])
+            coeff = np.clip(
+                entry.value / np.sqrt(l1 * l2), -_K_CLAMP, _K_CLAMP
             )
-        elif isinstance(element, Inductor):
-            lines.append(
-                f"{element.name} {element.n1} {element.n2} {_fmt(element.value)}"
+            lines.extend(
+                f"{name} {a} {b} {_fmt(k)}"
+                for name, a, b, k in zip(
+                    entry.names, ref1, ref2, coeff.tolist()
+                )
             )
-        elif isinstance(element, MutualInductance):
-            l1 = inductors[element.inductor1]
-            l2 = inductors[element.inductor2]
-            coeff = element.value / math.sqrt(l1.value * l2.value)
-            coeff = max(min(coeff, 0.999999), -0.999999)
+        elif isinstance(entry, (VoltageSourceColumns, CurrentSourceColumns)):
+            lines.extend(
+                f"{name} {n1} {n2} {_source_spec(stim)}"
+                for name, n1, n2, stim in zip(
+                    entry.names, entry.n1, entry.n2, entry.stimuli
+                )
+            )
+        elif isinstance(entry, (VcvsColumns, VccsColumns)):
+            lines.extend(
+                f"{name} {n1} {n2} {nc1} {nc2} {_fmt(gain)}"
+                for name, n1, n2, nc1, nc2, gain in zip(
+                    entry.names, entry.n1, entry.n2, entry.nc1, entry.nc2,
+                    entry.gain.tolist(),
+                )
+            )
+        elif isinstance(entry, CccsColumns):
+            lines.extend(
+                f"{name} {n1} {n2} {control} {_fmt(gain)}"
+                for name, n1, n2, control, gain in zip(
+                    entry.names, entry.n1, entry.n2, entry.control,
+                    entry.gain.tolist(),
+                )
+            )
+        elif isinstance(entry, (Resistor, Capacitor, Inductor)):
             lines.append(
-                f"{element.name} {element.inductor1} {element.inductor2} "
+                f"{entry.name} {entry.n1} {entry.n2} {_fmt(entry.value)}"
+            )
+        elif isinstance(entry, MutualInductance):
+            coeff = entry.value / math.sqrt(
+                inductance[entry.inductor1] * inductance[entry.inductor2]
+            )
+            coeff = max(min(coeff, _K_CLAMP), -_K_CLAMP)
+            lines.append(
+                f"{entry.name} {entry.inductor1} {entry.inductor2} "
                 f"{_fmt(coeff)}"
             )
-        elif isinstance(element, VoltageSource):
-            spec = element.stimulus.label or f"DC {_fmt(element.stimulus.dc)}"
-            lines.append(f"{element.name} {element.n1} {element.n2} {spec}")
-        elif isinstance(element, CurrentSource):
-            spec = element.stimulus.label or f"DC {_fmt(element.stimulus.dc)}"
-            lines.append(f"{element.name} {element.n1} {element.n2} {spec}")
-        elif isinstance(element, VCVS):
+        elif isinstance(entry, (VoltageSource, CurrentSource)):
             lines.append(
-                f"{element.name} {element.n1} {element.n2} "
-                f"{element.nc1} {element.nc2} {_fmt(element.gain)}"
+                f"{entry.name} {entry.n1} {entry.n2} "
+                f"{_source_spec(entry.stimulus)}"
             )
-        elif isinstance(element, VCCS):
+        elif isinstance(entry, (VCVS, VCCS)):
             lines.append(
-                f"{element.name} {element.n1} {element.n2} "
-                f"{element.nc1} {element.nc2} {_fmt(element.gain)}"
+                f"{entry.name} {entry.n1} {entry.n2} "
+                f"{entry.nc1} {entry.nc2} {_fmt(entry.gain)}"
             )
-        elif isinstance(element, CCCS):
+        elif isinstance(entry, (CCCS, CCVS)):
             lines.append(
-                f"{element.name} {element.n1} {element.n2} "
-                f"{element.control} {_fmt(element.gain)}"
+                f"{entry.name} {entry.n1} {entry.n2} "
+                f"{entry.control} {_fmt(entry.gain)}"
             )
-        elif isinstance(element, CCVS):
-            lines.append(
-                f"{element.name} {element.n1} {element.n2} "
-                f"{element.control} {_fmt(element.gain)}"
-            )
-        elif isinstance(element, SusceptanceSet):
+        elif isinstance(entry, SusceptanceSet):
             raise TypeError(
-                f"{element.name}: the K element (susceptance) is not SPICE "
+                f"{entry.name}: the K element (susceptance) is not SPICE "
                 "compatible -- exactly the drawback the paper contrasts "
                 "VPEC against; export a VPEC model instead"
             )
         else:  # pragma: no cover - the element union is closed
-            raise TypeError(f"unknown element type {type(element).__name__}")
+            raise TypeError(f"unknown element type {type(entry).__name__}")
     lines.append(".end")
     return "\n".join(lines) + "\n"
 

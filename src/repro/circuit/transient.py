@@ -19,18 +19,50 @@ The initial condition is the DC operating point with the sources at their
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.circuit.dc import solve_dc
-from repro.circuit.mna import build_mna
+from repro.circuit.mna import MnaSystem, build_mna
 from repro.circuit.netlist import Circuit
+from repro.circuit.sources import Stimulus
 from repro.circuit.waveform import TransientResult
 from repro.health.solvers import DEFAULT_POLICY, FallbackPolicy, factorize
 from repro.pipeline.profiling import add_counter, stage
 
 _METHODS = ("trapezoidal", "backward_euler")
+
+
+def _resolve_probes(
+    system: MnaSystem,
+    circuit: Circuit,
+    probe_nodes: Optional[Sequence[str]],
+    probe_branches: Optional[Sequence[str]],
+):
+    """Resolve probe names to solution rows, defaulting sensibly.
+
+    ``probe_nodes=None`` means "all nodes" only while that stays cheap
+    (< 3000 unknowns).  On larger systems a caller who already named
+    ``probe_branches`` clearly bounded the result -- node probes just
+    default to none -- and only a caller who named nothing is asked,
+    by option name, to do so.
+    """
+    if probe_nodes is None:
+        if system.size < 3000:
+            probe_nodes = circuit.nodes
+        elif probe_branches is not None:
+            probe_nodes = []
+        else:
+            raise ValueError(
+                f"system has {system.size} unknowns; pass probe_nodes "
+                "(and/or probe_branches) to bound result memory"
+            )
+    nodes = list(probe_nodes)
+    branches = list(probe_branches) if probe_branches is not None else []
+    node_rows = np.array([system.node_row(n) for n in nodes], dtype=int)
+    branch_rows = np.array([system.branch_row(b) for b in branches], dtype=int)
+    return nodes, branches, node_rows, branch_rows
 
 
 def transient_analysis(
@@ -75,17 +107,9 @@ def transient_analysis(
         raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
 
     system = build_mna(circuit)
-    if probe_nodes is None:
-        if system.size >= 3000:
-            raise ValueError(
-                f"system has {system.size} unknowns; pass probe_nodes to "
-                "bound result memory"
-            )
-        probe_nodes = circuit.nodes
-    nodes = list(probe_nodes)
-    branches = list(probe_branches) if probe_branches is not None else []
-    node_rows = np.array([system.node_row(n) for n in nodes], dtype=int)
-    branch_rows = np.array([system.branch_row(b) for b in branches], dtype=int)
+    nodes, branches, node_rows, branch_rows = _resolve_probes(
+        system, circuit, probe_nodes, probe_branches
+    )
 
     steps = int(np.ceil(t_stop / dt))
     times = np.arange(steps + 1) * dt
@@ -97,33 +121,21 @@ def transient_analysis(
     volt = np.empty((len(nodes), steps + 1))
     curr = np.empty((len(branches), steps + 1))
     with stage("solve"):
-        g_mat = system.G.tocsc()
-        c_mat = system.C.tocsc()
-        if method == "trapezoidal":
-            c_scaled = (2.0 / dt) * c_mat
-            history = c_scaled - g_mat
-        else:
-            c_scaled = (1.0 / dt) * c_mat
-            history = c_scaled
-        lhs = factorize(
-            (g_mat + c_scaled).tocsc(),
-            policy=policy if policy is not None else DEFAULT_POLICY,
-            name=f"transient LHS ({method}, dt={dt:.3g}s)",
-        )
-        add_counter("lu_orderings")
+        lhs, history = _factorize_step(system, dt, method, policy)
+
+        # The whole source trajectory is one incidence-matrix product;
+        # the loop below only does matvecs and back-substitutions.
+        b_all = system.rhs_transient_batch(times)
+        add_counter("rhs_batched_steps", steps + 1)
 
         _record(volt, curr, 0, x, node_rows, branch_rows)
-
-        b_now = system.rhs_transient(0.0)
         for n in range(1, steps + 1):
-            b_next = system.rhs_transient(times[n])
             if method == "trapezoidal":
-                rhs = history @ x + b_now + b_next
+                rhs = history @ x + b_all[:, n - 1] + b_all[:, n]
             else:
-                rhs = history @ x + b_next
+                rhs = history @ x + b_all[:, n]
             x = lhs.solve(rhs)
             _record(volt, curr, n, x, node_rows, branch_rows)
-            b_now = b_next
         add_counter("transient_steps", steps)
 
     return TransientResult(
@@ -133,6 +145,109 @@ def transient_analysis(
         method=method,
         dt=dt,
     )
+
+
+def _factorize_step(
+    system: MnaSystem,
+    dt: float,
+    method: str,
+    policy: Optional[FallbackPolicy],
+):
+    """Factorize the constant one-step LHS; return (factor, history op)."""
+    g_mat = system.G.tocsc()
+    c_mat = system.C.tocsc()
+    if method == "trapezoidal":
+        c_scaled = (2.0 / dt) * c_mat
+        history = c_scaled - g_mat
+    else:
+        c_scaled = (1.0 / dt) * c_mat
+        history = c_scaled
+    lhs = factorize(
+        (g_mat + c_scaled).tocsc(),
+        policy=policy if policy is not None else DEFAULT_POLICY,
+        name=f"transient LHS ({method}, dt={dt:.3g}s)",
+    )
+    add_counter("lu_orderings")
+    return lhs, history
+
+
+def transient_analysis_multi(
+    circuit: Circuit,
+    t_stop: float,
+    dt: float,
+    scenarios: Sequence[Mapping[str, Stimulus]],
+    method: str = "trapezoidal",
+    probe_nodes: Optional[Sequence[str]] = None,
+    probe_branches: Optional[Sequence[str]] = None,
+    policy: Optional[FallbackPolicy] = None,
+) -> List[TransientResult]:
+    """Integrate one circuit under several source scenarios at once.
+
+    Each scenario maps independent-source names to replacement
+    :class:`Stimulus` objects (the multi-aggressor / multi-victim sweep
+    of a noise analysis); unnamed sources keep their own stimulus, and
+    an empty mapping reproduces :func:`transient_analysis` exactly.
+
+    The circuit is assembled and the one-step matrix factorized *once*;
+    every step then advances all scenarios together through one SuperLU
+    back-substitution on a ``(size, num_scenarios)`` block -- the
+    classic structure-sharing multi-RHS win.  Returns one
+    :class:`TransientResult` per scenario, in order.
+    """
+    if t_stop <= 0 or dt <= 0:
+        raise ValueError("t_stop and dt must be positive")
+    if t_stop < dt:
+        raise ValueError("t_stop must be at least one time step")
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    if not scenarios:
+        raise ValueError("scenarios must name at least one source mapping")
+
+    system = build_mna(circuit)
+    nodes, branches, node_rows, branch_rows = _resolve_probes(
+        system, circuit, probe_nodes, probe_branches
+    )
+
+    steps = int(np.ceil(t_stop / dt))
+    times = np.arange(steps + 1) * dt
+    count = len(scenarios)
+
+    # (size, steps + 1, count): every scenario's full source trajectory,
+    # one incidence product per scenario.
+    b_all = np.stack(
+        [
+            system.rhs_transient_batch(times, overrides=overrides)
+            for overrides in scenarios
+        ],
+        axis=-1,
+    )
+    add_counter("rhs_batched_steps", (steps + 1) * count)
+
+    x = solve_dc(system, rhs=b_all[:, 0, :])
+    volt = np.empty((count, len(nodes), steps + 1))
+    curr = np.empty((count, len(branches), steps + 1))
+    with stage("solve"):
+        lhs, history = _factorize_step(system, dt, method, policy)
+        _record_block(volt, curr, 0, x, node_rows, branch_rows)
+        for n in range(1, steps + 1):
+            if method == "trapezoidal":
+                rhs = history @ x + b_all[:, n - 1, :] + b_all[:, n, :]
+            else:
+                rhs = history @ x + b_all[:, n, :]
+            x = lhs.solve(rhs)
+            _record_block(volt, curr, n, x, node_rows, branch_rows)
+        add_counter("transient_steps", steps * count)
+
+    return [
+        TransientResult(
+            times=times,
+            node_voltages={n: volt[k, i] for i, n in enumerate(nodes)},
+            branch_currents={b: curr[k, i] for i, b in enumerate(branches)},
+            method=method,
+            dt=dt,
+        )
+        for k in range(count)
+    ]
 
 
 def _record(
@@ -147,3 +262,17 @@ def _record(
     # zeroes before the wrapped-index value can leak through.
     volt[:, step] = np.where(node_rows >= 0, x[node_rows], 0.0)
     curr[:, step] = x[branch_rows]
+
+
+def _record_block(
+    volt: np.ndarray,
+    curr: np.ndarray,
+    step: int,
+    x: np.ndarray,
+    node_rows: np.ndarray,
+    branch_rows: np.ndarray,
+) -> None:
+    # Multi-scenario variant: x is (size, scenarios), targets are
+    # (scenarios, probes, steps); same ground masking as _record.
+    volt[:, :, step] = np.where(node_rows[:, None] >= 0, x[node_rows, :], 0.0).T
+    curr[:, :, step] = x[branch_rows, :].T

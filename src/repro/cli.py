@@ -387,6 +387,14 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the micro-kernel benchmark suite"
     )
     p_bench.add_argument(
+        "--suite",
+        choices=["kernels", "sim"],
+        default="kernels",
+        help="which suite: 'kernels' (extraction/windowing micro-kernels, "
+        "BENCH_kernels.json) or 'sim' (netlist/MNA/transient/AC backend, "
+        "BENCH_sim.json)",
+    )
+    p_bench.add_argument(
         "--check",
         action="store_true",
         help="compare against the committed trajectory: time regressions "
@@ -399,9 +407,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--trajectory",
-        default="BENCH_kernels.json",
+        default=None,
         metavar="FILE",
-        help="trajectory file (default: BENCH_kernels.json)",
+        help="trajectory file (default: BENCH_kernels.json or "
+        "BENCH_sim.json, per --suite)",
     )
     p_bench.add_argument(
         "--json",
@@ -415,10 +424,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only this kernel (repeatable)",
     )
     p_bench.add_argument(
-        "--size", type=int, default=1024, help="bus size (default 1024)"
+        "--size",
+        type=int,
+        default=None,
+        help="bus size (default: 1024 for --suite kernels, 256 for "
+        "--suite sim)",
     )
     p_bench.add_argument(
         "--window", type=int, default=8, help="window size b (default 8)"
+    )
+    p_bench.add_argument(
+        "--sim-size",
+        type=int,
+        default=64,
+        help="bus size of the sim suite's transient/AC workloads "
+        "(default 64)",
     )
     p_bench.add_argument(
         "--repeats", type=int, default=3, help="timing repeats (default 3)"
@@ -446,14 +466,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         save_trajectory,
     )
     from repro.bench.regression import DEFAULT_TIME_TOLERANCE
+    from repro.bench.sim import run_sim_suite
 
-    results = run_suite(
-        kernels=args.kernel,
-        size=args.size,
-        window=args.window,
-        repeats=args.repeats,
-        include_seed=args.with_seed,
-    )
+    if args.suite == "sim":
+        if args.trajectory is None:
+            args.trajectory = "BENCH_sim.json"
+        results = run_sim_suite(
+            kernels=args.kernel,
+            size=args.size if args.size is not None else 256,
+            sim_size=args.sim_size,
+            repeats=args.repeats,
+            include_seed=args.with_seed,
+        )
+    else:
+        if args.trajectory is None:
+            args.trajectory = "BENCH_kernels.json"
+        results = run_suite(
+            kernels=args.kernel,
+            size=args.size if args.size is not None else 1024,
+            window=args.window,
+            repeats=args.repeats,
+            include_seed=args.with_seed,
+        )
     width = max(len(r.kernel) for r in results)
     for result in results:
         print(

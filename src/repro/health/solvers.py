@@ -364,6 +364,13 @@ class ResilientFactor:
         return float(np.linalg.norm(residual)) <= bound + 1e-300
 
     def _solve_gmres(self, rhs: np.ndarray) -> np.ndarray:
+        if rhs.ndim == 2:
+            # GMRES is single-vector; batched callers fall back to a
+            # column loop only on this last-resort tier.
+            return np.stack(
+                [self._solve_gmres(rhs[:, k]) for k in range(rhs.shape[1])],
+                axis=1,
+            )
         if self._ilu is None:
             ridge = self._policy.ridge_scale * self._unit
             try:

@@ -68,85 +68,194 @@ class ElectricalSkeleton:
     ports: Dict[int, WirePorts]
 
 
+#: Maps axis value -> (index of width direction, index of thickness
+#: direction); row order follows :class:`repro.geometry.filament.Axis`.
+_CROSS_AXES = np.array([[1, 2], [0, 2], [0, 1]], dtype=np.int64)
+
+
+def _centerline_arrays(system) -> Tuple[np.ndarray, np.ndarray]:
+    """``(starts, ends)`` centerline endpoints of every filament, (N, 3).
+
+    One attribute-gather pass plus array arithmetic replicating
+    ``Filament.start`` / ``Filament.end`` bit for bit (same operations
+    in the same order), so downstream grid quantization sees exactly the
+    coordinates the scalar properties produce.
+    """
+    raw = np.array(
+        [
+            (*f.origin, f.length, f.width, f.thickness, f.axis.value)
+            for f in (system[i] for i in range(len(system)))
+        ],
+        dtype=float,
+    ).reshape(-1, 7)
+    origin = raw[:, 0:3]
+    length = raw[:, 3]
+    axis = raw[:, 6].astype(np.int64)
+    rows = np.arange(raw.shape[0])
+
+    half = np.zeros_like(origin)
+    half[rows, axis] = length / 2.0
+    cross = _CROSS_AXES[axis]
+    half[rows, cross[:, 0]] = raw[:, 4] / 2.0
+    half[rows, cross[:, 1]] = raw[:, 5] / 2.0
+    center = origin + half
+
+    starts = center.copy()
+    starts[rows, axis] -= length / 2.0
+    ends = center.copy()
+    ends[rows, axis] += length / 2.0
+    return starts, ends
+
+
 def _oriented_paths(
     parasitics: Parasitics,
-) -> Tuple[List[int], np.ndarray, List[Tuple[int, int]]]:
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Resolve wire traversal: per-filament sign and endpoint node ids.
 
-    Returns ``(node_of_point, signs, endpoints)`` where ``endpoints[f]``
-    is the pair of integer node ids (into a shared point table) of
-    filament ``f`` in wire-forward orientation.
+    Returns ``(starts, ends, signs, ep_in, ep_out)``: the filament
+    centerline endpoint coordinates, the traversal sign, and the integer
+    node ids (into a shared point table) each filament's inductive slot
+    connects, in wire-forward orientation.  Point ids are assigned in
+    first-use order, matching the scalar walk this replaces.
     """
     system = parasitics.system
-    signs = np.ones(len(system))
-    endpoints: List[Tuple[int, int]] = [(-1, -1)] * len(system)
-    points: List[Tuple[float, float, float]] = []
-    grid: Dict[Tuple[int, int, int], int] = {}
+    count = len(system)
+    starts, ends = _centerline_arrays(system)
+    signs = np.ones(count)
+    ep_in = np.full(count, -1, dtype=np.int64)
+    ep_out = np.full(count, -1, dtype=np.int64)
 
-    def point_id(p: Tuple[float, float, float]) -> int:
-        # Quantize to a half-tolerance grid; probe neighbor cells so points
-        # straddling a cell boundary still match.
-        base = tuple(int(round(c / (_NODE_TOL / 2.0))) for c in p)
-        for dx in (0, -1, 1):
-            for dy in (0, -1, 1):
-                for dz in (0, -1, 1):
-                    key = (base[0] + dx, base[1] + dy, base[2] + dz)
-                    pid = grid.get(key)
-                    if pid is not None and math.dist(p, points[pid]) < _NODE_TOL:
-                        return pid
+    # Quantize every endpoint once (the scalar path re-derived and
+    # re-rounded coordinates per probe), then pack each grid cell into a
+    # single integer key: int keys hash ~3x cheaper than 3-tuples, and
+    # the 26 neighbor probes become precomputed key offsets.
+    scale = _NODE_TOL / 2.0
+    cell_start = np.round(starts / scale).astype(np.int64)
+    cell_end = np.round(ends / scale).astype(np.int64)
+    cells = np.concatenate([cell_start, cell_end])
+    lo = cells.min(axis=0) - 1  # -1 so neighbor probes stay nonnegative
+    span = cells.max(axis=0) - lo + 2
+    m_y = int(span[2])
+    m_x = int(span[1]) * m_y
+    if float(span[0]) * float(span[1]) * float(span[2]) < float(2**62):
+        base_start = (
+            (cell_start[:, 0] - lo[0]) * m_x
+            + (cell_start[:, 1] - lo[1]) * m_y
+            + (cell_start[:, 2] - lo[2])
+        ).tolist()
+        base_end = (
+            (cell_end[:, 0] - lo[0]) * m_x
+            + (cell_end[:, 1] - lo[1]) * m_y
+            + (cell_end[:, 2] - lo[2])
+        ).tolist()
+    else:  # degenerate geometry spans: exact bigint packing
+        base_start = [
+            (int(x) - int(lo[0])) * m_x
+            + (int(y) - int(lo[1])) * m_y
+            + (int(z) - int(lo[2]))
+            for x, y, z in cell_start.tolist()
+        ]
+        base_end = [
+            (int(x) - int(lo[0])) * m_x
+            + (int(y) - int(lo[1])) * m_y
+            + (int(z) - int(lo[2]))
+            for x, y, z in cell_end.tolist()
+        ]
+    neighbor_deltas = [
+        dx * m_x + dy * m_y + dz
+        for dx in (0, -1, 1)
+        for dy in (0, -1, 1)
+        for dz in (0, -1, 1)
+        if dx or dy or dz
+    ]
+    start_rows = starts.tolist()
+    end_rows = ends.tolist()
+
+    # Consecutive-filament distances for the orientation automaton:
+    # d_xy[k] = |x endpoint of members[k] - y endpoint of members[k+1]|.
+    points: List[List[float]] = []
+    grid: Dict[int, int] = {}
+
+    def point_id(p: List[float], key: int) -> int:
+        # Direct cell hit first (the overwhelmingly common case), then
+        # probe neighbor cells so points straddling a boundary still
+        # match.
+        pid = grid.get(key)
+        if pid is not None and math.dist(p, points[pid]) < _NODE_TOL:
+            return pid
+        for delta in neighbor_deltas:
+            pid = grid.get(key + delta)
+            if pid is not None and math.dist(p, points[pid]) < _NODE_TOL:
+                return pid
         points.append(p)
-        grid[base] = len(points) - 1
+        grid[key] = len(points) - 1
         return len(points) - 1
 
     for wire in system.wire_ids:
-        members = system.wire_filaments(wire)
-        orientation = _wire_orientation(system, members)
+        members = list(system.wire_filaments(wire))
+        orientation = _wire_orientation(
+            system, members, starts, ends
+        )
         for filament_index, forward in zip(members, orientation):
-            f = system[filament_index]
-            first, second = (f.start, f.end) if forward else (f.end, f.start)
-            signs[filament_index] = 1.0 if forward else -1.0
-            endpoints[filament_index] = (point_id(first), point_id(second))
-    return list(range(len(points))), signs, endpoints
+            if forward:
+                first, base_f = start_rows[filament_index], base_start[filament_index]
+                second, base_s = end_rows[filament_index], base_end[filament_index]
+            else:
+                signs[filament_index] = -1.0
+                first, base_f = end_rows[filament_index], base_end[filament_index]
+                second, base_s = start_rows[filament_index], base_start[filament_index]
+            ep_in[filament_index] = point_id(first, base_f)
+            ep_out[filament_index] = point_id(second, base_s)
+    return starts, ends, signs, ep_in, ep_out
 
 
-def _wire_orientation(system, members: Sequence[int]) -> List[bool]:
-    """Whether each wire filament is traversed start->end (positive axis)."""
+def _wire_orientation(
+    system,
+    members: Sequence[int],
+    starts: np.ndarray,
+    ends: np.ndarray,
+) -> List[bool]:
+    """Whether each wire filament is traversed start->end (positive axis).
+
+    All consecutive endpoint distances come from one vectorized pass
+    over the wire; the sequential cursor logic then runs on scalars.
+    """
     if len(members) == 1:
         return [True]
+    prev = np.asarray(members[:-1], dtype=np.int64)
+    nxt = np.asarray(members[1:], dtype=np.int64)
+    d_ss = np.linalg.norm(starts[prev] - starts[nxt], axis=1)
+    d_se = np.linalg.norm(starts[prev] - ends[nxt], axis=1)
+    d_es = np.linalg.norm(ends[prev] - starts[nxt], axis=1)
+    d_ee = np.linalg.norm(ends[prev] - ends[nxt], axis=1)
+
     orientation: List[bool] = []
-    first, second = system[members[0]], system[members[1]]
     # Orient the first filament so its exit endpoint touches the second.
-    if _touches(first.end, second):
+    if d_es[0] < _NODE_TOL or d_ee[0] < _NODE_TOL:
         orientation.append(True)
-        cursor = first.end
-    elif _touches(first.start, second):
+    elif d_ss[0] < _NODE_TOL or d_se[0] < _NODE_TOL:
         orientation.append(False)
-        cursor = first.start
     else:
+        first = system[members[0]]
         raise ValueError(
             f"wire {first.wire}: segments 0 and 1 do not share an endpoint"
         )
-    for filament_index in members[1:]:
-        f = system[filament_index]
-        if math.dist(f.start, cursor) < _NODE_TOL:
+    for k in range(len(members) - 1):
+        forward = orientation[-1]
+        # Cursor sits at the previous filament's exit endpoint.
+        to_start = d_es[k] if forward else d_ss[k]
+        to_end = d_ee[k] if forward else d_se[k]
+        if to_start < _NODE_TOL:
             orientation.append(True)
-            cursor = f.end
-        elif math.dist(f.end, cursor) < _NODE_TOL:
+        elif to_end < _NODE_TOL:
             orientation.append(False)
-            cursor = f.start
         else:
+            f = system[members[k + 1]]
             raise ValueError(
                 f"wire {f.wire}: segment {f.segment} does not touch the "
                 "previous segment"
             )
     return orientation
-
-
-def _touches(point: Tuple[float, float, float], filament) -> bool:
-    return (
-        math.dist(point, filament.start) < _NODE_TOL
-        or math.dist(point, filament.end) < _NODE_TOL
-    )
 
 
 def build_skeleton(
@@ -160,54 +269,107 @@ def build_skeleton(
     for the model builder (PEEC inductors or VPEC controlled sources).
     """
     system = parasitics.system
+    count = len(system)
     circuit = Circuit(title or f"skeleton:{system.name}")
-    _, signs, endpoints = _oriented_paths(parasitics)
+    starts, ends, signs, ep_in, ep_out = _oriented_paths(parasitics)
 
-    node_names: Dict[int, str] = {}
+    # Deterministic node names per point id, gathered through object
+    # arrays (fancy indexing instead of per-element dict round-trips).
+    num_points = int(max(ep_in.max(), ep_out.max())) + 1 if count else 0
+    name_table = np.asarray(
+        [f"n{pid}" for pid in range(num_points)], dtype=object
+    )
+    n_in_names = name_table[ep_in]
+    n_out_names = name_table[ep_out]
 
-    def node_name(pid: int) -> str:
-        if pid not in node_names:
-            node_names[pid] = f"n{pid}"
-        return node_names[pid]
+    # Per-filament series resistances: one columnar store for the whole
+    # population (n{pid} -> x{index} midpoints open the inductive slots).
+    mid_names = [f"x{index}" for index in range(count)]
+    slot_nodes: List[Tuple[str, str]] = list(
+        zip(mid_names, n_out_names.tolist())
+    )
+    circuit.add_resistor_array(
+        n_in_names.tolist(),
+        mid_names,
+        np.asarray(parasitics.resistance, dtype=float),
+        names=[f"R{index}" for index in range(count)],
+    )
 
-    slot_nodes: List[Tuple[str, str]] = []
-    ground_cap: Dict[str, float] = {}
-    for index, filament in enumerate(system):
-        pid_in, pid_out = endpoints[index]
-        n_in, n_out = node_name(pid_in), node_name(pid_out)
-        mid = f"x{index}"
-        circuit.add_resistor(
-            n_in, mid, float(parasitics.resistance[index]), name=f"R{index}"
+    # Pi-type ground capacitance, accumulated per node in the scalar
+    # walk's visit order (in endpoint then out endpoint, per filament) so
+    # the per-node sums round identically.
+    interleaved = np.empty(2 * count, dtype=np.int64)
+    interleaved[0::2] = ep_in
+    interleaved[1::2] = ep_out
+    half_caps = np.repeat(
+        np.asarray(parasitics.ground_capacitance, dtype=float) / 2.0, 2
+    )
+    accumulated = np.zeros(num_points)
+    np.add.at(accumulated, interleaved, half_caps)
+    _, first_seen = np.unique(interleaved, return_index=True)
+    visit_order = interleaved[np.sort(first_seen)]
+    gc_pids = visit_order[accumulated[visit_order] > 0]
+    if gc_pids.size:
+        gc_names = name_table[gc_pids]
+        circuit.add_capacitor_array(
+            gc_names.tolist(),
+            ["0"] * gc_pids.size,
+            accumulated[gc_pids],
+            names=[f"Cg_{node}" for node in gc_names],
         )
-        slot_nodes.append((mid, n_out))
-        half_c = float(parasitics.ground_capacitance[index]) / 2.0
-        ground_cap[n_in] = ground_cap.get(n_in, 0.0) + half_c
-        ground_cap[n_out] = ground_cap.get(n_out, 0.0) + half_c
 
-    for node, value in ground_cap.items():
-        if value > 0:
-            circuit.add_capacitor(node, "0", value, name=f"Cg_{node}")
+    # Coupling capacitances, split half/half between the two endpoint
+    # pairs; geometric proximity decides which endpoint of ``j`` faces
+    # which endpoint of ``i`` (wires may be traversed in opposite
+    # directions).  All pairings resolve in one vectorized pass.
+    coupling = parasitics.coupling_capacitance
+    if coupling:
+        pair_count = len(coupling)
+        fil_i = np.fromiter(
+            (key[0] for key in coupling), dtype=np.int64, count=pair_count
+        )
+        fil_j = np.fromiter(
+            (key[1] for key in coupling), dtype=np.int64, count=pair_count
+        )
+        values = np.fromiter(
+            coupling.values(), dtype=float, count=pair_count
+        )
+        # Geometric (unoriented) node ids of each filament.
+        forward = signs > 0
+        geo_a = np.where(forward, ep_in, ep_out)
+        geo_b = np.where(forward, ep_out, ep_in)
+        straight = np.linalg.norm(
+            starts[fil_i] - starts[fil_j], axis=1
+        ) + np.linalg.norm(ends[fil_i] - ends[fil_j], axis=1)
+        crossed = np.linalg.norm(
+            starts[fil_i] - ends[fil_j], axis=1
+        ) + np.linalg.norm(ends[fil_i] - starts[fil_j], axis=1)
+        aligned = straight <= crossed
 
-    def geometric_ends(index: int) -> Tuple[int, int]:
-        forward = endpoints[index]
-        return forward if signs[index] > 0 else (forward[1], forward[0])
-
-    for (i, j), value in parasitics.coupling_capacitance.items():
-        pairs = _pair_endpoints(system, i, j, geometric_ends(i), geometric_ends(j))
-        for pos, (pid_a, pid_b) in enumerate(pairs):
-            circuit.add_capacitor(
-                node_name(pid_a),
-                node_name(pid_b),
-                value / 2.0,
-                name=f"Cc_{i}_{j}_{pos}",
-            )
+        cc_a = np.empty(2 * pair_count, dtype=np.int64)
+        cc_a[0::2] = geo_a[fil_i]
+        cc_a[1::2] = geo_b[fil_i]
+        cc_b = np.empty(2 * pair_count, dtype=np.int64)
+        cc_b[0::2] = np.where(aligned, geo_a[fil_j], geo_b[fil_j])
+        cc_b[1::2] = np.where(aligned, geo_b[fil_j], geo_a[fil_j])
+        cc_names: List[str] = []
+        for i, j in zip(fil_i.tolist(), fil_j.tolist()):
+            cc_names.append(f"Cc_{i}_{j}_0")
+            cc_names.append(f"Cc_{i}_{j}_1")
+        circuit.add_capacitor_array(
+            name_table[cc_a].tolist(),
+            name_table[cc_b].tolist(),
+            np.repeat(values / 2.0, 2),
+            names=cc_names,
+        )
 
     ports: Dict[int, WirePorts] = {}
     for wire in system.wire_ids:
         members = system.wire_filaments(wire)
-        first_pid = endpoints[members[0]][0]
-        last_pid = endpoints[members[-1]][1]
-        ports[wire] = WirePorts(near=node_name(first_pid), far=node_name(last_pid))
+        ports[wire] = WirePorts(
+            near=str(name_table[ep_in[members[0]]]),
+            far=str(name_table[ep_out[members[-1]]]),
+        )
 
     return ElectricalSkeleton(
         circuit=circuit,
@@ -216,27 +378,6 @@ def build_skeleton(
         signs=signs,
         ports=ports,
     )
-
-
-def _pair_endpoints(
-    system,
-    i: int,
-    j: int,
-    ends_i: Tuple[int, int],
-    ends_j: Tuple[int, int],
-) -> List[Tuple[int, int]]:
-    """Pair geometric endpoints of two coupled filaments for split caps.
-
-    The coupling capacitance is split half/half between the two endpoint
-    pairs; geometric proximity decides which endpoint of ``j`` faces which
-    endpoint of ``i`` (wires may be traversed in opposite directions).
-    """
-    f_i, f_j = system[i], system[j]
-    straight = math.dist(f_i.start, f_j.start) + math.dist(f_i.end, f_j.end)
-    crossed = math.dist(f_i.start, f_j.end) + math.dist(f_i.end, f_j.start)
-    if straight <= crossed:
-        return [(ends_i[0], ends_j[0]), (ends_i[1], ends_j[1])]
-    return [(ends_i[0], ends_j[1]), (ends_i[1], ends_j[0])]
 
 
 def attach_bus_testbench(

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 from repro.circuit.netlist import Circuit
 from repro.extraction.parasitics import Parasitics
 from repro.peec.builder import ElectricalSkeleton, build_skeleton
@@ -71,31 +73,48 @@ def _stamp_peec(
     inductance = parasitics.inductance
     signs = skeleton.signs
 
-    inductor_names: List[str] = []
-    for index, (slot_a, slot_b) in enumerate(skeleton.slot_nodes):
-        name = f"Lf{index}"
-        circuit.add_inductor(
-            slot_a, slot_b, float(inductance[index, index]), name=name
-        )
-        inductor_names.append(name)
+    count = len(skeleton.slot_nodes)
+    inductor_names: List[str] = [f"Lf{index}" for index in range(count)]
+    inductor_store = circuit.add_inductor_array(
+        [a for a, _ in skeleton.slot_nodes],
+        [b for _, b in skeleton.slot_nodes],
+        np.diagonal(inductance).astype(float),
+        names=inductor_names,
+    )
 
+    # Name-fragment tables: object-array gathers plus one elementwise
+    # string concat beat ~33k per-pair f-strings (and ``astype(str)``).
+    digit_table = np.asarray([str(k) for k in range(count)], dtype=object)
+    k_prefix_table = np.asarray(
+        [f"K{k}_" for k in range(count)], dtype=object
+    )
+
+    # One columnar store per inductance block: the PEEC coupling set
+    # (upper triangle, sign-corrected, zeros dropped) as arrays.  The
+    # windowed inverse leaves most pairs zero, so scan the stored
+    # pattern with ``nonzero`` instead of gathering the full triangle.
     mutual_count = 0
     for _, (indices, block) in parasitics.inductance_blocks.items():
-        block_size = len(indices)
-        for a in range(block_size):
-            i = indices[a]
-            for b_pos in range(a + 1, block_size):
-                j = indices[b_pos]
-                value = float(block[a, b_pos]) * float(signs[i] * signs[j])
-                if value == 0.0:
-                    continue
-                circuit.add_mutual(
-                    inductor_names[i],
-                    inductor_names[j],
-                    value,
-                    name=f"K{i}_{j}",
-                )
-                mutual_count += 1
+        idx = np.asarray(indices, dtype=int)
+        block_arr = np.asarray(block)
+        a, b = np.nonzero(block_arr)
+        upper = a < b
+        a, b = a[upper], b[upper]
+        if a.size == 0:
+            continue
+        i_arr, j_arr = idx[a], idx[b]
+        values = block_arr[a, b] * signs[i_arr] * signs[j_arr]
+        # Positional references: filament index == position in the
+        # inductor store, so no name fabrication or lookup is needed.
+        circuit.add_mutual_array(
+            None,
+            None,
+            values,
+            names=(k_prefix_table[i_arr] + digit_table[j_arr]).tolist(),
+            store=inductor_store,
+            positions=(i_arr, j_arr),
+        )
+        mutual_count += int(a.size)
 
     add_counter("stamped_elements", len(circuit))
     return PeecModel(

@@ -43,7 +43,8 @@ from repro.pipeline.profiling import add_counter
 
 #: Format version prefixed into every key.  Bump to invalidate all
 #: existing entries after a semantic change to cached values.
-CACHE_VERSION = 1
+#: v2: Circuit pickles changed layout (columnar element stores).
+CACHE_VERSION = 2
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 from repro.circuit.netlist import Circuit
 from repro.extraction.parasitics import Parasitics
 from repro.peec.builder import ElectricalSkeleton, build_skeleton
@@ -116,42 +118,78 @@ def _stamp_vpec(
     lengths = system.lengths()
     signs = skeleton.signs
 
-    sense_names: List[str] = [""] * len(system)
-    for index, (slot_a, slot_b) in enumerate(skeleton.slot_nodes):
-        gain = float(lengths[index] * signs[index])
-        sense = f"Vs{index}"
-        circuit.add_voltage_source(slot_a, f"s{index}", name=sense)
-        sense_names[index] = sense
-        # Electrical inductive drop: V_i = (l s) * Vhat_i, with Vhat_i the
-        # voltage on the derivative node d{index}.
-        circuit.add_vcvs(
-            f"s{index}", slot_b, f"d{index}", "0", gain, name=f"Ev{index}"
-        )
-        # Magnetic injection: Ihat_i = (l s) * I_i into node m{index}.
-        circuit.add_cccs("0", f"m{index}", sense, gain, name=f"Fi{index}")
-        # Differentiator: unity VCCS forces the unit inductor current to
-        # A_i, so v(d{index}) = dA_i/dt = Vhat_i.
-        circuit.add_vccs("0", f"d{index}", f"m{index}", "0", 1.0, name=f"Ga{index}")
-        circuit.add_inductor(f"d{index}", "0", UNIT_INDUCTANCE, name=f"Lu{index}")
+    count = len(system)
+    gains = np.asarray(lengths, dtype=float) * np.asarray(signs, dtype=float)
+    slot_a = [a for a, _ in skeleton.slot_nodes]
+    slot_b = [b for _, b in skeleton.slot_nodes]
+    s_nodes = [f"s{index}" for index in range(count)]
+    d_nodes = [f"d{index}" for index in range(count)]
+    m_nodes = [f"m{index}" for index in range(count)]
+    grounds = ["0"] * count
+    sense_names: List[str] = [f"Vs{index}" for index in range(count)]
+
+    # Per-filament magnetic/electrical coupling, one columnar store per
+    # component of Fig. 1 instead of five scalar adds per filament:
+    # 0-V current senses, the electrical inductive drops
+    # V_i = (l s) * Vhat_i, the magnetic injections Ihat_i = (l s) I_i,
+    # and the unit-inductor differentiators whose VCCS forces the
+    # inductor current to A_i so that v(d_i) = dA_i/dt = Vhat_i.
+    circuit.add_voltage_source_array(
+        slot_a, s_nodes, [None] * count, names=sense_names
+    )
+    circuit.add_vcvs_array(
+        s_nodes,
+        slot_b,
+        d_nodes,
+        grounds,
+        gains,
+        names=[f"Ev{index}" for index in range(count)],
+    )
+    circuit.add_cccs_array(
+        grounds,
+        m_nodes,
+        sense_names,
+        gains,
+        names=[f"Fi{index}" for index in range(count)],
+    )
+    circuit.add_vccs_array(
+        grounds,
+        d_nodes,
+        m_nodes,
+        grounds,
+        np.ones(count),
+        names=[f"Ga{index}" for index in range(count)],
+    )
+    circuit.add_inductor_array(
+        d_nodes,
+        grounds,
+        np.full(count, UNIT_INDUCTANCE),
+        names=[f"Lu{index}" for index in range(count)],
+    )
 
     coupling_count = 0
     for network in networks:
-        ground = network.ground_conductances()
-        for position, global_index in enumerate(network.indices):
-            conductance = float(ground[position])
-            if conductance > _MIN_GROUND_CONDUCTANCE:
-                circuit.add_resistor(
-                    f"m{global_index}",
-                    "0",
-                    1.0 / conductance,
-                    name=f"Rg{global_index}",
-                )
-        for a, b, ghat_ab in network.coupling_entries():
-            i, j = network.indices[a], network.indices[b]
-            circuit.add_resistor(
-                f"m{i}", f"m{j}", -1.0 / ghat_ab, name=f"Rc{i}_{j}"
+        indices = np.asarray(network.indices, dtype=int)
+        ground = np.asarray(network.ground_conductances(), dtype=float)
+        keep = np.flatnonzero(ground > _MIN_GROUND_CONDUCTANCE)
+        if keep.size:
+            kept = indices[keep]
+            circuit.add_resistor_array(
+                [f"m{i}" for i in kept],
+                ["0"] * len(kept),
+                1.0 / ground[keep],
+                names=[f"Rg{i}" for i in kept],
             )
-            coupling_count += 1
+        rows, cols, ghat_ab = network.coupling_arrays()
+        if rows.size:
+            i_arr, j_arr = indices[rows], indices[cols]
+            circuit.add_resistor_array(
+                [f"m{i}" for i in i_arr],
+                [f"m{j}" for j in j_arr],
+                -1.0 / ghat_ab,
+                names=[f"Rc{i}_{j}" for i, j in zip(i_arr, j_arr)],
+            )
+        coupling_count += int(rows.size)
 
     add_counter("stamped_elements", len(circuit))
     return VpecModel(

@@ -98,10 +98,22 @@ class VpecNetwork:
         Positions are block-local; map through :attr:`indices` for global
         filament ids.  The coupling resistance is ``-1 / Ghat_ab``.
         """
+        for a, b, value in zip(*self.coupling_arrays()):
+            yield int(a), int(b), float(value)
+
+    def coupling_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(rows, cols, Ghat_ab)`` arrays of every stored pair ``a < b``.
+
+        The columnar form of :meth:`coupling_entries` (same order, zeros
+        dropped), consumed wholesale by the VPEC circuit builder.
+        """
         upper = sparse.triu(self.ghat, k=1).tocoo()
-        for a, b, value in zip(upper.row, upper.col, upper.data):
-            if value != 0.0:
-                yield int(a), int(b), float(value)
+        keep = np.flatnonzero(upper.data != 0.0)
+        return (
+            upper.row[keep].astype(int),
+            upper.col[keep].astype(int),
+            np.asarray(upper.data, dtype=float)[keep],
+        )
 
     def coupling_resistance(self, a: int, b: int) -> float:
         """``Rhat_ab = -1 / Ghat_ab`` for a stored pair (block-local)."""

@@ -1,0 +1,41 @@
+"""Smoke tests of the simulation-backend bench suite (small workloads)."""
+
+import pytest
+
+from repro.bench.sim import SIM_KERNELS, run_sim_suite
+
+
+class TestRunSimSuite:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_sim_suite(size=8, sim_size=8, repeats=1, include_seed=True)
+
+    def test_every_kernel_has_both_variants(self, results):
+        keys = {(r.kernel, r.variant) for r in results}
+        assert keys == {
+            (kernel, variant)
+            for kernel in SIM_KERNELS
+            for variant in ("columnar", "seed")
+        }
+
+    def test_columnar_and_seed_checksums_match(self, results):
+        by_kernel = {}
+        for result in results:
+            by_kernel.setdefault(result.kernel, {})[result.variant] = result
+        for kernel, variants in by_kernel.items():
+            assert variants["columnar"].checksum == variants["seed"].checksum, (
+                f"{kernel}: columnar and seed outputs diverge"
+            )
+
+    def test_sizes_recorded(self, results):
+        for result in results:
+            assert result.size == 8
+            assert result.seconds > 0
+
+    def test_kernel_subset_and_unknown(self):
+        subset = run_sim_suite(
+            kernels=("transient_bus64",), size=8, sim_size=8, repeats=1
+        )
+        assert [r.kernel for r in subset] == ["transient_bus64"]
+        with pytest.raises(ValueError, match="unknown kernels"):
+            run_sim_suite(kernels=("nope",))
