@@ -7,11 +7,14 @@ Five commands cover the everyday flows without writing Python:
   SPICE netlist;
 - ``crosstalk`` -- run the standard aggressor/victim testbench on a
   model and print the noise report;
+- ``noise``     -- tiered static noise scan under timing windows: screen
+  every victim with closed-form bounds, simulate only the screened-in
+  ones, print per-victim peaks / margins / noise windows;
 - ``audit``     -- passivity audit (Theorems 1-2 / Lemma 1) of a VPEC
   model's effective-resistance networks;
 - ``cache``     -- inspect or clear the on-disk pipeline cache;
-- ``bench``     -- run the micro-kernel benchmark suite and check it
-  against the committed ``BENCH_kernels.json`` trajectory.
+- ``bench``     -- run a benchmark suite (``kernels``, ``sim`` or
+  ``noise``) and check it against its committed trajectory file.
 
 Geometry is selected with ``--bus N`` (aligned), ``--nonaligned-bus N``
 or ``--spiral TURNS``; models with ``--model`` plus its parameter
@@ -200,6 +203,58 @@ def _cmd_crosstalk(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_noise(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.noise.engine import NoiseConfig, run_noise_scan
+
+    cache = _cache(args)
+    parasitics = cached_extract(_geometry(args), cache=cache)
+    config = NoiseConfig(
+        vdd=args.vdd,
+        rise_time=args.rise * 1e-12,
+        threshold_fraction=args.limit,
+        period=args.period * 1e-12,
+        switch_width=args.switch_width * 1e-12,
+        schedule_seed=args.schedule_seed,
+        dt=args.dt * 1e-12,
+    )
+    report = run_noise_scan(
+        parasitics,
+        spec=_model_spec(args),
+        config=config,
+        cache=cache,
+        verify=args.verify,
+    )
+    print(f"model: {report.spec_label}")
+    print(report.to_table())
+    if args.verify:
+        deviations = [
+            v.verify_deviation
+            for v in report.victims
+            if v.verify_deviation is not None
+        ]
+        if deviations:
+            print(
+                "verify: max relative peak deviation vs the independent "
+                f"single-scenario path {max(deviations):.3e}"
+            )
+        else:
+            print("verify: no escalated victims to cross-check")
+    if args.json:
+        with open(args.json, "w", encoding="ascii") as handle:
+            json.dump(report.to_json_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"noise report -> {args.json}")
+    failing = report.failing()
+    if failing:
+        wires = ", ".join(str(v.wire) for v in failing)
+        print(f"FAIL: victims above {args.limit * 100:.0f}% of VDD: {wires}")
+        return 1
+    print(f"PASS: all victims below {args.limit * 100:.0f}% of VDD")
+    return 0
+
+
 def _cmd_audit(args: argparse.Namespace) -> int:
     parasitics = cached_extract(_geometry(args), cache=_cache(args))
     if args.health:
@@ -338,6 +393,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_xtalk.add_argument("--csv", help="write victim waveforms to a CSV file")
     p_xtalk.set_defaults(func=_cmd_crosstalk)
 
+    p_noise = commands.add_parser(
+        "noise", help="tiered static noise scan under timing windows"
+    )
+    _add_geometry_arguments(p_noise)
+    _add_model_arguments(p_noise)
+    _add_pipeline_arguments(p_noise)
+    p_noise.add_argument("--vdd", type=float, default=1.0, help="volts (default 1)")
+    p_noise.add_argument(
+        "--rise", type=float, default=10.0, help="aggressor rise time, ps"
+    )
+    p_noise.add_argument(
+        "--limit",
+        type=float,
+        default=0.25,
+        help="failure threshold as a fraction of VDD (default 0.25)",
+    )
+    p_noise.add_argument(
+        "--period", type=float, default=3000.0, help="clock period, ps"
+    )
+    p_noise.add_argument(
+        "--switch-width",
+        type=float,
+        default=10.0,
+        help="width of each net's launch window, ps",
+    )
+    p_noise.add_argument(
+        "--schedule-seed",
+        type=int,
+        default=2003,
+        help="seed of the scattered switching schedule",
+    )
+    p_noise.add_argument("--dt", type=float, default=1.0, help="time step, ps")
+    p_noise.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-simulate every escalated victim through the independent "
+        "single-scenario path and report the peak deviation",
+    )
+    p_noise.add_argument(
+        "--json", metavar="FILE", help="also write the report as JSON"
+    )
+    # The windowed-VPEC flavor the acceptance experiments run on.
+    p_noise.set_defaults(func=_cmd_noise, model="gw", window=8)
+
     p_audit = commands.add_parser("audit", help="passivity audit of a VPEC model")
     _add_geometry_arguments(p_audit)
     _add_model_arguments(p_audit)
@@ -388,11 +487,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--suite",
-        choices=["kernels", "sim"],
+        choices=["kernels", "sim", "noise"],
         default="kernels",
         help="which suite: 'kernels' (extraction/windowing micro-kernels, "
-        "BENCH_kernels.json) or 'sim' (netlist/MNA/transient/AC backend, "
-        "BENCH_sim.json)",
+        "BENCH_kernels.json), 'sim' (netlist/MNA/transient/AC backend, "
+        "BENCH_sim.json) or 'noise' (screening tier + tiered engine, "
+        "BENCH_noise.json)",
     )
     p_bench.add_argument(
         "--check",
@@ -437,8 +537,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--sim-size",
         type=int,
         default=64,
-        help="bus size of the sim suite's transient/AC workloads "
-        "(default 64)",
+        help="bus size of the sim suite's transient/AC workloads and of "
+        "the noise suite's tiered-engine workload (default 64)",
     )
     p_bench.add_argument(
         "--repeats", type=int, default=3, help="timing repeats (default 3)"
@@ -468,7 +568,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.regression import DEFAULT_TIME_TOLERANCE
     from repro.bench.sim import run_sim_suite
 
-    if args.suite == "sim":
+    if args.suite == "noise":
+        from repro.bench.noise import run_noise_suite
+
+        if args.trajectory is None:
+            args.trajectory = "BENCH_noise.json"
+        results = run_noise_suite(
+            kernels=args.kernel,
+            size=args.size if args.size is not None else 256,
+            engine_size=args.sim_size,
+            repeats=args.repeats,
+        )
+    elif args.suite == "sim":
         if args.trajectory is None:
             args.trajectory = "BENCH_sim.json"
         results = run_sim_suite(

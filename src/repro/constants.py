@@ -33,3 +33,6 @@ LOAD_CAPACITANCE = 10.0e-15
 
 #: Heavily doped lossy-substrate resistivity of the spiral experiment, ohm-m.
 SUBSTRATE_RESISTIVITY = 1.0e-5
+
+#: Supply rail of all experiments (the paper's unit-step stimulus), volts.
+VDD = 1.0

@@ -1,0 +1,47 @@
+"""Static crosstalk-noise analysis with noise windows.
+
+Implements the title paper's workload (Tseng & Kariat, DAC 2003) on top
+of the extraction / VPEC / simulation stack:
+
+- :mod:`repro.noise.windows` -- per-net switching windows and the
+  interval algebra that decides which aggressors can align;
+- :mod:`repro.noise.screening` -- vectorized closed-form peak-noise and
+  noise-area estimators over all victim/aggressor pairs at once;
+- :mod:`repro.noise.worst_case` -- worst-case aggressor alignment within
+  the feasible overlap region, per-victim noise windows and margins;
+- :mod:`repro.noise.engine` -- the tiered screen-then-simulate flow
+  producing a :class:`~repro.noise.engine.NoiseScanReport`.
+"""
+
+from repro.noise.windows import (
+    Window,
+    WindowSet,
+    sensitive_windows,
+    staggered_schedule,
+    switching_windows,
+)
+from repro.noise.screening import ScreenConfig, ScreenEstimates, screen_pairs
+from repro.noise.worst_case import Alignment, worst_case_alignment
+from repro.noise.engine import (
+    NoiseConfig,
+    NoiseScanReport,
+    VictimScanResult,
+    run_noise_scan,
+)
+
+__all__ = [
+    "Alignment",
+    "NoiseConfig",
+    "NoiseScanReport",
+    "ScreenConfig",
+    "ScreenEstimates",
+    "VictimScanResult",
+    "Window",
+    "WindowSet",
+    "run_noise_scan",
+    "screen_pairs",
+    "sensitive_windows",
+    "staggered_schedule",
+    "switching_windows",
+    "worst_case_alignment",
+]

@@ -1,0 +1,234 @@
+"""Switching-window construction and interval algebra.
+
+A *switching window* is the closed interval of time during which a net's
+output may be transitioning; the paper's central idea is that an
+aggressor can only injure a victim if its switching window overlaps the
+victim's *sensitive* window (the part of the clock period where the
+victim is quiet and its receiver is latching).  Everything downstream --
+feasibility pruning, worst-case alignment, per-victim noise windows --
+is interval arithmetic over these objects.
+
+Windows are closed intervals, so a zero-width window is a point event
+that still overlaps anything containing that point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.timing import ArrivalTimes
+
+
+@dataclass(frozen=True, order=True)
+class Window:
+    """A closed time interval ``[start, end]`` in seconds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not (np.isfinite(self.start) and np.isfinite(self.end)):
+            raise ValueError("window bounds must be finite")
+        if self.end < self.start:
+            raise ValueError(f"window end {self.end} precedes start {self.start}")
+
+    @property
+    def width(self) -> float:
+        return self.end - self.start
+
+    @property
+    def is_point(self) -> bool:
+        """True for a zero-width (instantaneous) window."""
+        return self.end == self.start
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t <= self.end
+
+    def overlaps(self, other: "Window") -> bool:
+        """Closed-interval overlap: touching endpoints count."""
+        return self.start <= other.end and other.start <= self.end
+
+    def intersect(self, other: "Window") -> Optional["Window"]:
+        """Intersection window, or ``None`` when disjoint."""
+        if not self.overlaps(other):
+            return None
+        return Window(max(self.start, other.start), min(self.end, other.end))
+
+    def shift(self, dt: float) -> "Window":
+        return Window(self.start + dt, self.end + dt)
+
+    def clip(self, lo: float, hi: float) -> Optional["Window"]:
+        """Restriction to ``[lo, hi]``, or ``None`` if fully outside."""
+        return self.intersect(Window(lo, hi))
+
+
+class WindowSet:
+    """An ordered union of disjoint closed windows.
+
+    Construction merges overlapping (or touching) members, so the
+    invariant ``w[k].end < w[k+1].start`` always holds.
+    """
+
+    __slots__ = ("_windows",)
+
+    def __init__(self, windows: Iterable[Window] = ()) -> None:
+        merged: List[Window] = []
+        for window in sorted(windows):
+            if merged and window.start <= merged[-1].end:
+                merged[-1] = Window(
+                    merged[-1].start, max(merged[-1].end, window.end)
+                )
+            else:
+                merged.append(window)
+        self._windows: Tuple[Window, ...] = tuple(merged)
+
+    @property
+    def windows(self) -> Tuple[Window, ...]:
+        return self._windows
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._windows
+
+    @property
+    def total_width(self) -> float:
+        return sum(w.width for w in self._windows)
+
+    @property
+    def span(self) -> Optional[Window]:
+        """Smallest single window covering the whole set."""
+        if not self._windows:
+            return None
+        return Window(self._windows[0].start, self._windows[-1].end)
+
+    def __iter__(self) -> Iterator[Window]:
+        return iter(self._windows)
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WindowSet):
+            return NotImplemented
+        return self._windows == other._windows
+
+    def __hash__(self) -> int:
+        return hash(self._windows)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"[{w.start:.3g}, {w.end:.3g}]" for w in self._windows)
+        return f"WindowSet({body})"
+
+    def contains(self, t: float) -> bool:
+        return any(w.contains(t) for w in self._windows)
+
+    def overlaps(self, window: Window) -> bool:
+        return any(w.overlaps(window) for w in self._windows)
+
+    def intersect_window(self, window: Window) -> "WindowSet":
+        parts = (w.intersect(window) for w in self._windows)
+        return WindowSet(p for p in parts if p is not None)
+
+    def intersect(self, other: "WindowSet") -> "WindowSet":
+        parts: List[Window] = []
+        for window in other:
+            parts.extend(self.intersect_window(window))
+        return WindowSet(parts)
+
+    def union(self, other: "WindowSet") -> "WindowSet":
+        return WindowSet((*self._windows, *other._windows))
+
+    def complement(self, horizon: Window) -> "WindowSet":
+        """The part of ``horizon`` not covered by this set.
+
+        Zero-width gaps (between touching members) are dropped: a point
+        left uncovered carries no usable quiet time.
+        """
+        gaps: List[Window] = []
+        cursor = horizon.start
+        for window in self._windows:
+            if window.start > horizon.end:
+                break
+            if window.start > cursor:
+                gaps.append(Window(cursor, min(window.start, horizon.end)))
+            cursor = max(cursor, window.end)
+        if cursor < horizon.end:
+            gaps.append(Window(cursor, horizon.end))
+        return WindowSet(g for g in gaps if g.width > 0.0)
+
+
+def switching_windows(
+    arrivals: ArrivalTimes, guard: float = 0.0
+) -> List[Window]:
+    """Per-net switching windows from arrival-time estimates.
+
+    Each net may be transitioning from its earliest launch until its
+    latest settled-output time; ``guard`` symmetrically pads both ends
+    (clamped so the window never becomes inverted).
+    """
+    if guard < 0:
+        raise ValueError("guard must be >= 0")
+    out: List[Window] = []
+    for early, late in zip(arrivals.earliest, arrivals.latest):
+        out.append(Window(float(early) - guard, float(late) + guard))
+    return out
+
+
+def staggered_schedule(
+    count: int,
+    period: float,
+    width: float,
+    seed: int = 2003,
+) -> List[Window]:
+    """Deterministic scattered launch windows for ``count`` nets.
+
+    Each net gets a ``width``-wide switching window whose start is drawn
+    uniformly in ``[0, period - width]`` from a seeded generator.  This
+    is the engine's default scenario: a bus whose bits switch at
+    data-dependent times within a clock period, which is what makes
+    window-based pruning bite (simultaneous-switching schedules force
+    every aggressor into every victim's feasible set).
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if width < 0 or period <= 0 or width > period:
+        raise ValueError("need 0 <= width <= period and period > 0")
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(0.0, period - width, size=count)
+    return [Window(float(s), float(s) + width) for s in starts]
+
+
+def sensitive_windows(
+    switching: Sequence[Window], period: float
+) -> List[WindowSet]:
+    """Per-net sensitive (quiet) windows within one period.
+
+    A net is sensitive to injected noise whenever it is *not* itself
+    switching: the complement of its own switching window in
+    ``[0, period]``.
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    horizon = Window(0.0, period)
+    out: List[WindowSet] = []
+    for window in switching:
+        clipped = window.clip(0.0, period)
+        own = WindowSet([clipped] if clipped is not None else [])
+        out.append(own.complement(horizon))
+    return out
+
+
+def feasible_aggressors(
+    victim: int,
+    switching: Sequence[Window],
+    sensitive: WindowSet,
+) -> List[int]:
+    """Indices of nets whose switching window meets the victim's quiet time."""
+    return [
+        net
+        for net, window in enumerate(switching)
+        if net != victim and sensitive.overlaps(window)
+    ]

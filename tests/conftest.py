@@ -3,15 +3,55 @@
 Extraction of the small reference structures is deterministic, so the
 fixtures are session-scoped; tests must not mutate them (builders that
 attach testbenches get fresh copies via the factory fixtures).
+
+Randomness is scoped per test: the ``rng`` fixture derives an
+independent deterministic stream from each test's node id, the global
+(legacy) numpy RNG state is snapshotted and restored around every test
+so a stray ``np.random.*`` call cannot bleed into later tests, and the
+hypothesis profile is derandomized so property suites replay the same
+deterministic example stream on every run.
 """
 
 from __future__ import annotations
 
+import hashlib
+
+import numpy as np
 import pytest
 
 from repro.extraction.parasitics import Parasitics, extract
 from repro.geometry.bus import aligned_bus, nonaligned_bus
 from repro.geometry.spiral import square_spiral
+
+try:  # hypothesis is an optional test dependency
+    from hypothesis import settings as _hypothesis_settings
+
+    _hypothesis_settings.register_profile(
+        "repro", derandomize=True, deadline=None
+    )
+    _hypothesis_settings.load_profile("repro")
+except ImportError:  # pragma: no cover - exercised without hypothesis
+    pass
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_rng():
+    """Restore the legacy global numpy RNG state after every test."""
+    state = np.random.get_state()
+    yield
+    np.random.set_state(state)
+
+
+@pytest.fixture()
+def rng(request: pytest.FixtureRequest) -> np.random.Generator:
+    """Deterministic per-test generator, independent across tests.
+
+    The seed is derived from the test's node id, so every test gets its
+    own reproducible stream regardless of execution order or which
+    other tests ran before it.
+    """
+    digest = hashlib.sha256(request.node.nodeid.encode("utf-8")).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,200 @@
+"""Golden regression tests of the tiered noise scan.
+
+Committed per-victim peak-noise / noise-area / noise-window values for
+the canonical 16-bit bus at three spacings under the default
+:class:`~repro.noise.engine.NoiseConfig` (quarter-supply threshold,
+3 ns period, seeded scattered schedule).  The scan is deterministic
+end to end -- closed-form screening plus direct LU transient solves --
+so the tolerance is a tight 1e-9 relative, mirroring the
+``tests/test_goldens.py`` conventions: a failure here means the
+numerical behavior of the screening tables, the alignment algebra or
+the simulation backend changed, and EXPERIMENTS/docs numbers need
+re-validation.
+
+The three spacings pin qualitatively different regimes: at 1 um the
+coupling is strong enough that 9/16 victims escalate to the simulation
+tier (their values are *simulated* peaks), while at 2 um and 4 um the
+screen clears every victim (bound-only values, no simulation at all).
+"""
+
+import pytest
+
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.noise.engine import NoiseConfig, run_noise_scan
+
+#: Relative tolerance on every golden value.
+REL_TOL = 1e-9
+
+SPACINGS = {"s1": 1e-6, "s2": 2e-6, "s4": 4e-6}
+
+GOLDENS = {'s1': {'peaks_V': (0.23158761983631357,
+                    0.08018848067244885,
+                    0.07772518890652973,
+                    0.21082352433545587,
+                    0.09653759794765279,
+                    0.045916076716835556,
+                    0.0831134015939081,
+                    0.07820271924335347,
+                    0.22774660949844522,
+                    0.23190833118584323,
+                    0.04793701408950545,
+                    0.22468208254697045,
+                    0.04583925844115203,
+                    0.21082352433545634,
+                    0.06240997485005471,
+                    0.21400279165214814),
+        'areas_Vs': (5.099435010894916e-12,
+                     1.734253120444839e-12,
+                     1.6151834793970978e-12,
+                     5.021211008997858e-12,
+                     7.331486030575762e-12,
+                     1.4335014906018634e-12,
+                     7.0664763019893915e-12,
+                     7.731869970591927e-12,
+                     5.424270306078017e-12,
+                     5.5233905670594125e-12,
+                     6.038736659222181e-12,
+                     5.351282073314998e-12,
+                     6.840737742279573e-12,
+                     5.02121100899787e-12,
+                     6.781584853720924e-12,
+                     4.712226538497792e-12),
+        'escalated': (1, 2, 4, 5, 6, 7, 10, 12, 14),
+        'noise_windows_s': {1: ((2.985258988963411e-09,
+                                 2.9907370335183484e-09),),
+                            2: ((2.985258988963411e-09,
+                                 2.9907370335183484e-09),),
+                            4: ((4.245136902996338e-10,
+                                 4.347496127845394e-10),),
+                            5: ((6.091762499802319e-10,
+                                 6.320780627487717e-10),
+                                (2.985258988963411e-09,
+                                 2.9907370335183484e-09)),
+                            6: ((4.245136902996338e-10,
+                                 4.347496127845394e-10),
+                                (2.985258988963411e-09,
+                                 2.9907370335183484e-09)),
+                            7: ((6.091762499802319e-10,
+                                 6.320780627487717e-10),),
+                            10: ((4.245136902996338e-10,
+                                  4.347496127845394e-10),),
+                            12: ((4.245136902996338e-10,
+                                  4.347496127845394e-10),
+                                 (6.091762499802319e-10,
+                                  6.320780627487717e-10)),
+                            14: ((6.091762499802319e-10,
+                                  6.320780627487717e-10),)}},
+ 's2': {'peaks_V': (0.14462762479501698,
+                    0.1553261579402891,
+                    0.16765183569709388,
+                    0.18275313590142478,
+                    0.18371153802625756,
+                    0.1771704439066099,
+                    0.1967749742813923,
+                    0.21286857774610324,
+                    0.20871038616718496,
+                    0.21289732916320875,
+                    0.19751026399634725,
+                    0.20600225308456568,
+                    0.19348785319127565,
+                    0.18639772270978328,
+                    0.18863734214479555,
+                    0.19547168065015103),
+        'areas_Vs': (3.027332756406384e-12,
+                     3.361572964651832e-12,
+                     3.6283256202748043e-12,
+                     3.9551483729336625e-12,
+                     3.975890137970697e-12,
+                     3.834327599867466e-12,
+                     4.258609383222324e-12,
+                     4.606907590222311e-12,
+                     4.516915894175158e-12,
+                     4.607529829178832e-12,
+                     4.274522543373553e-12,
+                     4.458306403823173e-12,
+                     4.187469418553136e-12,
+                     4.034024620468315e-12,
+                     4.082494525625824e-12,
+                     4.091596073853235e-12),
+        'escalated': (),
+        'noise_windows_s': {}},
+ 's4': {'peaks_V': (0.1243738831297688,
+                    0.13459184739233446,
+                    0.1465254548387199,
+                    0.16141341070563148,
+                    0.16189939161100808,
+                    0.15791332175902775,
+                    0.17587495717032592,
+                    0.1889846919873034,
+                    0.1848313833195854,
+                    0.1890452937707096,
+                    0.17660503986744247,
+                    0.18257818351270733,
+                    0.1729087512337916,
+                    0.16461654810140913,
+                    0.16824316690869365,
+                    0.1722837206871456),
+        'areas_Vs': (2.549951574060564e-12,
+                     2.797197794708691e-12,
+                     3.045211779795352e-12,
+                     3.3546254487916002e-12,
+                     3.3647255012325728e-12,
+                     3.2818837391530876e-12,
+                     3.6551771290223044e-12,
+                     3.927634354550762e-12,
+                     3.841316898693128e-12,
+                     3.928893830352481e-12,
+                     3.670350304440399e-12,
+                     3.794489058426806e-12,
+                     3.5935310125220993e-12,
+                     3.4211956685575894e-12,
+                     3.496567025192695e-12,
+                     3.532213787140716e-12),
+        'escalated': (),
+        'noise_windows_s': {}}}
+
+
+@pytest.fixture(scope="module", params=sorted(SPACINGS))
+def scan(request):
+    parasitics = extract(aligned_bus(16, spacing=SPACINGS[request.param]))
+    report = run_noise_scan(parasitics, config=NoiseConfig())
+    return request.param, report
+
+
+class TestNoiseGoldens:
+    def test_per_victim_peaks(self, scan):
+        label, report = scan
+        expected = GOLDENS[label]["peaks_V"]
+        for victim, value in zip(report.victims, expected):
+            assert victim.effective_peak == pytest.approx(value, rel=REL_TOL)
+
+    def test_per_victim_areas(self, scan):
+        label, report = scan
+        expected = GOLDENS[label]["areas_Vs"]
+        for victim, value in zip(report.victims, expected):
+            assert victim.effective_area == pytest.approx(value, rel=REL_TOL)
+
+    def test_escalation_set(self, scan):
+        label, report = scan
+        escalated = tuple(v.wire for v in report.victims if v.escalated)
+        assert escalated == GOLDENS[label]["escalated"]
+
+    def test_noise_windows(self, scan):
+        label, report = scan
+        expected = GOLDENS[label]["noise_windows_s"]
+        actual = {
+            v.wire: tuple((w.start, w.end) for w in v.noise_windows)
+            for v in report.victims
+            if len(v.noise_windows)
+        }
+        assert set(actual) == set(expected)
+        for wire, windows in expected.items():
+            assert len(actual[wire]) == len(windows)
+            for (lo, hi), (glo, ghi) in zip(actual[wire], windows):
+                assert lo == pytest.approx(glo, rel=REL_TOL)
+                assert hi == pytest.approx(ghi, rel=REL_TOL)
+
+    def test_nobody_fails_the_quarter_supply_criterion(self, scan):
+        _, report = scan
+        assert not report.failing()

@@ -1,0 +1,154 @@
+"""Property suite: the closed-form screen is conservative.
+
+The load-bearing claim of the tiered engine is that a victim the screen
+rejects can *never* fail in simulation.  Two properties pin it on
+randomized small RC buses (partial inductance scaled to a negligible
+level, the regime where the Devgan slope-limited bound is provable):
+
+1. the bare per-pair Devgan bound dominates the simulated single-
+   aggressor victim peak for every pair, and
+2. end to end, every victim the tiered scan screens *out* stays below
+   the failure threshold when forced through full transient simulation.
+
+Hypothesis draws the bus width, driver strength, rise time, threshold
+and switching schedule; the conftest profile derandomizes the runs so
+CI replays a fixed example stream.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.sources import step
+from repro.circuit.transient import transient_analysis
+from repro.experiments.runner import build_model, peec_spec
+from repro.extraction.parasitics import Parasitics, extract
+from repro.geometry.bus import aligned_bus
+from repro.noise.engine import NoiseConfig, run_noise_scan
+from repro.noise.screening import ScreenConfig, rc_only_bound
+from repro.peec.builder import attach_multi_aggressor_testbench
+
+#: Partial-inductance scale that turns the extracted RLC bus into an
+#: effectively-RC one while keeping the MNA companion stamps well
+#: conditioned (wL ~ 1e-4 ohm at the fastest drawn edge rate).
+RC_SCALE = 1e-6
+
+
+def _rc_bus(bits: int) -> Parasitics:
+    parasitics = extract(aligned_bus(bits))
+    blocks = {
+        axis: (indices, block * RC_SCALE)
+        for axis, (indices, block) in parasitics.inductance_blocks.items()
+    }
+    return replace(
+        parasitics,
+        inductance=parasitics.inductance * RC_SCALE,
+        inductance_blocks=blocks,
+    )
+
+
+class TestDevganPairBound:
+    @given(
+        bits=st.integers(min_value=3, max_value=5),
+        aggressor=st.integers(min_value=0, max_value=4),
+        driver_resistance=st.floats(min_value=60.0, max_value=300.0),
+        rise_ps=st.floats(min_value=5.0, max_value=40.0),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_pair_bound_dominates_simulation(
+        self, bits, aggressor, driver_resistance, rise_ps
+    ):
+        aggressor = aggressor % bits
+        rise = rise_ps * 1e-12
+        parasitics = _rc_bus(bits)
+        config = ScreenConfig(
+            rise_time=rise, driver_resistance=driver_resistance
+        )
+        bound, _ = rc_only_bound(parasitics, config)
+
+        built = build_model(peec_spec(), parasitics)
+        attach_multi_aggressor_testbench(
+            built.skeleton,
+            {aggressor: step(config.vdd, rise_time=rise)},
+            driver_resistance,
+            config.load_capacitance,
+        )
+        probes = [
+            built.skeleton.ports[w].far for w in range(bits) if w != aggressor
+        ]
+        result = transient_analysis(
+            built.circuit,
+            rise + 200e-12,
+            min(1e-12, rise / 10.0),
+            probe_nodes=probes,
+        )
+        for victim in range(bits):
+            if victim == aggressor:
+                continue
+            peak = float(
+                np.abs(
+                    np.real(
+                        result.voltage(built.skeleton.ports[victim].far).v
+                    )
+                ).max()
+            )
+            if bound[victim, aggressor] > 0.0:
+                assert peak <= bound[victim, aggressor], (
+                    f"victim {victim} peak {peak:.3e} exceeds Devgan "
+                    f"bound {bound[victim, aggressor]:.3e}"
+                )
+            else:
+                # Zero direct coupling capacitance (non-adjacent pair):
+                # the victim only sees *second-order* noise relayed
+                # through intermediate wires, outside the Devgan bound's
+                # scope.  The engine's combined screen covers such pairs
+                # through the calibrated envelope channel; here we pin
+                # that the leakage really is second-order small, far
+                # below any realistic failure threshold.
+                assert peak <= 0.01 * config.vdd, (
+                    f"non-adjacent victim {victim} sees first-order-"
+                    f"sized noise {peak:.3e}"
+                )
+
+
+class TestScreenOutIsSafe:
+    @given(
+        bits=st.integers(min_value=4, max_value=8),
+        driver_resistance=st.floats(min_value=80.0, max_value=250.0),
+        rise_ps=st.floats(min_value=5.0, max_value=25.0),
+        threshold_fraction=st.floats(min_value=0.02, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_screened_out_victims_never_fail(
+        self, bits, driver_resistance, rise_ps, threshold_fraction, seed
+    ):
+        parasitics = _rc_bus(bits)
+        config = NoiseConfig(
+            rise_time=rise_ps * 1e-12,
+            threshold_fraction=threshold_fraction,
+            period=600e-12,
+            schedule_seed=seed,
+            driver_resistance=driver_resistance,
+            settle_time=150e-12,
+        )
+        scan = run_noise_scan(parasitics, spec=peec_spec(), config=config)
+        # Force every victim through the simulation tier: the same scan
+        # with a negligible threshold.
+        fullsim = run_noise_scan(
+            parasitics,
+            spec=peec_spec(),
+            config=replace(config, threshold_fraction=1e-9),
+        )
+        assert all(v.escalated for v in fullsim.victims)
+        for screened, simulated in zip(scan.victims, fullsim.victims):
+            if screened.escalated:
+                # Conservatism also holds inside the escalation tier.
+                assert screened.screen_peak >= simulated.sim_peak
+            else:
+                assert simulated.sim_peak <= config.threshold, (
+                    f"victim {screened.wire} was screened out at "
+                    f"{config.threshold:.3e} V but simulates to "
+                    f"{simulated.sim_peak:.3e} V"
+                )

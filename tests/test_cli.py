@@ -123,6 +123,71 @@ class TestCrosstalk:
         assert "FAIL" in capsys.readouterr().out
 
 
+class TestNoise:
+    def test_screen_only_pass(self, capsys):
+        code = main(["noise", "--bus", "8", "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "model: gwVPEC(b=8)" in out
+        assert "0/8 escalated" in out
+        assert "PASS" in out
+
+    def test_escalation_verify_and_json(self, tmp_path, capsys):
+        target = tmp_path / "noise.json"
+        code = main(
+            [
+                "noise",
+                "--bus",
+                "16",
+                "--no-cache",
+                "--limit",
+                "0.2",
+                "--verify",
+                "--json",
+                str(target),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert " sim " in out  # at least one victim escalated
+        assert "verify: max relative peak deviation" in out
+        document = json.loads(target.read_text())
+        assert document["num_victims"] == 16
+        assert document["num_escalated"] > 0
+        assert any(
+            v["verify_deviation"] is not None for v in document["victims"]
+        )
+
+    def test_fail_exit_code(self, capsys):
+        code = main(
+            ["noise", "--bus", "8", "--no-cache", "--limit", "0.05"]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bench_noise_suite_json(self, tmp_path, capsys):
+        target = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--suite",
+                "noise",
+                "--kernel",
+                "noise_screen_bus256",
+                "--size",
+                "16",
+                "--repeats",
+                "1",
+                "--json",
+                str(target),
+            ]
+        )
+        assert code == 0
+        document = json.loads(target.read_text())
+        assert document["entries"][0]["kernel"] == "noise_screen_bus256"
+        assert document["entries"][0]["size"] == 16
+
+
 class TestAudit:
     def test_full_vpec_passes(self, capsys):
         assert main(["audit", "--bus", "4", "--model", "full"]) == 0

@@ -32,13 +32,14 @@ class TestApiReference:
             "repro.circuit",
             "repro.vpec",
             "repro.mor",
+            "repro.noise",
         ):
             assert f"## `{package}`" in text
 
 
 class TestCrossReferences:
     @pytest.mark.parametrize(
-        "doc", ["theory.md", "architecture.md", "cli.md"]
+        "doc", ["theory.md", "architecture.md", "cli.md", "noise.md"]
     )
     def test_doc_exists_and_nonempty(self, doc):
         path = DOCS / doc
