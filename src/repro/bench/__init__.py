@@ -26,6 +26,11 @@ from repro.bench.results import (
 from repro.bench.runner import DEFAULT_KERNELS, run_suite
 from repro.bench.sim import SIM_KERNELS, run_sim_suite
 
+# The noise and service suites live in repro.bench.noise and
+# repro.bench.service and are imported directly (the service suite
+# depends on repro.service, whose workers depend on
+# repro.bench.results -- importing it here would be circular).
+
 __all__ = [
     "SIM_KERNELS",
     "run_sim_suite",

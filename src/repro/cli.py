@@ -13,8 +13,11 @@ Five commands cover the everyday flows without writing Python:
 - ``audit``     -- passivity audit (Theorems 1-2 / Lemma 1) of a VPEC
   model's effective-resistance networks;
 - ``cache``     -- inspect or clear the on-disk pipeline cache;
-- ``bench``     -- run a benchmark suite (``kernels``, ``sim`` or
-  ``noise``) and check it against its committed trajectory file.
+- ``serve``     -- run the long-running analysis service (async jobs
+  over a shared-memory model cache; see ``docs/service.md``);
+- ``bench``     -- run a benchmark suite (``kernels``, ``sim``,
+  ``noise`` or ``service``) and check it against its committed
+  trajectory file.
 
 Geometry is selected with ``--bus N`` (aligned), ``--nonaligned-bus N``
 or ``--spiral TURNS``; models with ``--model`` plus its parameter
@@ -482,17 +485,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.set_defaults(func=_cmd_report)
 
+    p_serve = commands.add_parser(
+        "serve", help="run the long-running analysis service"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: pick a free port and print it)",
+    )
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: CPU count; 1 runs in-process)",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="simulation shards per noise job (default: worker count)",
+    )
+    p_serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=300.0,
+        help="default per-job timeout in seconds (default 300)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="disk cache root for workers (default: no disk cache)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
     p_bench = commands.add_parser(
         "bench", help="run the micro-kernel benchmark suite"
     )
     p_bench.add_argument(
         "--suite",
-        choices=["kernels", "sim", "noise"],
+        choices=["kernels", "sim", "noise", "service"],
         default="kernels",
         help="which suite: 'kernels' (extraction/windowing micro-kernels, "
         "BENCH_kernels.json), 'sim' (netlist/MNA/transient/AC backend, "
-        "BENCH_sim.json) or 'noise' (screening tier + tiered engine, "
-        "BENCH_noise.json)",
+        "BENCH_sim.json), 'noise' (screening tier + tiered engine, "
+        "BENCH_noise.json) or 'service' (analysis-service load test, "
+        "BENCH_service.json)",
     )
     p_bench.add_argument(
         "--check",
@@ -554,6 +595,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also measure the scalar reference (seed) kernel variants",
     )
+    p_bench.add_argument(
+        "--requests",
+        type=int,
+        default=1000,
+        help="service suite: total mixed requests (default 1000)",
+    )
+    p_bench.add_argument(
+        "--concurrency",
+        type=int,
+        default=64,
+        help="service suite: in-flight request cap (default 64)",
+    )
+    p_bench.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="service suite: worker processes (default: CPU count)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
     return parser
 
@@ -568,7 +627,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.regression import DEFAULT_TIME_TOLERANCE
     from repro.bench.sim import run_sim_suite
 
-    if args.suite == "noise":
+    if args.suite == "service":
+        from repro.bench.service import run_service_suite
+
+        if args.trajectory is None:
+            args.trajectory = "BENCH_service.json"
+        results = run_service_suite(
+            requests=args.requests,
+            concurrency=args.concurrency,
+            jobs=args.jobs,
+        )
+    elif args.suite == "noise":
         from repro.bench.noise import run_noise_suite
 
         if args.trajectory is None:
@@ -637,6 +706,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         save_trajectory(args.trajectory, results)
         print(f"updated {args.trajectory}")
     return code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        shards=args.shards,
+        cache_dir=args.cache_dir,
+        job_timeout=args.job_timeout,
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

@@ -278,6 +278,194 @@ def _masked_metrics(
     return peak, area
 
 
+@dataclass(frozen=True)
+class ScreenTierResult:
+    """Output of the closed-form screening tier.
+
+    ``alignments`` holds every victim's worst-case alignment,
+    ``escalated`` the subset whose aligned bound meets the threshold
+    (the victims the simulation tier must resolve), ``sensitive`` each
+    wire's sensitive :class:`WindowSet`.  The whole object is picklable,
+    so a service worker can run the screen in one process and ship the
+    outcome to simulation shards in others.
+    """
+
+    alignments: Tuple[Alignment, ...]
+    escalated: Tuple[Alignment, ...]
+    sensitive: Tuple[WindowSet, ...]
+    seconds: float
+
+
+@dataclass(frozen=True)
+class EscalationTierResult:
+    """Output of one (possibly sharded) simulation-tier run.
+
+    ``metrics`` maps victim wire -> (peak, area) over its sensitive
+    windows.  Shards simulated separately against the same ``t_stop``
+    merge by dict union: every scenario column is an independent RHS of
+    the shared factorization, so a shard's columns are bit-identical to
+    the same columns of one full batch.
+    """
+
+    metrics: Dict[int, Tuple[float, float]]
+    build_seconds: float
+    sim_seconds: float
+
+
+def screen_tier(
+    parasitics: Parasitics,
+    config: NoiseConfig,
+    switching: Sequence[Window],
+) -> ScreenTierResult:
+    """Tier 1: closed-form pair bounds + worst-case alignment.
+
+    Pads each launch window by the wire's Elmore delay plus slew,
+    intersects into sensitive windows, screens every aggressor/victim
+    pair, and aligns.  Victims whose aligned bound stays below
+    ``config.threshold`` are conservatively safe and never simulated.
+    """
+    start = time.perf_counter()
+    arrivals = arrival_times(
+        parasitics, config.driver_resistance, config.load_capacitance
+    )
+    pad = arrivals.delays + arrivals.slews
+    padded = [
+        Window(w.start, w.end + float(pad[i]))
+        for i, w in enumerate(switching)
+    ]
+    sensitive = sensitive_windows(padded, config.period)
+    estimates = screen_pairs(parasitics, config.screen_config)
+    alignments = align_all(
+        estimates.peak, estimates.area, padded, sensitive, config.threshold
+    )
+    escalated = tuple(a for a in alignments if a.peak >= config.threshold)
+    add_counter("noise_victims_screened_out", len(alignments) - len(escalated))
+    add_counter("noise_victims_escalated", len(escalated))
+    return ScreenTierResult(
+        alignments=tuple(alignments),
+        escalated=escalated,
+        sensitive=tuple(sensitive),
+        seconds=time.perf_counter() - start,
+    )
+
+
+def escalation_horizon(
+    escalated: Sequence[Alignment],
+    config: NoiseConfig,
+    switching: Sequence[Window],
+) -> float:
+    """Shared simulation end time of an escalation batch.
+
+    Computed over the *whole* escalated set, never per shard: every
+    shard must integrate the same time grid for its masked metrics (and
+    hence checksums) to match the unsharded batch exactly.
+    """
+    launches = [
+        max(_launch_time(a.time, switching[agg]) for agg in a.aggressors)
+        for a in escalated
+    ]
+    return max(launches) + config.rise_time + config.settle_time
+
+
+def simulate_escalated(
+    parasitics: Parasitics,
+    spec: ModelSpec,
+    config: NoiseConfig,
+    switching: Sequence[Window],
+    sensitive: Sequence[WindowSet],
+    escalated: Sequence[Alignment],
+    t_stop: float,
+    policy: Optional[FallbackPolicy] = None,
+    cache: Optional[PipelineCache] = None,
+) -> EscalationTierResult:
+    """Tier 2: one batched simulation, one scenario column per victim.
+
+    ``escalated`` may be any subset of the screen tier's escalated set
+    (a service shard); pass the full set's :func:`escalation_horizon`
+    as ``t_stop`` so shards share one time grid.
+    """
+    built = build_model(spec, parasitics, cache=cache)
+    attach_quiet_bus_testbench(
+        built.skeleton, config.driver_resistance, config.load_capacitance
+    )
+    scenarios = []
+    for a in escalated:
+        scenarios.append(
+            {
+                f"Vdrv{agg}": step(
+                    config.vdd,
+                    rise_time=config.rise_time,
+                    delay=_launch_time(a.time, switching[agg]),
+                )
+                for agg in a.aggressors
+            }
+        )
+    probes = sorted({built.skeleton.ports[a.victim].far for a in escalated})
+    sim_start = time.perf_counter()
+    with stage("noise_escalation"):
+        results = transient_analysis_multi(
+            built.circuit,
+            t_stop,
+            config.dt,
+            scenarios,
+            probe_nodes=probes,
+            policy=policy,
+        )
+    sim_seconds = time.perf_counter() - sim_start
+    metrics: Dict[int, Tuple[float, float]] = {}
+    for a, result in zip(escalated, results):
+        waveform = result.voltage(built.skeleton.ports[a.victim].far)
+        metrics[a.victim] = _masked_metrics(waveform, sensitive[a.victim])
+    return EscalationTierResult(
+        metrics=metrics,
+        build_seconds=built.build_seconds,
+        sim_seconds=sim_seconds,
+    )
+
+
+def assemble_report(
+    spec: ModelSpec,
+    config: NoiseConfig,
+    switching: Sequence[Window],
+    screen: ScreenTierResult,
+    metrics: Dict[int, Tuple[float, float]],
+    build_seconds: float = 0.0,
+    sim_seconds: float = 0.0,
+) -> NoiseScanReport:
+    """Merge screen-tier alignments and simulated metrics into a report.
+
+    ``metrics`` must cover exactly the escalated victims (the union of
+    all shards); screened-out victims keep their closed-form bounds.
+    """
+    victims: Dict[int, VictimScanResult] = {
+        a.victim: VictimScanResult(
+            wire=a.victim,
+            screen_peak=a.peak,
+            screen_area=a.area,
+            alignment_time=a.time,
+            aligned=a.aggressors,
+            feasible=a.feasible,
+            noise_windows=a.noise_windows,
+            escalated=False,
+        )
+        for a in screen.alignments
+    }
+    for a in screen.escalated:
+        peak, area = metrics[a.victim]
+        victims[a.victim] = replace(
+            victims[a.victim], escalated=True, sim_peak=peak, sim_area=area
+        )
+    return NoiseScanReport(
+        spec_label=spec.label,
+        config=config,
+        victims=[victims[i] for i in sorted(victims)],
+        switching=list(switching),
+        build_seconds=build_seconds,
+        screen_seconds=screen.seconds,
+        sim_seconds=sim_seconds,
+    )
+
+
 def noise_scan_key(
     parasitics: Parasitics,
     spec: ModelSpec,
@@ -357,114 +545,48 @@ def _run_noise_scan_cold(
     cache: Optional[PipelineCache],
 ) -> NoiseScanReport:
     # --- Tier 1: closed-form screen + worst-case alignment. ---
-    screen_start = time.perf_counter()
-    arrivals = arrival_times(
-        parasitics, config.driver_resistance, config.load_capacitance
-    )
-    pad = arrivals.delays + arrivals.slews
-    padded = [
-        Window(w.start, w.end + float(pad[i]))
-        for i, w in enumerate(switching)
-    ]
-    sensitive = sensitive_windows(padded, config.period)
-    estimates = screen_pairs(parasitics, config.screen_config)
-    alignments = align_all(
-        estimates.peak, estimates.area, padded, sensitive, config.threshold
-    )
-    screen_seconds = time.perf_counter() - screen_start
+    screen = screen_tier(parasitics, config, switching)
+    escalated = screen.escalated
 
-    escalated = [a for a in alignments if a.peak >= config.threshold]
-    add_counter("noise_victims_screened_out", len(alignments) - len(escalated))
-    add_counter("noise_victims_escalated", len(escalated))
-
-    victims: Dict[int, VictimScanResult] = {
-        a.victim: VictimScanResult(
-            wire=a.victim,
-            screen_peak=a.peak,
-            screen_area=a.area,
-            alignment_time=a.time,
-            aligned=a.aggressors,
-            feasible=a.feasible,
-            noise_windows=a.noise_windows,
-            escalated=False,
-        )
-        for a in alignments
-    }
-
+    metrics: Dict[int, Tuple[float, float]] = {}
     build_seconds = 0.0
     sim_seconds = 0.0
+    t_stop = 0.0
     if escalated:
         # --- Tier 2: one batched simulation, one scenario per victim. ---
-        built = build_model(spec, parasitics, cache=cache)
-        build_seconds = built.build_seconds
-        attach_quiet_bus_testbench(
-            built.skeleton, config.driver_resistance, config.load_capacitance
+        t_stop = escalation_horizon(escalated, config, switching)
+        tier = simulate_escalated(
+            parasitics,
+            spec,
+            config,
+            switching,
+            screen.sensitive,
+            escalated,
+            t_stop,
+            policy=policy,
+            cache=cache,
         )
-        scenarios, launches = [], []
-        for a in escalated:
-            overrides = {
-                f"Vdrv{agg}": step(
-                    config.vdd,
-                    rise_time=config.rise_time,
-                    delay=_launch_time(a.time, switching[agg]),
-                )
-                for agg in a.aggressors
-            }
-            scenarios.append(overrides)
-            launches.append(
-                max(
-                    _launch_time(a.time, switching[agg])
-                    for agg in a.aggressors
-                )
-            )
-        t_stop = max(launches) + config.rise_time + config.settle_time
-        probes = sorted(
-            {built.skeleton.ports[a.victim].far for a in escalated}
-        )
-        sim_start = time.perf_counter()
-        with stage("noise_escalation"):
-            results = transient_analysis_multi(
-                built.circuit,
-                t_stop,
-                config.dt,
-                scenarios,
-                probe_nodes=probes,
-                policy=policy,
-            )
-        sim_seconds = time.perf_counter() - sim_start
+        metrics = tier.metrics
+        build_seconds = tier.build_seconds
+        sim_seconds = tier.sim_seconds
 
-        for a, result in zip(escalated, results):
-            waveform = result.voltage(
-                built.skeleton.ports[a.victim].far
-            )
-            peak, area = _masked_metrics(waveform, sensitive[a.victim])
-            victims[a.victim] = replace(
-                victims[a.victim],
-                escalated=True,
-                sim_peak=peak,
-                sim_area=area,
-            )
-
-        if verify:
-            for a in escalated:
-                deviation = _verify_victim(
-                    parasitics, spec, config, switching, sensitive[a.victim],
-                    a, victims[a.victim].sim_peak or 0.0, t_stop, policy,
-                    cache,
-                )
-                victims[a.victim] = replace(
-                    victims[a.victim], verify_deviation=deviation
-                )
-
-    return NoiseScanReport(
-        spec_label=spec.label,
-        config=config,
-        victims=[victims[i] for i in sorted(victims)],
-        switching=switching,
-        build_seconds=build_seconds,
-        screen_seconds=screen_seconds,
-        sim_seconds=sim_seconds,
+    report = assemble_report(
+        spec, config, switching, screen, metrics, build_seconds, sim_seconds
     )
+    if verify and escalated:
+        by_victim = {v.wire: i for i, v in enumerate(report.victims)}
+        for a in escalated:
+            index = by_victim[a.victim]
+            deviation = _verify_victim(
+                parasitics, spec, config, switching,
+                screen.sensitive[a.victim],
+                a, report.victims[index].sim_peak or 0.0, t_stop, policy,
+                cache,
+            )
+            report.victims[index] = replace(
+                report.victims[index], verify_deviation=deviation
+            )
+    return report
 
 
 def _verify_victim(

@@ -1,0 +1,250 @@
+"""Job model of the analysis service: requests, records, lifecycle.
+
+A :class:`JobRequest` is the service's unit of work -- one extraction,
+crosstalk simulation, or tiered noise scan, fully described by plain
+data (geometry spec, model spec, physics parameters), so it can travel
+as JSON over the wire, hash into a content-addressed key, and pickle
+into a worker process unchanged.
+
+Requests are *content-addressed* like everything else in the pipeline:
+two jobs with identical requests share one computation (the service
+memoizes finished results by :meth:`JobRequest.key`), exactly as two
+CLI runs share cache entries.
+
+A :class:`JobRecord` tracks one submitted job through the lifecycle
+``queued -> running -> done | failed | cancelled | timeout``.  Failures
+carry the :mod:`repro.health` taxonomy: the worker's typed exception
+class name rides in ``error["kind"]``, so a client can distinguish a
+singular matrix from a passivity violation from a plain bug, the same
+way the CLI's exit-code-2 path does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.experiments.runner import ModelSpec
+from repro.geometry.bus import aligned_bus, nonaligned_bus
+from repro.geometry.spiral import square_spiral
+from repro.geometry.system import FilamentSystem
+from repro.noise.engine import NoiseConfig
+from repro.pipeline.hashing import stable_hash
+
+#: The analysis operations the service accepts.
+ANALYSIS_OPS = ("extract", "simulate", "noise")
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+TIMEOUT = "timeout"
+
+#: States a job can never leave.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED, TIMEOUT)
+
+
+class JobCancelledError(Exception):
+    """Raised inside the execution path when a job's cancel flag is set."""
+
+
+@dataclass(frozen=True)
+class GeometrySpec:
+    """A serializable geometry request.
+
+    ``kind`` selects the generator (``bus``, ``nonaligned_bus``,
+    ``spiral``); ``size`` is the bus bit count or spiral turn count;
+    ``segments`` the per-line segment count (buses) or total segment
+    count (spirals, where 0 means the generator default).
+    """
+
+    kind: str
+    size: int
+    segments: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("bus", "nonaligned_bus", "spiral"):
+            raise ValueError(f"unknown geometry kind {self.kind!r}")
+        if self.size < 1:
+            raise ValueError("geometry size must be >= 1")
+
+    def build(self) -> FilamentSystem:
+        if self.kind == "bus":
+            return aligned_bus(self.size, segments_per_line=self.segments)
+        if self.kind == "nonaligned_bus":
+            return nonaligned_bus(self.size, segments_per_line=self.segments)
+        if self.segments > 1:
+            return square_spiral(turns=self.size, total_segments=self.segments)
+        return square_spiral(turns=self.size)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "GeometrySpec":
+        return cls(
+            kind=str(payload["kind"]),
+            size=int(payload["size"]),
+            segments=int(payload.get("segments", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Parameters of one crosstalk simulation request."""
+
+    aggressor: int = 0
+    vdd: float = 1.0
+    rise_time: float = 10e-12
+    t_stop: float = 300e-12
+    dt: float = 1e-12
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SimParams":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def model_spec_to_dict(spec: ModelSpec) -> Dict[str, Any]:
+    return dataclasses.asdict(spec)
+
+
+def model_spec_from_dict(payload: Mapping[str, Any]) -> ModelSpec:
+    known = {f.name for f in dataclasses.fields(ModelSpec)}
+    return ModelSpec(**{k: v for k, v in payload.items() if k in known})
+
+
+def noise_config_to_dict(config: NoiseConfig) -> Dict[str, Any]:
+    return dataclasses.asdict(config)
+
+
+def noise_config_from_dict(payload: Mapping[str, Any]) -> NoiseConfig:
+    known = {f.name for f in dataclasses.fields(NoiseConfig)}
+    return NoiseConfig(**{k: v for k, v in payload.items() if k in known})
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One fully-specified analysis request.
+
+    ``model`` applies to ``simulate`` and ``noise``; ``sim`` only to
+    ``simulate``; ``noise`` (the config) only to ``noise``.  Unused
+    sections keep their defaults so the content key stays stable.
+    """
+
+    op: str
+    geometry: GeometrySpec
+    model: ModelSpec = ModelSpec("gw", window=8)
+    sim: SimParams = SimParams()
+    noise: NoiseConfig = NoiseConfig()
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in ANALYSIS_OPS:
+            raise ValueError(
+                f"op must be one of {ANALYSIS_OPS}, got {self.op!r}"
+            )
+
+    def key(self) -> str:
+        """Content hash identifying this request's result."""
+        return stable_hash(
+            "service-job",
+            self.op,
+            self.geometry,
+            self.model,
+            self.sim,
+            self.noise,
+            self.verify,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "geometry": self.geometry.to_dict(),
+            "model": model_spec_to_dict(self.model),
+            "sim": self.sim.to_dict(),
+            "noise": noise_config_to_dict(self.noise),
+            "verify": self.verify,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JobRequest":
+        kwargs: Dict[str, Any] = {
+            "op": str(payload["op"]),
+            "geometry": GeometrySpec.from_dict(payload["geometry"]),
+        }
+        if "model" in payload:
+            kwargs["model"] = model_spec_from_dict(payload["model"])
+        if "sim" in payload:
+            kwargs["sim"] = SimParams.from_dict(payload["sim"])
+        if "noise" in payload:
+            kwargs["noise"] = noise_config_from_dict(payload["noise"])
+        if "verify" in payload:
+            kwargs["verify"] = bool(payload["verify"])
+        return cls(**kwargs)
+
+
+@dataclass
+class JobRecord:
+    """One submitted job's lifecycle, timings, and outcome."""
+
+    id: str
+    request: JobRequest
+    status: str = QUEUED
+    submitted: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    result: Optional[Dict[str, Any]] = None
+    checksum: Optional[str] = None
+    error: Optional[Dict[str, str]] = None
+    #: Set by :meth:`request_cancel`; the execution path checks it at
+    #: stage boundaries (between extract / screen / simulation shards).
+    cancel_requested: bool = False
+    #: True when the result came from the service's content-addressed
+    #: result memo instead of a fresh computation.
+    memoized: bool = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    @property
+    def seconds(self) -> Optional[float]:
+        """Wall-clock run time (started -> finished), when known."""
+        if self.started is None or self.finished is None:
+            return None
+        return self.finished - self.started
+
+    def request_cancel(self) -> bool:
+        """Flag the job for cancellation; returns False once terminal."""
+        if self.terminal:
+            return False
+        self.cancel_requested = True
+        return True
+
+    def check_cancelled(self) -> None:
+        """Raise :class:`JobCancelledError` if a cancel was requested."""
+        if self.cancel_requested:
+            raise JobCancelledError(self.id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able status summary (without the full result payload)."""
+        return {
+            "job": self.id,
+            "op": self.request.op,
+            "status": self.status,
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "seconds": self.seconds,
+            "memoized": self.memoized,
+            "checksum": self.checksum,
+            "error": self.error,
+        }

@@ -1,0 +1,127 @@
+"""Concurrent access to the content-addressed cache.
+
+The service hands one :class:`~repro.pipeline.cache.PipelineCache`
+root to every worker, so the store's atomic-write (temp file + rename)
+and corrupted-entry-eviction semantics now run under real concurrency.
+These tests hammer a single store from many threads -- same-key
+fetch storms, mixed put/get traffic, and readers racing a writer that
+keeps corrupting entries (the PR-2 eviction path) -- asserting the
+store never raises and never returns garbage.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.pipeline.cache import PipelineCache
+
+KEY = "ab" + "0" * 62
+
+
+@pytest.fixture()
+def cache(tmp_path) -> PipelineCache:
+    return PipelineCache(tmp_path / "store")
+
+
+def _run_threads(target, count: int) -> list:
+    errors: list = []
+
+    def wrapped():
+        try:
+            target()
+        except BaseException as error:  # noqa: BLE001 - collected for assert
+            errors.append(error)
+
+    threads = [threading.Thread(target=wrapped) for _ in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+class TestConcurrentAccess:
+    def test_same_key_fetch_storm(self, cache):
+        value = {"payload": np.arange(256.0)}
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(25):
+                loaded = cache.fetch("kind", KEY, lambda: value)
+                with lock:
+                    results.append(loaded)
+
+        errors = _run_threads(worker, 8)
+        assert errors == []
+        assert len(results) == 200
+        for loaded in results:
+            np.testing.assert_array_equal(loaded["payload"], value["payload"])
+
+    def test_interleaved_put_get_many_keys(self, cache):
+        keys = [f"{i:02x}" + "0" * 62 for i in range(16)]
+
+        def worker():
+            for _ in range(10):
+                for index, key in enumerate(keys):
+                    cache.put("kind", key, {"i": index})
+                    loaded = cache.get("kind", key)
+                    # A concurrent put of the same value may be mid-
+                    # replace, but a successful read is never garbage.
+                    if loaded is not None:
+                        assert loaded == {"i": index}
+
+        errors = _run_threads(worker, 6)
+        assert errors == []
+
+    def test_readers_race_corruption_and_eviction(self, cache):
+        """Readers vs. a corruptor: only valid values or misses, no raise."""
+        value = [1, 2, 3]
+        cache.put("kind", KEY, value)
+        path = cache._path("kind", KEY)
+        # Hit the corruption path deterministically before the race:
+        # on a loaded single-core runner the corruptor thread may not
+        # get scheduled at all while the readers drain their loops.
+        path.write_bytes(b"garbage bytes")
+        assert cache.get("kind", KEY) is None
+        cache.put("kind", KEY, value)
+        stop = threading.Event()
+        observed = []
+        lock = threading.Lock()
+
+        def corruptor():
+            while not stop.is_set():
+                path.write_bytes(b"garbage bytes")
+                cache.put("kind", KEY, value)
+
+        def reader():
+            for _ in range(100):
+                loaded = cache.get("kind", KEY)
+                with lock:
+                    observed.append(loaded)
+
+        corruptor_thread = threading.Thread(target=corruptor)
+        corruptor_thread.start()
+        try:
+            errors = _run_threads(reader, 6)
+        finally:
+            stop.set()
+            corruptor_thread.join()
+        assert errors == []
+        # Scheduling on a loaded runner can favor either side, so the
+        # race itself only pins the invariant: a read is the real
+        # value or a miss, never garbage and never an exception.
+        assert all(entry in (None, value) for entry in observed)
+        assert cache.stats.evictions >= 1, "corruption path must be hit"
+        # Once the corruptor is quiet, a healthy read must succeed.
+        cache.put("kind", KEY, value)
+        assert cache.get("kind", KEY) == value
+
+    def test_eviction_of_corrupt_entry_then_refetch(self, cache):
+        cache.put("kind", KEY, {"a": 1})
+        cache._path("kind", KEY).write_bytes(b"\x80\x05 truncated")
+        assert cache.get("kind", KEY) is None
+        assert cache.stats.evictions == 1
+        assert cache.fetch("kind", KEY, lambda: {"a": 2}) == {"a": 2}
+        assert cache.get("kind", KEY) == {"a": 2}

@@ -1,0 +1,106 @@
+"""Job model: request serialization, content keys, record lifecycle."""
+
+import pytest
+
+from repro.experiments.runner import ModelSpec
+from repro.noise.engine import NoiseConfig
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    GeometrySpec,
+    JobCancelledError,
+    JobRecord,
+    JobRequest,
+    SimParams,
+)
+
+
+class TestGeometrySpec:
+    def test_build_matches_generators(self):
+        assert GeometrySpec("bus", 5).build().num_wires == 5
+        assert GeometrySpec("nonaligned_bus", 4).build().num_wires == 4
+        assert GeometrySpec("spiral", 3).build().num_wires == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeometrySpec("torus", 4)
+        with pytest.raises(ValueError):
+            GeometrySpec("bus", 0)
+
+    def test_dict_round_trip(self):
+        spec = GeometrySpec("nonaligned_bus", 8, segments=2)
+        assert GeometrySpec.from_dict(spec.to_dict()) == spec
+
+
+class TestJobRequest:
+    def test_dict_round_trip(self):
+        request = JobRequest(
+            op="noise",
+            geometry=GeometrySpec("bus", 8),
+            model=ModelSpec("nw", threshold=0.05),
+            sim=SimParams(aggressor=2),
+            noise=NoiseConfig(threshold_fraction=0.1),
+            verify=True,
+        )
+        rebuilt = JobRequest.from_dict(request.to_dict())
+        assert rebuilt == request
+        assert rebuilt.key() == request.key()
+
+    def test_defaults_survive_partial_payload(self):
+        rebuilt = JobRequest.from_dict(
+            {"op": "extract", "geometry": {"kind": "bus", "size": 4}}
+        )
+        assert rebuilt == JobRequest(
+            op="extract", geometry=GeometrySpec("bus", 4)
+        )
+
+    def test_key_is_content_addressed(self):
+        base = JobRequest(op="noise", geometry=GeometrySpec("bus", 8))
+        same = JobRequest.from_dict(base.to_dict())
+        assert same.key() == base.key()
+        assert (
+            JobRequest(op="extract", geometry=GeometrySpec("bus", 8)).key()
+            != base.key()
+        )
+        assert (
+            JobRequest(op="noise", geometry=GeometrySpec("bus", 9)).key()
+            != base.key()
+        )
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            JobRequest(op="explode", geometry=GeometrySpec("bus", 4))
+
+
+class TestJobRecord:
+    def _record(self) -> JobRecord:
+        return JobRecord(
+            id="j1",
+            request=JobRequest(op="extract", geometry=GeometrySpec("bus", 4)),
+        )
+
+    def test_cancel_before_terminal(self):
+        record = self._record()
+        assert record.request_cancel() is True
+        with pytest.raises(JobCancelledError):
+            record.check_cancelled()
+
+    def test_cancel_after_terminal_is_refused(self):
+        record = self._record()
+        record.status = DONE
+        assert record.request_cancel() is False
+        record.status = CANCELLED
+        assert record.request_cancel() is False
+
+    def test_seconds_needs_both_timestamps(self):
+        record = self._record()
+        assert record.seconds is None
+        record.started = 10.0
+        record.finished = 12.5
+        assert record.seconds == pytest.approx(2.5)
+
+    def test_to_dict_summary(self):
+        payload = self._record().to_dict()
+        assert payload["op"] == "extract"
+        assert payload["status"] == "queued"
+        assert "result" not in payload

@@ -1,0 +1,337 @@
+"""The analysis service: equivalence, memoization, cancellation, protocol."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.health.errors import PassivityViolationError
+from repro.noise.engine import NoiseConfig
+from repro.service import workers
+from repro.service.client import ServiceClient
+from repro.service.jobs import GeometrySpec, JobRequest
+from repro.service.server import (
+    AnalysisService,
+    ServiceConfig,
+    ServiceServer,
+)
+from repro.service.workers import oneshot_result
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def _config(**overrides) -> ServiceConfig:
+    defaults = dict(jobs=1, job_timeout=120.0)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+EXTRACT = JobRequest(op="extract", geometry=GeometrySpec("bus", 5))
+SIMULATE = JobRequest(op="simulate", geometry=GeometrySpec("bus", 5))
+NOISE = JobRequest(op="noise", geometry=GeometrySpec("bus", 8))
+ESCALATING = JobRequest(
+    op="noise",
+    geometry=GeometrySpec("bus", 8),
+    noise=NoiseConfig(threshold_fraction=0.1),
+)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "request_", [EXTRACT, SIMULATE, NOISE], ids=["extract", "sim", "noise"]
+    )
+    def test_matches_oneshot(self, request_):
+        async def main():
+            service = AnalysisService(_config())
+            try:
+                record = await service.submit(request_)
+                return await service.wait(record.id)
+            finally:
+                await service.close()
+
+        final = run(main())
+        assert final.status == "done"
+        assert final.checksum == oneshot_result(request_)["checksum"]
+
+    def test_sharded_scan_matches_oneshot(self):
+        async def main():
+            service = AnalysisService(_config(shards=3))
+            try:
+                record = await service.submit(ESCALATING)
+                return await service.wait(record.id)
+            finally:
+                await service.close()
+
+        final = run(main())
+        assert final.status == "done"
+        assert final.result["num_escalated"] > 1, "workload must shard"
+        assert final.checksum == oneshot_result(ESCALATING)["checksum"]
+
+    def test_verify_scan_matches_oneshot(self):
+        request = JobRequest(
+            op="noise",
+            geometry=GeometrySpec("bus", 8),
+            noise=NoiseConfig(threshold_fraction=0.1),
+            verify=True,
+        )
+
+        async def main():
+            service = AnalysisService(_config())
+            try:
+                record = await service.submit(request)
+                return await service.wait(record.id)
+            finally:
+                await service.close()
+
+        final = run(main())
+        assert final.status == "done"
+        assert final.checksum == oneshot_result(request)["checksum"]
+
+
+class TestMemoAndEvents:
+    def test_repeat_request_is_memoized(self):
+        async def main():
+            service = AnalysisService(_config())
+            try:
+                first = await service.wait(
+                    (await service.submit(NOISE)).id
+                )
+                second = await service.wait(
+                    (await service.submit(NOISE)).id
+                )
+                return first, second, service.stats.memo_hits
+            finally:
+                await service.close()
+
+        first, second, memo_hits = run(main())
+        assert not first.memoized and second.memoized
+        assert first.checksum == second.checksum
+        assert memo_hits == 1
+
+    def test_stream_event_order(self):
+        async def main():
+            service = AnalysisService(_config())
+            try:
+                record = await service.submit(ESCALATING)
+                return [
+                    event["event"]
+                    async for event in service.stream(record.id)
+                ]
+            finally:
+                await service.close()
+
+        events = run(main())
+        assert events[0] == "queued"
+        assert events[1] == "running"
+        assert events[-1] == "done"
+        assert "progress" in events[2:-1]
+
+
+class TestCancellationAndTimeouts:
+    def test_cancel_queued_job(self, monkeypatch):
+        release = threading.Event()
+        real_screen = workers.screen_worker
+
+        def slow_screen(*args):
+            release.wait(10)
+            return real_screen(*args)
+
+        monkeypatch.setattr(
+            "repro.service.workers.screen_worker", slow_screen
+        )
+
+        async def main():
+            service = AnalysisService(_config(max_concurrency=1))
+            try:
+                blocker = await service.submit(NOISE)
+                queued = await service.submit(ESCALATING)
+                assert service.cancel(queued.id) is True
+                release.set()
+                return (
+                    await service.wait(blocker.id),
+                    await service.wait(queued.id),
+                )
+            finally:
+                await service.close()
+
+        blocker, queued = run(main())
+        assert blocker.status == "done"
+        assert queued.status == "cancelled"
+        assert queued.started is None or queued.result is None
+
+    def test_cancel_running_job_at_stage_boundary(self, monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+        real_screen = workers.screen_worker
+
+        def slow_screen(*args):
+            started.set()
+            release.wait(10)
+            return real_screen(*args)
+
+        monkeypatch.setattr(
+            "repro.service.workers.screen_worker", slow_screen
+        )
+
+        async def main():
+            service = AnalysisService(_config())
+            try:
+                record = await service.submit(NOISE)
+                await asyncio.get_running_loop().run_in_executor(
+                    None, started.wait, 10
+                )
+                assert service.cancel(record.id) is True
+                release.set()
+                return await service.wait(record.id)
+            finally:
+                await service.close()
+
+        final = run(main())
+        assert final.status == "cancelled"
+        assert final.result is None
+
+    def test_job_timeout(self, monkeypatch):
+        def stuck_extract(*args):
+            time.sleep(1.0)
+            raise AssertionError("timeout should fire first")
+
+        monkeypatch.setattr(
+            "repro.service.workers.extract_worker", stuck_extract
+        )
+
+        async def main():
+            service = AnalysisService(_config())
+            try:
+                record = await service.submit(EXTRACT, timeout=0.1)
+                return await service.wait(record.id)
+            finally:
+                await service.close()
+
+        final = run(main())
+        assert final.status == "timeout"
+        assert final.error["kind"] == "TimeoutError"
+
+    def test_cancel_terminal_job_is_refused(self):
+        async def main():
+            service = AnalysisService(_config())
+            try:
+                record = await service.submit(EXTRACT)
+                await service.wait(record.id)
+                return service.cancel(record.id)
+            finally:
+                await service.close()
+
+        assert run(main()) is False
+
+
+class TestFailureTaxonomy:
+    def test_health_error_kind_is_reported(self, monkeypatch):
+        def sick_extract(*args):
+            raise PassivityViolationError("negative effective resistance")
+
+        monkeypatch.setattr(
+            "repro.service.workers.extract_worker", sick_extract
+        )
+
+        async def main():
+            service = AnalysisService(_config())
+            try:
+                record = await service.submit(EXTRACT)
+                return await service.wait(record.id)
+            finally:
+                await service.close()
+
+        final = run(main())
+        assert final.status == "failed"
+        assert final.error["kind"] == "PassivityViolationError"
+        assert "resistance" in final.error["message"]
+
+    def test_plain_exception_is_contained(self, monkeypatch):
+        def broken_extract(*args):
+            raise ValueError("boom")
+
+        monkeypatch.setattr(
+            "repro.service.workers.extract_worker", broken_extract
+        )
+
+        async def main():
+            service = AnalysisService(_config())
+            try:
+                record = await service.submit(EXTRACT)
+                final = await service.wait(record.id)
+                stats = service.stats_dict()
+                return final, stats
+            finally:
+                await service.close()
+
+        final, stats = run(main())
+        assert final.status == "failed"
+        assert final.error["kind"] == "ValueError"
+        assert stats["failed"] == 1
+
+
+class TestTcpProtocol:
+    def test_round_trip_with_streaming(self):
+        async def main():
+            service = AnalysisService(_config())
+            server = ServiceServer(service, "127.0.0.1", 0)
+            host, port = await server.start()
+            events = []
+            async with await ServiceClient.connect(host, port) as client:
+                assert await client.ping()
+                reply = await client.request(
+                    {**NOISE.to_dict(), "stream": True},
+                    on_event=events.append,
+                )
+                memo = await client.request(NOISE.to_dict())
+                stats = await client.stats()
+                assert await client.cancel("j999999") is False
+                await client.shutdown()
+            await server.serve_until_shutdown()
+            return reply, memo, stats, events
+
+        reply, memo, stats, events = run(main())
+        assert reply["event"] == "done"
+        assert reply["checksum"] == oneshot_result(NOISE)["checksum"]
+        assert [e["event"] for e in events[:3]] == [
+            "accepted",
+            "queued",
+            "running",
+        ]
+        assert memo["memoized"] is True
+        assert stats["submitted"] == 2 and stats["memo_hits"] == 1
+
+    def test_protocol_errors_are_replies_not_disconnects(self):
+        async def main():
+            service = AnalysisService(_config())
+            server = ServiceServer(service, "127.0.0.1", 0)
+            host, port = await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                import json
+
+                bad = json.loads(await reader.readline())
+                writer.write(
+                    b'{"id": "x", "op": "noise", "geometry":'
+                    b' {"kind": "torus", "size": 4}}\n'
+                )
+                await writer.drain()
+                invalid = json.loads(await reader.readline())
+                writer.write(b'{"id": "y", "op": "ping"}\n')
+                await writer.drain()
+                alive = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return bad, invalid, alive
+            finally:
+                await server.close()
+
+        bad, invalid, alive = run(main())
+        assert bad["event"] == "error"
+        assert invalid["event"] == "error"
+        assert alive["event"] == "pong", "connection survives bad input"

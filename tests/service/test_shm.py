@@ -1,0 +1,218 @@
+"""Shared-memory columnar blocks: round-trips, zero-copy, lifecycle."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.extraction.capacitance import CapacitanceModel
+from repro.extraction.constants import COPPER_RESISTIVITY
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.pipeline.cache import parasitics_key
+from repro.service.shm import (
+    SharedColumnBlock,
+    SharedParasiticsStore,
+    attach_parasitics,
+    detach_all,
+    parasitics_columns,
+    parasitics_from_block,
+)
+
+
+@pytest.fixture()
+def parasitics():
+    return extract(aligned_bus(5))
+
+
+class TestSharedColumnBlock:
+    def test_round_trip(self):
+        arrays = {
+            "a": np.arange(12.0).reshape(3, 4),
+            "b": np.array([1, 2, 3], dtype=np.int64),
+            "empty": np.zeros((0,), dtype=np.float64),
+        }
+        with SharedColumnBlock.create({"tag": "x"}, arrays) as block:
+            try:
+                assert block.meta == {"tag": "x"}
+                np.testing.assert_array_equal(block.array("a"), arrays["a"])
+                np.testing.assert_array_equal(block.array("b"), arrays["b"])
+                assert block.array("empty").size == 0
+                with pytest.raises(KeyError):
+                    block.array("missing")
+            finally:
+                block.unlink()
+
+    def test_views_are_zero_copy_and_read_only(self):
+        arrays = {"a": np.arange(64.0)}
+        block = SharedColumnBlock.create(None, arrays)
+        view = block.array("a")
+        segment_bytes = np.frombuffer(block._segment.buf, dtype=np.uint8)
+        try:
+            assert np.shares_memory(view, segment_bytes)
+            with pytest.raises(ValueError):
+                view[0] = 1.0
+        finally:
+            # The raw-byte view pins the mapping; drop it before close.
+            del view, segment_bytes
+            block.close()
+            block.unlink()
+
+    def test_attach_sees_same_data(self):
+        arrays = {"a": np.linspace(0.0, 1.0, 17)}
+        owner = SharedColumnBlock.create({"n": 17}, arrays)
+        try:
+            attached = SharedColumnBlock.attach(owner.name)
+            assert attached.meta == {"n": 17}
+            np.testing.assert_array_equal(attached.array("a"), arrays["a"])
+            attached.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+
+class TestParasiticsColumns:
+    def test_round_trip_is_bit_exact(self, parasitics):
+        meta, arrays = parasitics_columns(parasitics)
+        block = SharedColumnBlock.create(meta, arrays)
+        try:
+            rebuilt = parasitics_from_block(block)
+            assert rebuilt.system == parasitics.system
+            assert (
+                rebuilt.inductance.tobytes()
+                == parasitics.inductance.tobytes()
+            )
+            assert (
+                rebuilt.resistance.tobytes()
+                == parasitics.resistance.tobytes()
+            )
+            assert (
+                rebuilt.ground_capacitance.tobytes()
+                == parasitics.ground_capacitance.tobytes()
+            )
+            assert (
+                rebuilt.coupling_capacitance
+                == parasitics.coupling_capacitance
+            )
+            for axis, (indices, matrix) in parasitics.inductance_blocks.items():
+                rebuilt_indices, rebuilt_matrix = rebuilt.inductance_blocks[
+                    axis
+                ]
+                assert list(rebuilt_indices) == list(indices)
+                assert rebuilt_matrix.tobytes() == matrix.tobytes()
+        finally:
+            block.close()
+            block.unlink()
+
+
+class TestSharedParasiticsStore:
+    def test_put_get_and_stats(self, parasitics):
+        store = SharedParasiticsStore()
+        try:
+            assert store.segment_name("k1") is None
+            assert store.stats.misses == 1
+            name = store.put("k1", parasitics)
+            assert store.segment_name("k1") == name
+            assert store.stats.hits == 1
+            assert store.put("k1", parasitics) == name, "put is idempotent"
+            assert store.stats.blocks == 1
+            assert len(store) == 1
+            rebuilt = store.get("k1")
+            assert (
+                rebuilt.inductance.tobytes()
+                == parasitics.inductance.tobytes()
+            )
+        finally:
+            store.close()
+
+    def test_close_unlinks(self, parasitics):
+        store = SharedParasiticsStore()
+        name = store.put("k1", parasitics)
+        store.close()
+        with pytest.raises(FileNotFoundError):
+            SharedColumnBlock.attach(name)
+        with pytest.raises(RuntimeError):
+            store.put("k2", parasitics)
+
+    def test_worker_attachment_cache(self, parasitics):
+        store = SharedParasiticsStore()
+        try:
+            name = store.put("k1", parasitics)
+            first = attach_parasitics(name)
+            second = attach_parasitics(name)
+            # Same cached mapping backs both reconstructions.
+            assert np.shares_memory(first.inductance, second.inductance)
+            assert (
+                first.inductance.tobytes()
+                == parasitics.inductance.tobytes()
+            )
+        finally:
+            detach_all()
+            store.close()
+
+    def test_concurrent_first_attach_maps_once(self, parasitics):
+        # Thread-mode regression: a racy first touch of the attachment
+        # cache used to map the segment once per racer, and the losing
+        # mappings were garbage-collected (unmapped) under their
+        # callers' live views -- a segfault, not an exception.
+        store = SharedParasiticsStore()
+        results = []
+        try:
+            name = store.put("k1", parasitics)
+            barrier = threading.Barrier(8)
+
+            def racer():
+                barrier.wait()
+                results.append(attach_parasitics(name))
+
+            threads = [threading.Thread(target=racer) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            reference = results[0].inductance
+            for attached in results:
+                # Every racer reads through the one cached mapping,
+                # and every view stays readable after the race.
+                assert np.shares_memory(attached.inductance, reference)
+                assert np.isfinite(attached.inductance).all()
+        finally:
+            del reference, results
+            detach_all()
+            store.close()
+
+    def test_close_with_live_views_defers(self):
+        block = SharedColumnBlock.create(None, {"a": np.arange(8.0)})
+        view = block.array("a")
+        try:
+            # Live views pin the mapping: close() must not unmap it.
+            block.close()
+            assert view.sum() == 28.0
+        finally:
+            del view
+            block.close()
+            block.unlink()
+
+
+def _remote_sum(segment_name: str) -> float:
+    parasitics = attach_parasitics(segment_name)
+    try:
+        return float(parasitics.inductance.sum())
+    finally:
+        detach_all()
+
+
+class TestCrossProcess:
+    def test_worker_process_attaches_zero_copy(self, parasitics):
+        key = parasitics_key(
+            parasitics.system, COPPER_RESISTIVITY, 0.0, CapacitanceModel(), True
+        )
+        store = SharedParasiticsStore()
+        try:
+            name = store.put(key, parasitics)
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                remote = pool.submit(_remote_sum, name).result(timeout=60)
+            assert remote == float(parasitics.inductance.sum())
+        finally:
+            store.close()

@@ -188,6 +188,47 @@ class TestNoise:
         assert document["entries"][0]["size"] == 16
 
 
+class TestServiceCli:
+    def test_bench_service_suite_json(self, tmp_path, capsys):
+        target = tmp_path / "bench_service.json"
+        code = main(
+            [
+                "bench",
+                "--suite",
+                "service",
+                "--requests",
+                "8",
+                "--concurrency",
+                "4",
+                "--jobs",
+                "1",
+                "--json",
+                str(target),
+            ]
+        )
+        assert code == 0
+        document = json.loads(target.read_text())
+        by_variant = {
+            (entry["kernel"], entry["variant"]): entry
+            for entry in document["entries"]
+        }
+        load = by_variant[("service_mixed_load", "p99")]
+        equiv = by_variant[("service_oneshot_equiv", "direct")]
+        assert load["size"] == 8
+        # The load digest must equal the one-shot digest -- the suite
+        # itself enforces service/CLI equivalence before returning.
+        assert load["checksum"] == equiv["checksum"]
+
+    def test_serve_parser_accepts_options(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--jobs", "2", "--port", "7000", "--job-timeout", "10"]
+        )
+        assert args.jobs == 2 and args.port == 7000
+        assert args.job_timeout == 10.0
+
+
 class TestAudit:
     def test_full_vpec_passes(self, capsys):
         assert main(["audit", "--bus", "4", "--model", "full"]) == 0
