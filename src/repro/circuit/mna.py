@@ -303,6 +303,49 @@ class MnaSystem:
         values = self.stimulus_matrix(times, overrides)
         return np.asarray(self.source_incidence() @ values)
 
+    def rhs_transient_batch_multi(
+        self,
+        times: np.ndarray,
+        scenarios: Sequence[Mapping[str, Stimulus]],
+    ) -> np.ndarray:
+        """``(num_times, size, num_scenarios)`` source block, shared base.
+
+        Stimulus evaluation is a Python loop over ``num_sources x
+        num_times`` scalar calls -- by far the dominant per-scenario
+        cost when scenarios share most of their sources (a noise batch
+        overrides only each column's few aggressor drivers).  The base
+        trajectory is evaluated *once*; each scenario copies it and
+        re-evaluates only its overridden rows, which is bit-identical
+        to a full per-scenario evaluation because the same ``at`` calls
+        produce the replaced rows.
+
+        The time axis leads so that ``out[n]`` -- the ``(size,
+        num_scenarios)`` slice the integrator reads every step -- is
+        one contiguous block; with the time axis in the middle every
+        per-step read strides across the whole array and thrashes the
+        cache once the batch outgrows it.
+        """
+        times = np.asarray(times, dtype=float)
+        base = self.stimulus_matrix(times)
+        incidence = self.source_incidence()
+        out = np.empty((len(times), self.size, len(scenarios)))
+        for k, overrides in enumerate(scenarios):
+            if overrides:
+                values = base.copy()
+                for name, stim in overrides.items():
+                    try:
+                        row = self.source_index[name]
+                    except KeyError:
+                        raise KeyError(
+                            f"{name!r} is not an independent source of "
+                            "this circuit"
+                        ) from None
+                    values[row] = [stim.at(float(t)) for t in times]
+                out[:, :, k] = (incidence @ values).T
+            else:
+                out[:, :, k] = (incidence @ base).T
+        return out
+
     def rhs_dc(self) -> np.ndarray:
         """Source vector at the DC operating point (t = 0 values)."""
         return self.rhs_transient(0.0)

@@ -212,18 +212,14 @@ def transient_analysis_multi(
     times = np.arange(steps + 1) * dt
     count = len(scenarios)
 
-    # (size, steps + 1, count): every scenario's full source trajectory,
-    # one incidence product per scenario.
-    b_all = np.stack(
-        [
-            system.rhs_transient_batch(times, overrides=overrides)
-            for overrides in scenarios
-        ],
-        axis=-1,
-    )
+    # (steps + 1, size, count): every scenario's full source trajectory,
+    # time axis leading so each step reads one contiguous block.  The
+    # base stimulus matrix is evaluated once and shared; each scenario
+    # re-evaluates only its overridden sources.
+    b_all = system.rhs_transient_batch_multi(times, scenarios)
     add_counter("rhs_batched_steps", (steps + 1) * count)
 
-    x = solve_dc(system, rhs=b_all[:, 0, :])
+    x = solve_dc(system, rhs=b_all[0])
     volt = np.empty((count, len(nodes), steps + 1))
     curr = np.empty((count, len(branches), steps + 1))
     with stage("solve"):
@@ -231,9 +227,9 @@ def transient_analysis_multi(
         _record_block(volt, curr, 0, x, node_rows, branch_rows)
         for n in range(1, steps + 1):
             if method == "trapezoidal":
-                rhs = history @ x + b_all[:, n - 1, :] + b_all[:, n, :]
+                rhs = history @ x + b_all[n - 1] + b_all[n]
             else:
-                rhs = history @ x + b_all[:, n, :]
+                rhs = history @ x + b_all[n]
             x = lhs.solve(rhs)
             _record_block(volt, curr, n, x, node_rows, branch_rows)
         add_counter("transient_steps", steps * count)

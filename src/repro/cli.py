@@ -9,15 +9,18 @@ Five commands cover the everyday flows without writing Python:
   model and print the noise report;
 - ``noise``     -- tiered static noise scan under timing windows: screen
   every victim with closed-form bounds, simulate only the screened-in
-  ones, print per-victim peaks / margins / noise windows;
+  ones, print per-victim peaks / margins / noise windows; its
+  ``sweep`` subcommand runs a whole design-space scenario family as
+  one batched job, and ``calibrate`` re-fits and conservatism-checks
+  the screening envelope per topology family;
 - ``audit``     -- passivity audit (Theorems 1-2 / Lemma 1) of a VPEC
   model's effective-resistance networks;
 - ``cache``     -- inspect or clear the on-disk pipeline cache;
 - ``serve``     -- run the long-running analysis service (async jobs
   over a shared-memory model cache; see ``docs/service.md``);
 - ``bench``     -- run a benchmark suite (``kernels``, ``sim``,
-  ``noise`` or ``service``) and check it against its committed
-  trajectory file.
+  ``noise``, ``service`` or ``noise_sweep``) and check it against its
+  committed trajectory file.
 
 Geometry is selected with ``--bus N`` (aligned), ``--nonaligned-bus N``
 or ``--spiral TURNS``; models with ``--model`` plus its parameter
@@ -57,8 +60,10 @@ from repro.vpec.flow import full_vpec, localized_vpec, truncated_vpec, windowed_
 from repro.vpec.passivity import audit_network
 
 
-def _add_geometry_arguments(parser: argparse.ArgumentParser) -> None:
-    group = parser.add_mutually_exclusive_group(required=True)
+def _add_geometry_arguments(
+    parser: argparse.ArgumentParser, required: bool = True
+) -> None:
+    group = parser.add_mutually_exclusive_group(required=required)
     group.add_argument("--bus", type=int, metavar="BITS", help="aligned parallel bus")
     group.add_argument(
         "--nonaligned-bus", type=int, metavar="BITS", help="spacing-jittered bus"
@@ -211,6 +216,15 @@ def _cmd_noise(args: argparse.Namespace) -> int:
 
     from repro.noise.engine import NoiseConfig, run_noise_scan
 
+    # The geometry group is optional at parse time so the ``sweep`` and
+    # ``calibrate`` subcommands can omit it; a plain scan still needs it.
+    if args.bus is None and args.nonaligned_bus is None and args.spiral is None:
+        print(
+            "error: repro noise needs a geometry "
+            "(--bus, --nonaligned-bus or --spiral)",
+            file=sys.stderr,
+        )
+        return 2
     cache = _cache(args)
     parasitics = cached_extract(_geometry(args), cache=cache)
     config = NoiseConfig(
@@ -256,6 +270,99 @@ def _cmd_noise(args: argparse.Namespace) -> int:
         return 1
     print(f"PASS: all victims below {args.limit * 100:.0f}% of VDD")
     return 0
+
+
+def _cmd_noise_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.noise.engine import NoiseConfig
+    from repro.noise.sweep import SweepGrid, run_sweep
+
+    grid = SweepGrid(
+        topologies=tuple(args.topologies),
+        widths=tuple(args.widths),
+        wire_widths=tuple(w * 1e-6 for w in args.wire_widths),
+        spacings=tuple(s * 1e-6 for s in args.spacings),
+        drivers=tuple(args.drivers),
+        densities=tuple(args.densities),
+        segments=tuple(args.grid_segments),
+        model=_model_spec(args),
+        base=NoiseConfig(
+            vdd=args.vdd,
+            rise_time=args.rise * 1e-12,
+            threshold_fraction=args.limit,
+            period=args.period * 1e-12,
+            switch_width=args.switch_width * 1e-12,
+            schedule_seed=args.schedule_seed,
+            dt=args.dt * 1e-12,
+        ),
+    )
+    report = run_sweep(grid, parallel=args.jobs, cache=_cache(args))
+    print(
+        f"sweep: {report.num_scenarios} scenarios "
+        f"({len(grid.topologies)} topologies x {len(grid.widths)} widths "
+        f"x {len(grid.wire_widths)} wire widths x {len(grid.spacings)} "
+        f"spacings x {len(grid.drivers)} drivers x {len(grid.densities)} "
+        f"densities x {len(grid.segments)} segment counts)"
+    )
+    print(report.to_table())
+    if args.json:
+        with open(args.json, "w", encoding="ascii") as handle:
+            json.dump(report.to_json_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"sweep report -> {args.json}")
+    failing = report.failing_scenarios()
+    if failing:
+        labels = ", ".join(r.scenario.label for r in failing)
+        print(f"FAIL: scenarios with failing victims: {labels}")
+        return 1
+    print("PASS: no failing victims across the family")
+    return 0
+
+
+def _cmd_noise_calibrate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.noise.calibration import CalibrationError, calibrate_family
+
+    results = []
+    code = 0
+    for family in args.families:
+        try:
+            result = calibrate_family(
+                family, size=args.size, cache=_cache(args)
+            )
+        except CalibrationError as error:
+            print(f"FAIL: {error}", file=sys.stderr)
+            code = 1
+            continue
+        results.append(result)
+        print(
+            f"{family}: envelope reach {result.envelope.reach}, "
+            f"min margin {result.min_margin:.3f}x over "
+            f"{result.num_checked_pairs} held-out pairs "
+            f"(fit aggressors {list(result.fit_aggressors)}, "
+            f"check {list(result.check_aggressors)})"
+        )
+    if args.json and results:
+        document = {
+            "size": args.size,
+            "families": {
+                r.family: {
+                    "envelope": r.envelope.to_dict(),
+                    "min_margin": r.min_margin,
+                    "num_checked_pairs": r.num_checked_pairs,
+                }
+                for r in results
+            },
+        }
+        with open(args.json, "w", encoding="ascii") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"envelopes -> {args.json}")
+    if code == 0:
+        print("PASS: all calibrated envelopes are conservative")
+    return code
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -399,7 +506,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_noise = commands.add_parser(
         "noise", help="tiered static noise scan under timing windows"
     )
-    _add_geometry_arguments(p_noise)
+    # Optional so the sweep / calibrate subcommands can omit it; a plain
+    # scan without one exits 2 with a pointed message.
+    _add_geometry_arguments(p_noise, required=False)
     _add_model_arguments(p_noise)
     _add_pipeline_arguments(p_noise)
     p_noise.add_argument("--vdd", type=float, default=1.0, help="volts (default 1)")
@@ -439,6 +548,134 @@ def build_parser() -> argparse.ArgumentParser:
     )
     # The windowed-VPEC flavor the acceptance experiments run on.
     p_noise.set_defaults(func=_cmd_noise, model="gw", window=8)
+
+    from repro.noise.calibration import CALIBRATION_FAMILIES
+    from repro.noise.sweep import SWEEP_TOPOLOGIES
+
+    noise_sub = p_noise.add_subparsers(
+        dest="noise_command", metavar="{sweep,calibrate}"
+    )
+
+    p_sweep = noise_sub.add_parser(
+        "sweep",
+        help="run a design-space scenario family as one batched job",
+    )
+    p_sweep.add_argument(
+        "--topologies",
+        nargs="+",
+        choices=list(SWEEP_TOPOLOGIES),
+        default=["bus"],
+        help="topology families to sweep (default: bus)",
+    )
+    p_sweep.add_argument(
+        "--widths",
+        nargs="+",
+        type=int,
+        default=[8],
+        metavar="BITS",
+        help="bus widths / crossbar wires per layer (default: 8)",
+    )
+    p_sweep.add_argument(
+        "--wire-widths",
+        nargs="+",
+        type=float,
+        default=[1.0],
+        metavar="UM",
+        help="wire widths in micrometres (default: 1.0)",
+    )
+    p_sweep.add_argument(
+        "--spacings",
+        nargs="+",
+        type=float,
+        default=[2.0],
+        metavar="UM",
+        help="wire spacings in micrometres (default: 2.0)",
+    )
+    p_sweep.add_argument(
+        "--drivers",
+        nargs="+",
+        type=float,
+        default=[50.0],
+        metavar="OHM",
+        help="driver resistances (default: 50)",
+    )
+    p_sweep.add_argument(
+        "--densities",
+        nargs="+",
+        type=float,
+        default=[1.0],
+        help="switching-schedule density multipliers (default: 1.0)",
+    )
+    p_sweep.add_argument(
+        "--grid-segments",
+        nargs="+",
+        type=int,
+        default=[1],
+        metavar="N",
+        help="filament segments per line (extraction fidelity, default 1)",
+    )
+    _add_model_arguments(p_sweep)
+    _add_pipeline_arguments(p_sweep)
+    p_sweep.add_argument("--vdd", type=float, default=1.0, help="volts (default 1)")
+    p_sweep.add_argument(
+        "--rise", type=float, default=10.0, help="aggressor rise time, ps"
+    )
+    p_sweep.add_argument(
+        "--limit",
+        type=float,
+        default=0.25,
+        help="failure threshold as a fraction of VDD (default 0.25)",
+    )
+    p_sweep.add_argument(
+        "--period", type=float, default=3000.0, help="clock period, ps"
+    )
+    p_sweep.add_argument(
+        "--switch-width",
+        type=float,
+        default=10.0,
+        help="width of each net's launch window, ps",
+    )
+    p_sweep.add_argument(
+        "--schedule-seed",
+        type=int,
+        default=2003,
+        help="seed of the scattered switching schedule",
+    )
+    p_sweep.add_argument("--dt", type=float, default=1.0, help="time step, ps")
+    p_sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the scenario fan-out (default: serial)",
+    )
+    p_sweep.add_argument(
+        "--json", metavar="FILE", help="also write the sweep report as JSON"
+    )
+    p_sweep.set_defaults(func=_cmd_noise_sweep, model="gw", window=8)
+
+    p_calibrate = noise_sub.add_parser(
+        "calibrate",
+        help="re-fit and conservatism-check the screening envelope",
+    )
+    p_calibrate.add_argument(
+        "--families",
+        nargs="+",
+        choices=list(CALIBRATION_FAMILIES),
+        default=list(CALIBRATION_FAMILIES),
+        help="topology families to calibrate (default: all)",
+    )
+    p_calibrate.add_argument(
+        "--size",
+        type=int,
+        default=16,
+        help="bus bits / crossbar wires per layer of the fit workload "
+        "(default 16)",
+    )
+    _add_pipeline_arguments(p_calibrate)
+    p_calibrate.add_argument(
+        "--json", metavar="FILE", help="also write the fitted envelopes as JSON"
+    )
+    p_calibrate.set_defaults(func=_cmd_noise_calibrate)
 
     p_audit = commands.add_parser("audit", help="passivity audit of a VPEC model")
     _add_geometry_arguments(p_audit)
@@ -527,13 +764,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--suite",
-        choices=["kernels", "sim", "noise", "service"],
+        choices=["kernels", "sim", "noise", "service", "noise_sweep"],
         default="kernels",
         help="which suite: 'kernels' (extraction/windowing micro-kernels, "
         "BENCH_kernels.json), 'sim' (netlist/MNA/transient/AC backend, "
         "BENCH_sim.json), 'noise' (screening tier + tiered engine, "
-        "BENCH_noise.json) or 'service' (analysis-service load test, "
-        "BENCH_service.json)",
+        "BENCH_noise.json), 'service' (analysis-service load test, "
+        "BENCH_service.json) or 'noise_sweep' (batched sweep vs cold "
+        "per-scenario sign-offs, BENCH_noise_sweep.json)",
     )
     p_bench.add_argument(
         "--check",
@@ -613,6 +851,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="service suite: worker processes (default: CPU count)",
     )
+    p_bench.add_argument(
+        "--sweep-segments",
+        type=int,
+        default=20,
+        help="noise_sweep suite: filament segments per line -- scales "
+        "the per-scenario model-build cost cubically (default 20)",
+    )
+    p_bench.add_argument(
+        "--sweep-densities",
+        type=int,
+        default=24,
+        help="noise_sweep suite: scenarios in the density sweep "
+        "(default 24)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
     return parser
 
@@ -636,6 +888,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             requests=args.requests,
             concurrency=args.concurrency,
             jobs=args.jobs,
+        )
+    elif args.suite == "noise_sweep":
+        from repro.bench.sweep import run_sweep_suite
+
+        if args.trajectory is None:
+            args.trajectory = "BENCH_noise_sweep.json"
+        results = run_sweep_suite(
+            segments=args.sweep_segments,
+            num_densities=args.sweep_densities,
+            repeats=args.repeats,
         )
     elif args.suite == "noise":
         from repro.bench.noise import run_noise_suite

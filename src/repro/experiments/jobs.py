@@ -18,7 +18,16 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.circuit.sources import Stimulus, ac_unit, dc, pulse, step
 from repro.circuit.waveform import Waveform
@@ -31,6 +40,7 @@ from repro.experiments.runner import (
     run_two_port_transient,
 )
 from repro.geometry.bus import aligned_bus, nonaligned_bus
+from repro.geometry.crossbar import crossbar
 from repro.geometry.spiral import square_spiral
 from repro.geometry.system import FilamentSystem
 from repro.pipeline.cache import PipelineCache, cached_extract
@@ -41,6 +51,7 @@ _GEOMETRY_BUILDERS = {
     "aligned_bus": aligned_bus,
     "nonaligned_bus": nonaligned_bus,
     "spiral": square_spiral,
+    "crossbar": crossbar,
 }
 
 _STIMULUS_BUILDERS = {
@@ -215,6 +226,36 @@ def execute_job(
     )
 
 
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+
+def fan_out(
+    worker: Callable[[_Item], _Result],
+    items: Sequence[_Item],
+    parallel: Optional[int] = None,
+) -> List[_Result]:
+    """Fan any picklable work list out over the pipeline process pool.
+
+    The generic core of :func:`run_jobs`: ``worker`` runs once per item
+    (``parallel=1`` stays serial in-process, ``None`` uses the CPU
+    count), results come back in item order regardless of completion
+    order, and any :class:`~repro.pipeline.profiling.StageProfile` a
+    result carries as a ``profile`` attribute merges into the caller's
+    active profile.  Other subsystems (e.g. the noise sweep) define
+    their own job dataclasses and reuse this fan-out instead of
+    reimplementing pool plumbing.
+    """
+    results = parallel_map(worker, list(items), jobs=parallel)
+    parent = active_profile()
+    if parent is not None:
+        for result in results:
+            child = getattr(result, "profile", None)
+            if child is not None:
+                parent.merge(child)
+    return results
+
+
 def run_jobs(
     jobs: Iterable[SimJob],
     parallel: Optional[int] = None,
@@ -234,11 +275,5 @@ def run_jobs(
         Shared on-disk cache for extraction / model building (workers
         reopen it by path), or ``None`` to rebuild everything.
     """
-    job_list = list(jobs)
     worker = functools.partial(execute_job, cache=cache)
-    results = parallel_map(worker, job_list, jobs=parallel)
-    parent = active_profile()
-    if parent is not None:
-        for result in results:
-            parent.merge(result.profile)
-    return results
+    return fan_out(worker, list(jobs), parallel=parallel)

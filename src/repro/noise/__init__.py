@@ -9,8 +9,14 @@ of the extraction / VPEC / simulation stack:
   noise-area estimators over all victim/aggressor pairs at once;
 - :mod:`repro.noise.worst_case` -- worst-case aggressor alignment within
   the feasible overlap region, per-victim noise windows and margins;
+- :mod:`repro.noise.receiver` -- nonlinear receiver (holding-strength)
+  models replacing the fixed quarter-supply failure criterion;
 - :mod:`repro.noise.engine` -- the tiered screen-then-simulate flow
-  producing a :class:`~repro.noise.engine.NoiseScanReport`.
+  producing a :class:`~repro.noise.engine.NoiseScanReport`;
+- :mod:`repro.noise.calibration` -- automated per-family refitting of
+  the inductive screening envelope, with a loud conservatism check;
+- :mod:`repro.noise.sweep` -- design-space scenario families run as one
+  batched job with distribution-level reporting.
 """
 
 from repro.noise.windows import (
@@ -20,7 +26,14 @@ from repro.noise.windows import (
     staggered_schedule,
     switching_windows,
 )
-from repro.noise.screening import ScreenConfig, ScreenEstimates, screen_pairs
+from repro.noise.screening import (
+    CalibrationRangeWarning,
+    KappaEnvelope,
+    ScreenConfig,
+    ScreenEstimates,
+    screen_pairs,
+)
+from repro.noise.receiver import ReceiverModel, resolve_threshold
 from repro.noise.worst_case import Alignment, worst_case_alignment
 from repro.noise.engine import (
     NoiseConfig,
@@ -28,20 +41,46 @@ from repro.noise.engine import (
     VictimScanResult,
     run_noise_scan,
 )
+from repro.noise.calibration import (
+    CalibrationError,
+    CalibrationResult,
+    calibrate_family,
+)
+from repro.noise.sweep import (
+    Scenario,
+    ScenarioResult,
+    SweepGrid,
+    SweepReport,
+    run_sweep,
+    sweep_report_checksum,
+)
 
 __all__ = [
     "Alignment",
+    "CalibrationError",
+    "CalibrationRangeWarning",
+    "CalibrationResult",
+    "KappaEnvelope",
     "NoiseConfig",
     "NoiseScanReport",
+    "ReceiverModel",
+    "Scenario",
+    "ScenarioResult",
     "ScreenConfig",
     "ScreenEstimates",
+    "SweepGrid",
+    "SweepReport",
     "VictimScanResult",
     "Window",
     "WindowSet",
+    "calibrate_family",
+    "resolve_threshold",
     "run_noise_scan",
+    "run_sweep",
     "screen_pairs",
     "sensitive_windows",
     "staggered_schedule",
     "switching_windows",
+    "sweep_report_checksum",
     "worst_case_alignment",
 ]

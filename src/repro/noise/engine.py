@@ -40,8 +40,10 @@ from repro.experiments.runner import ModelSpec, build_model, gw_spec
 from repro.extraction.parasitics import Parasitics
 from repro.health import FallbackPolicy
 from repro.analysis.timing import arrival_times
+from repro.noise.receiver import ReceiverModel
 from repro.noise.screening import (
     REFERENCE_RISE_TIME,
+    KappaEnvelope,
     ScreenConfig,
     screen_pairs,
 )
@@ -89,6 +91,14 @@ class NoiseConfig:
     #: Screening-tier calibration knobs (see :class:`ScreenConfig`).
     headroom: float = 1.2
     safety: float = 1.1
+    #: Nonlinear receiver model.  When set, its effective input
+    #: threshold replaces ``threshold_fraction * vdd`` in every tier
+    #: (see :mod:`repro.noise.receiver`).
+    receiver: Optional[ReceiverModel] = None
+    #: Inductive screening envelope override.  When set it replaces the
+    #: built-in two-table calibration (see
+    #: :func:`repro.noise.calibration.calibrate_family`).
+    envelope: Optional[KappaEnvelope] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.threshold_fraction < 1.0:
@@ -98,7 +108,15 @@ class NoiseConfig:
 
     @property
     def threshold(self) -> float:
-        """Absolute failure threshold, volts."""
+        """Absolute failure threshold, volts.
+
+        The receiver model, when present, folds its VTC and output
+        criterion into an effective input threshold; otherwise the
+        fixed-fraction criterion applies.  Every tier resolves its
+        threshold through this one property.
+        """
+        if self.receiver is not None:
+            return self.receiver.input_threshold(self.vdd)
         return self.threshold_fraction * self.vdd
 
     @property
@@ -110,6 +128,7 @@ class NoiseConfig:
             load_capacitance=self.load_capacitance,
             headroom=self.headroom,
             safety=self.safety,
+            envelope=self.envelope,
         )
 
 

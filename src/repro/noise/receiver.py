@@ -1,0 +1,196 @@
+"""Nonlinear receiver (holding-strength) models for noise sign-off.
+
+The quarter-supply criterion -- "noise above ``0.25 * Vdd`` at the
+victim sink fails" -- treats the receiving gate as a comparator with a
+fixed trip point.  Real receivers *attenuate* sub-threshold noise: a
+static CMOS gate's voltage transfer characteristic (VTC) has low gain
+around the rails, so a noise pulse must climb well into the transition
+region before a damaging fraction propagates to the receiver output.
+Forzan & Pandini (arXiv:0710.4639) survey exactly this gap between
+threshold-based and receiver-aware static noise analysis.
+
+:class:`ReceiverModel` captures the receiver as a piecewise-linear VTC
+table of normalized ``(v_in, v_out)`` points plus an *output* failure
+criterion: a noise event fails when the noise propagated through the
+VTC meets ``output_fraction * vdd`` at the receiver output.  Because
+the VTC is monotone non-decreasing, the worst input maps to the worst
+output, so the whole criterion folds into a single *effective input
+threshold* -- the smallest input amplitude whose VTC image meets the
+output criterion (:meth:`ReceiverModel.input_threshold`).  That scalar
+threads through the screen, escalation, and verify tiers unchanged:
+every tier keeps comparing peaks against one volts-level threshold,
+only its value now comes from the receiver instead of a bare fraction.
+
+The *degenerate* table -- the identity VTC, a receiver with unity gain
+everywhere -- reproduces the fixed-fraction criterion exactly:
+``input_threshold == output_fraction * vdd`` bit-for-bit (the
+interpolation multiplies by ``1.0``), so scans with
+:meth:`ReceiverModel.quarter_supply` are bit-identical to scans with
+the legacy ``threshold_fraction`` path.  The property suite pins this
+equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple, Union
+
+import numpy as np
+
+#: The identity VTC: unity gain everywhere (no attenuation, no
+#: amplification) -- the degenerate table reproducing the fixed
+#: fractional threshold.
+IDENTITY_VTC: Tuple[Tuple[float, float], ...] = ((0.0, 0.0), (1.0, 1.0))
+
+
+@dataclass(frozen=True)
+class ReceiverModel:
+    """A piecewise-linear receiver VTC plus an output failure criterion.
+
+    ``vtc`` is a tuple of ``(v_in, v_out)`` points normalized to the
+    supply, with strictly increasing inputs spanning ``0.0 .. 1.0`` and
+    non-decreasing outputs starting at ``0.0``.  Between points the
+    characteristic interpolates linearly; the table is evaluated on the
+    *noise* excursion (both polarities -- static noise margins of the
+    high and low state are taken symmetric, as the engine's magnitude
+    metrics already are).
+
+    ``output_fraction`` is the failure criterion at the receiver
+    *output*: propagated noise of at least ``output_fraction * vdd``
+    counts as a failure.
+    """
+
+    vtc: Tuple[Tuple[float, float], ...] = IDENTITY_VTC
+    output_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if len(self.vtc) < 2:
+            raise ValueError("a VTC needs at least two points")
+        x = [float(p[0]) for p in self.vtc]
+        y = [float(p[1]) for p in self.vtc]
+        if x[0] != 0.0 or y[0] != 0.0:
+            raise ValueError("the VTC must start at (0, 0)")
+        if x[-1] != 1.0:
+            raise ValueError("the VTC must span inputs up to 1.0")
+        if any(b <= a for a, b in zip(x, x[1:])):
+            raise ValueError("VTC inputs must be strictly increasing")
+        if any(b < a for a, b in zip(y, y[1:])):
+            raise ValueError("VTC outputs must be non-decreasing")
+        if not 0.0 < self.output_fraction < 1.0:
+            raise ValueError("output_fraction must be in (0, 1)")
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def transfer(
+        self, noise: Union[float, np.ndarray], vdd: float
+    ) -> Union[float, np.ndarray]:
+        """Noise propagated to the receiver output, volts.
+
+        Inputs beyond the supply clamp to the last table point (the
+        engine never produces peaks above ``vdd`` on a passive model).
+        """
+        x = np.array([p[0] for p in self.vtc])
+        y = np.array([p[1] for p in self.vtc])
+        out = np.interp(np.asarray(noise, dtype=float) / vdd, x, y) * vdd
+        if np.isscalar(noise):
+            return float(out)
+        return out
+
+    def input_threshold(self, vdd: float) -> float:
+        """Smallest input amplitude whose output meets the criterion.
+
+        Piecewise-linear inversion of the VTC at
+        ``output_fraction``; on a flat segment sitting exactly at the
+        criterion the *left* endpoint is returned (the conservative
+        choice).  A table whose output never reaches the criterion
+        returns ``vdd``: no sub-supply noise can fail such a receiver.
+        """
+        target = self.output_fraction
+        points = self.vtc
+        if points[0][1] >= target:
+            return 0.0
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            if y1 >= target:
+                if y1 == y0:
+                    return x0 * vdd
+                return (x0 + (target - y0) * (x1 - x0) / (y1 - y0)) * vdd
+        return vdd
+
+    # ------------------------------------------------------------------
+    # Canonical tables
+    # ------------------------------------------------------------------
+    @classmethod
+    def quarter_supply(cls, fraction: float = 0.25) -> "ReceiverModel":
+        """The degenerate model: identity VTC, fixed-fraction criterion.
+
+        ``input_threshold(vdd)`` equals ``fraction * vdd`` exactly (the
+        identity segment interpolates with unit slope), so scans using
+        this model are bit-identical to the legacy
+        ``threshold_fraction`` path.
+        """
+        return cls(vtc=IDENTITY_VTC, output_fraction=fraction)
+
+    @classmethod
+    def restoring_inverter(
+        cls,
+        switch_fraction: float = 0.45,
+        rejection: float = 0.1,
+        output_fraction: float = 0.25,
+    ) -> "ReceiverModel":
+        """A saturating static-CMOS-like VTC.
+
+        Below ``switch_fraction * vdd`` the gate attenuates noise to
+        ``rejection`` of its amplitude (the low-gain region near the
+        rail); through the transition region it amplifies, reaching the
+        rail at ``min(2 * switch_fraction, 1) * vdd``.  The effective
+        input threshold of such a receiver sits *above* the bare
+        ``output_fraction`` -- threshold-based sign-off is pessimistic
+        against it, which is the Forzan-Pandini observation.
+        """
+        if not 0.0 < switch_fraction < 1.0:
+            raise ValueError("switch_fraction must be in (0, 1)")
+        if not 0.0 <= rejection < 1.0:
+            raise ValueError("rejection must be in [0, 1)")
+        knee = (switch_fraction, switch_fraction * rejection)
+        rail = min(2.0 * switch_fraction, 1.0)
+        points = [(0.0, 0.0), knee]
+        if rail < 1.0:
+            points.extend([(rail, 1.0), (1.0, 1.0)])
+        else:
+            points.append((1.0, 1.0))
+        return cls(vtc=tuple(points), output_fraction=output_fraction)
+
+    # ------------------------------------------------------------------
+    # Serialization (for the service's JSON protocol)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "vtc": [[float(x), float(y)] for x, y in self.vtc],
+            "output_fraction": self.output_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ReceiverModel":
+        return cls(
+            vtc=tuple(
+                (float(p[0]), float(p[1])) for p in payload["vtc"]
+            ),
+            output_fraction=float(payload.get("output_fraction", 0.25)),
+        )
+
+
+def resolve_threshold(
+    threshold: float,
+    receiver: "ReceiverModel | None",
+    vdd: float,
+) -> float:
+    """The effective failure threshold of one tier.
+
+    The receiver model, when present, overrides the scalar: every tier
+    resolves its threshold through this one hook, so screen,
+    escalation, and verify always agree on the criterion.
+    """
+    if receiver is not None:
+        return receiver.input_threshold(vdd)
+    return threshold

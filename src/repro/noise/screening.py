@@ -47,8 +47,9 @@ delay), the width of the triangular pulse the bound describes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -111,6 +112,79 @@ EDGE_REACH = 16
 EDGE_BOOST = 0.7
 
 
+class CalibrationRangeWarning(UserWarning):
+    """The screened geometry falls outside the envelope's calibrated range.
+
+    Raised (as a warning, the estimate still evaluates) when wire index
+    distances exceed the kappa tables, so the envelope *extrapolates*
+    by clamping to the last table entry.  The clamp is usually benign
+    -- far tables decay monotonically -- but it is an extrapolation,
+    and silent extrapolation is how calibrated screens rot.  The
+    ``noise_kappa_out_of_range`` profiling counter records how many
+    ordered pairs were clamped.
+    """
+
+
+@dataclass(frozen=True)
+class KappaEnvelope:
+    """One family's two-table inductive screening envelope.
+
+    ``edge`` and ``center`` are the normalized-peak tables indexed by
+    wire distance ``d - 1`` (see the module docstring); ``edge_reach``
+    and ``edge_boost`` the blend/boost knobs measured with them.
+    ``family`` labels the topology family the tables were calibrated
+    on.  The module-level :data:`DEFAULT_ENVELOPE` carries the
+    committed aligned-bus tables; :mod:`repro.noise.calibration` re-fits
+    envelopes for other families from sampled exact solves.
+    """
+
+    edge: Tuple[float, ...]
+    center: Tuple[float, ...]
+    edge_reach: int = EDGE_REACH
+    edge_boost: float = EDGE_BOOST
+    family: str = "bus"
+
+    def __post_init__(self) -> None:
+        if len(self.edge) == 0 or len(self.edge) != len(self.center):
+            raise ValueError(
+                "edge and center tables must be non-empty and equally long"
+            )
+        if min(self.edge) <= 0 or min(self.center) <= 0:
+            raise ValueError("kappa table entries must be positive")
+        if self.edge_reach < 1:
+            raise ValueError("edge_reach must be >= 1")
+        if self.edge_boost < 0:
+            raise ValueError("edge_boost must be >= 0")
+
+    @property
+    def reach(self) -> int:
+        """Largest calibrated wire distance."""
+        return len(self.edge)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "edge": list(self.edge),
+            "center": list(self.center),
+            "edge_reach": self.edge_reach,
+            "edge_boost": self.edge_boost,
+            "family": self.family,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "KappaEnvelope":
+        return cls(
+            edge=tuple(float(v) for v in payload["edge"]),
+            center=tuple(float(v) for v in payload["center"]),
+            edge_reach=int(payload.get("edge_reach", EDGE_REACH)),
+            edge_boost=float(payload.get("edge_boost", EDGE_BOOST)),
+            family=str(payload.get("family", "bus")),
+        )
+
+
+#: The committed aligned-bus envelope (the measurements above).
+DEFAULT_ENVELOPE = KappaEnvelope(edge=EDGE_KAPPA, center=CENTER_KAPPA)
+
+
 @dataclass(frozen=True)
 class ScreenConfig:
     """Parameters of the closed-form screening tier."""
@@ -125,6 +199,10 @@ class ScreenConfig:
     safety: float = 1.1
     #: Include the inductive channel (disable for RC-only models).
     include_inductive: bool = True
+    #: Inductive envelope tables (``None``: the committed aligned-bus
+    #: :data:`DEFAULT_ENVELOPE`).  Recalibrated per-family envelopes
+    #: from :mod:`repro.noise.calibration` plug in here.
+    envelope: Optional[KappaEnvelope] = None
 
     def __post_init__(self) -> None:
         if self.vdd <= 0 or self.rise_time <= 0:
@@ -211,21 +289,44 @@ def screen_pairs(
         rc_peak = slope * coupling * r_victim[:, None]
 
         if config.include_inductive:
+            envelope = (
+                config.envelope
+                if config.envelope is not None
+                else DEFAULT_ENVELOPE
+            )
             k = inductive_coupling_coefficients(wire_inductance(parasitics))
             index = np.arange(num_wires)
             distance = np.abs(index[:, None] - index[None, :])
             distance[distance == 0] = 1  # diagonal masked by k's zero diagonal
-            clamped = np.minimum(distance, len(EDGE_KAPPA)) - 1
-            edge_kappa = np.asarray(EDGE_KAPPA)[clamped]
-            center_kappa = np.asarray(CENTER_KAPPA)[clamped]
+            out_of_range = int(np.count_nonzero(distance > envelope.reach))
+            if out_of_range:
+                # The clamp below extrapolates beyond the calibrated
+                # tables: record it loudly instead of silently.
+                add_counter("noise_kappa_out_of_range", out_of_range)
+                warnings.warn(
+                    CalibrationRangeWarning(
+                        f"{out_of_range} wire pairs exceed the "
+                        f"{envelope.family!r} envelope's calibrated "
+                        f"distance range (max distance "
+                        f"{int(distance.max())} > table reach "
+                        f"{envelope.reach}); clamping to the last "
+                        "table entry"
+                    ),
+                    stacklevel=2,
+                )
+            clamped = np.minimum(distance, envelope.reach) - 1
+            edge_kappa = np.asarray(envelope.edge)[clamped]
+            center_kappa = np.asarray(envelope.center)[clamped]
             # Pair edge proximity: closest member's distance to a bus
-            # edge, blended over EDGE_REACH wires.
+            # edge, blended over the envelope's edge reach.
             to_edge = np.minimum(index, num_wires - 1 - index)
             pair_edge = np.minimum(to_edge[:, None], to_edge[None, :])
-            weight = np.clip(1.0 - pair_edge / EDGE_REACH, 0.0, 1.0)
+            weight = np.clip(1.0 - pair_edge / envelope.edge_reach, 0.0, 1.0)
             kappa = center_kappa + (edge_kappa - center_kappa) * weight
             span = distance / max(1, num_wires - 1)
-            boost = 1.0 + EDGE_BOOST * np.maximum(0.0, (span - 0.5) / 0.5)
+            boost = 1.0 + envelope.edge_boost * np.maximum(
+                0.0, (span - 0.5) / 0.5
+            )
             scale = config.headroom * max(
                 1.0, REFERENCE_RISE_TIME / config.rise_time
             )

@@ -19,10 +19,11 @@ peak of any real alignment is bounded by the sum of individual peaks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.noise.receiver import ReceiverModel, resolve_threshold
 from repro.noise.windows import Window, WindowSet
 
 
@@ -77,12 +78,18 @@ def worst_case_alignment(
     switching: Sequence[Window],
     sensitive: WindowSet,
     threshold: float,
+    receiver: Optional[ReceiverModel] = None,
+    vdd: float = 1.0,
 ) -> Alignment:
     """Endpoint-sweep worst-case selection for one victim.
 
     ``peak_row`` / ``area_row`` are the victim's rows of the screening
-    matrices (entry per wire, zero at the victim itself).
+    matrices (entry per wire, zero at the victim itself).  When a
+    ``receiver`` model is given it overrides the scalar ``threshold``
+    with its effective input threshold at ``vdd`` (see
+    :func:`repro.noise.receiver.resolve_threshold`).
     """
+    threshold = resolve_threshold(threshold, receiver, vdd)
     if sensitive.is_empty:
         return Alignment(
             victim, float("nan"), (), 0.0, 0.0, WindowSet(), ()
@@ -151,11 +158,14 @@ def align_all(
     switching: Sequence[Window],
     sensitive: Sequence[WindowSet],
     threshold: float,
+    receiver: Optional[ReceiverModel] = None,
+    vdd: float = 1.0,
 ) -> List[Alignment]:
     """Worst-case alignment for every victim of the model."""
     num_wires = peak.shape[0]
     if len(switching) != num_wires or len(sensitive) != num_wires:
         raise ValueError("windows must have one entry per wire")
+    threshold = resolve_threshold(threshold, receiver, vdd)
     return [
         worst_case_alignment(
             victim, peak[victim], area[victim], switching,

@@ -31,10 +31,13 @@ from repro.geometry.bus import aligned_bus, nonaligned_bus
 from repro.geometry.spiral import square_spiral
 from repro.geometry.system import FilamentSystem
 from repro.noise.engine import NoiseConfig
+from repro.noise.receiver import ReceiverModel
+from repro.noise.screening import KappaEnvelope
+from repro.noise.sweep import SweepGrid
 from repro.pipeline.hashing import stable_hash
 
 #: The analysis operations the service accepts.
-ANALYSIS_OPS = ("extract", "simulate", "noise")
+ANALYSIS_OPS = ("extract", "simulate", "noise", "sweep")
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -127,7 +130,61 @@ def noise_config_to_dict(config: NoiseConfig) -> Dict[str, Any]:
 
 def noise_config_from_dict(payload: Mapping[str, Any]) -> NoiseConfig:
     known = {f.name for f in dataclasses.fields(NoiseConfig)}
-    return NoiseConfig(**{k: v for k, v in payload.items() if k in known})
+    kwargs = {k: v for k, v in payload.items() if k in known}
+    # The nested receiver / envelope sections arrive as plain dicts
+    # after a JSON round trip; rebuild the frozen dataclasses.
+    receiver = kwargs.get("receiver")
+    if isinstance(receiver, Mapping):
+        kwargs["receiver"] = ReceiverModel(
+            vtc=tuple(
+                (float(p[0]), float(p[1])) for p in receiver["vtc"]
+            ),
+            output_fraction=float(receiver.get("output_fraction", 0.25)),
+        )
+    envelope = kwargs.get("envelope")
+    if isinstance(envelope, Mapping):
+        kwargs["envelope"] = KappaEnvelope(
+            edge=tuple(float(v) for v in envelope["edge"]),
+            center=tuple(float(v) for v in envelope["center"]),
+            edge_reach=int(envelope["edge_reach"]),
+            edge_boost=float(envelope["edge_boost"]),
+            family=str(envelope.get("family", "bus")),
+        )
+    return NoiseConfig(**kwargs)
+
+
+def sweep_grid_to_dict(grid: SweepGrid) -> Dict[str, Any]:
+    return {
+        "topologies": list(grid.topologies),
+        "widths": list(grid.widths),
+        "wire_widths": list(grid.wire_widths),
+        "spacings": list(grid.spacings),
+        "drivers": list(grid.drivers),
+        "densities": list(grid.densities),
+        "segments": list(grid.segments),
+        "base": noise_config_to_dict(grid.base),
+        "model": model_spec_to_dict(grid.model),
+    }
+
+
+def sweep_grid_from_dict(payload: Mapping[str, Any]) -> SweepGrid:
+    kwargs: Dict[str, Any] = {}
+    for axis, kind in (
+        ("topologies", str),
+        ("widths", int),
+        ("wire_widths", float),
+        ("spacings", float),
+        ("drivers", float),
+        ("densities", float),
+        ("segments", int),
+    ):
+        if axis in payload:
+            kwargs[axis] = tuple(kind(v) for v in payload[axis])
+    if "base" in payload:
+        kwargs["base"] = noise_config_from_dict(payload["base"])
+    if "model" in payload:
+        kwargs["model"] = model_spec_from_dict(payload["model"])
+    return SweepGrid(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -137,20 +194,37 @@ class JobRequest:
     ``model`` applies to ``simulate`` and ``noise``; ``sim`` only to
     ``simulate``; ``noise`` (the config) only to ``noise``.  Unused
     sections keep their defaults so the content key stays stable.
+
+    A ``sweep`` job carries its whole design-space grid in ``sweep``
+    and no ``geometry`` -- each scenario of the grid names its own;
+    every other op requires ``geometry`` and forbids ``sweep``.
     """
 
     op: str
-    geometry: GeometrySpec
+    geometry: Optional[GeometrySpec] = None
     model: ModelSpec = ModelSpec("gw", window=8)
     sim: SimParams = SimParams()
     noise: NoiseConfig = NoiseConfig()
     verify: bool = False
+    sweep: Optional[SweepGrid] = None
 
     def __post_init__(self) -> None:
         if self.op not in ANALYSIS_OPS:
             raise ValueError(
                 f"op must be one of {ANALYSIS_OPS}, got {self.op!r}"
             )
+        if self.op == "sweep":
+            if self.sweep is None:
+                raise ValueError("sweep jobs require a sweep grid")
+            if self.geometry is not None:
+                raise ValueError(
+                    "sweep jobs take geometry from the grid's scenarios"
+                )
+        else:
+            if self.geometry is None:
+                raise ValueError(f"{self.op} jobs require geometry")
+            if self.sweep is not None:
+                raise ValueError(f"{self.op} jobs do not take a sweep grid")
 
     def key(self) -> str:
         """Content hash identifying this request's result."""
@@ -162,24 +236,28 @@ class JobRequest:
             self.sim,
             self.noise,
             self.verify,
+            self.sweep,
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "op": self.op,
-            "geometry": self.geometry.to_dict(),
             "model": model_spec_to_dict(self.model),
             "sim": self.sim.to_dict(),
             "noise": noise_config_to_dict(self.noise),
             "verify": self.verify,
         }
+        if self.geometry is not None:
+            payload["geometry"] = self.geometry.to_dict()
+        if self.sweep is not None:
+            payload["sweep"] = sweep_grid_to_dict(self.sweep)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "JobRequest":
-        kwargs: Dict[str, Any] = {
-            "op": str(payload["op"]),
-            "geometry": GeometrySpec.from_dict(payload["geometry"]),
-        }
+        kwargs: Dict[str, Any] = {"op": str(payload["op"])}
+        if payload.get("geometry") is not None:
+            kwargs["geometry"] = GeometrySpec.from_dict(payload["geometry"])
         if "model" in payload:
             kwargs["model"] = model_spec_from_dict(payload["model"])
         if "sim" in payload:
@@ -188,6 +266,8 @@ class JobRequest:
             kwargs["noise"] = noise_config_from_dict(payload["noise"])
         if "verify" in payload:
             kwargs["verify"] = bool(payload["verify"])
+        if payload.get("sweep") is not None:
+            kwargs["sweep"] = sweep_grid_from_dict(payload["sweep"])
         return cls(**kwargs)
 
 

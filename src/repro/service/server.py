@@ -18,6 +18,12 @@ engine over a worker executor:
   (:func:`~repro.service.workers.shard_alignments`), every shard
   simulating against the same global horizon so the merged report is
   bit-identical to the one-shot scan.
+- **Sweep jobs** carry a whole design-space grid
+  (:class:`~repro.noise.sweep.SweepGrid`): scenarios screen in grid
+  order with one streamed progress event each, compatibility groups
+  batch-simulate through the sweep engine's multi-RHS path, and the
+  merged :class:`~repro.noise.sweep.SweepReport` payload is
+  checksum-identical to ``repro noise sweep``.
 - **Result memo**: finished results are memoized by request content
   key -- a repeated request is answered from memory with its original
   checksum.
@@ -47,6 +53,11 @@ from repro.extraction.capacitance import CapacitanceModel
 from repro.extraction.constants import COPPER_RESISTIVITY
 from repro.health.errors import NumericalHealthError
 from repro.noise.engine import assemble_report, escalation_horizon
+from repro.noise.sweep import (
+    SweepReport,
+    assemble_sweep_results,
+    group_unresolved,
+)
 from repro.pipeline.cache import parasitics_key
 from repro.pipeline.parallel import default_jobs
 from repro.service import workers as _workers
@@ -339,6 +350,7 @@ class AnalysisService:
 
     def _parasitics_key(self, request: JobRequest) -> str:
         """The disk-cache key of this geometry's default extraction."""
+        assert request.geometry is not None
         return parasitics_key(
             request.geometry.build(),
             COPPER_RESISTIVITY,
@@ -372,11 +384,94 @@ class AnalysisService:
             segment = self.shm.put(key, parasitics)
             return key, segment
 
+    async def _execute_sweep(self, record: JobRecord) -> Dict[str, Any]:
+        """Run a design-space sweep job with per-scenario progress.
+
+        Scenarios screen one executor item at a time, in grid order --
+        the per-scenario progress stream is deterministic, and the
+        cancel flag is honored at every scenario boundary (and again at
+        every simulation-group boundary).  Screening is cheap relative
+        to the batched group simulations, so serializing it costs
+        little; the groups themselves reuse the exact sweep internals
+        (:func:`~repro.noise.sweep.group_unresolved` /
+        :func:`~repro.noise.sweep.assemble_sweep_results`), keeping the
+        service's payload checksum-identical to the one-shot
+        :func:`~repro.service.workers.oneshot_result` path.
+        """
+        assert self._executor is not None
+        loop = asyncio.get_running_loop()
+        grid = record.request.sweep
+        assert grid is not None
+        start = time.perf_counter()
+        scenarios = grid.scenarios()
+        screened = []
+        for index, scenario in enumerate(scenarios):
+            record.check_cancelled()
+            await self._emit(
+                record,
+                {
+                    "event": "progress",
+                    "stage": "scenario",
+                    "index": index,
+                    "total": len(scenarios),
+                    "label": scenario.label,
+                },
+            )
+            screened.append(
+                await loop.run_in_executor(
+                    self._executor,
+                    _workers.sweep_screen_worker,
+                    scenario,
+                    grid.base,
+                    grid.model,
+                    self.config.cache_dir,
+                )
+            )
+        group_list = group_unresolved(screened)
+        group_results = []
+        for index, group in enumerate(group_list):
+            record.check_cancelled()
+            await self._emit(
+                record,
+                {
+                    "event": "progress",
+                    "stage": "simulate_group",
+                    "index": index,
+                    "total": len(group_list),
+                    "scenarios": [item.scenario.label for item in group],
+                },
+            )
+            group_results.append(
+                await loop.run_in_executor(
+                    self._executor,
+                    _workers.sweep_group_worker,
+                    group,
+                    grid.model,
+                    self.config.cache_dir,
+                )
+            )
+        record.check_cancelled()
+        results = assemble_sweep_results(
+            grid,
+            screened,
+            group_list,
+            group_results,
+            cache=_workers._disk_cache(self.config.cache_dir),
+        )
+        report = SweepReport(
+            grid=grid,
+            results=results,
+            seconds=time.perf_counter() - start,
+        )
+        return _workers.sweep_payload(report)
+
     async def _execute(self, record: JobRecord) -> Dict[str, Any]:
         assert self._executor is not None
         loop = asyncio.get_running_loop()
         request = record.request
         record.check_cancelled()
+        if request.op == "sweep":
+            return await self._execute_sweep(record)
         key, segment = await self._ensure_parasitics(record)
 
         if request.op == "extract":
@@ -480,7 +575,7 @@ class ServiceServer:
     """A TCP wrapper speaking one JSON object per line, both ways.
 
     Analysis requests (``op`` in ``extract`` / ``simulate`` /
-    ``noise``) are acknowledged with an ``accepted`` event carrying the
+    ``noise`` / ``sweep``) are acknowledged with an ``accepted`` event carrying the
     job id, then answered with the terminal event -- or, with
     ``"stream": true``, with every lifecycle event as it happens.
     Control ops: ``ping``, ``stats``, ``job`` (status), ``cancel``,

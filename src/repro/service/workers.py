@@ -41,6 +41,15 @@ from repro.noise.engine import (
     screen_tier,
     simulate_escalated,
 )
+from repro.noise.sweep import (
+    SweepReport,
+    _GroupResult,
+    _ScreenedScenario,
+    _screen_scenario,
+    _simulate_group,
+    run_sweep,
+    sweep_report_checksum,
+)
 from repro.noise.windows import Window, staggered_schedule
 from repro.noise.worst_case import Alignment
 from repro.pipeline.cache import (
@@ -109,6 +118,32 @@ def sim_shard_worker(
         t_stop,
         cache=_disk_cache(cache_dir),
     )
+
+
+def sweep_screen_worker(
+    scenario: Any,
+    base: NoiseConfig,
+    spec: ModelSpec,
+    cache_dir: Optional[str],
+) -> _ScreenedScenario:
+    """Screen one sweep scenario (phase A of the batched sweep).
+
+    Scenarios carry their own geometry, so this work item extracts
+    through the disk cache rather than attaching shared memory -- sweep
+    grids span many geometries and the cache is their sharing medium.
+    """
+    return _screen_scenario(
+        scenario, base=base, model=spec, cache=_disk_cache(cache_dir)
+    )
+
+
+def sweep_group_worker(
+    group: List[_ScreenedScenario],
+    spec: ModelSpec,
+    cache_dir: Optional[str],
+) -> _GroupResult:
+    """Batch-simulate one compatibility group of screened scenarios."""
+    return _simulate_group(group, model=spec, cache=_disk_cache(cache_dir))
 
 
 def simulate_worker(
@@ -212,6 +247,17 @@ def noise_payload(report: NoiseScanReport) -> Dict[str, Any]:
     return payload
 
 
+def sweep_payload(report: SweepReport) -> Dict[str, Any]:
+    """Summary + checksum of one design-space sweep."""
+    payload = report.to_json_dict()
+    payload["op"] = "sweep"
+    payload["failing"] = [
+        r.scenario.label for r in report.failing_scenarios()
+    ]
+    payload["checksum"] = sweep_report_checksum(report)
+    return payload
+
+
 # ----------------------------------------------------------------------
 # The one-shot reference path
 # ----------------------------------------------------------------------
@@ -226,6 +272,10 @@ def oneshot_result(
     checksums to the trajectory to keep that equivalence regression-
     checked.
     """
+    if request.op == "sweep":
+        assert request.sweep is not None
+        return sweep_payload(run_sweep(request.sweep, parallel=1, cache=cache))
+    assert request.geometry is not None
     parasitics = cached_extract(request.geometry.build(), cache=cache)
     if request.op == "extract":
         return extract_payload(parasitics)

@@ -1,0 +1,145 @@
+"""The recalibration harness: per-family conservatism, loud failure.
+
+One exact measure/fit/check cycle per topology family proves the
+fitted two-table envelope dominates held-out exact solves
+(``min_margin >= 1``); a deliberately scaled-down envelope must be
+*rejected* with :class:`CalibrationError` -- the harness has no silent
+acceptance path.  The extrapolation guard
+(:class:`CalibrationRangeWarning` + ``noise_kappa_out_of_range``
+counter) is pinned here too: screening a bus wider than the calibrated
+table reach must warn, screening inside it must not.
+"""
+
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.noise.calibration import (
+    CALIBRATION_FAMILIES,
+    CalibrationError,
+    calibrate_family,
+    check_envelope,
+    family_geometry,
+    fit_envelope,
+    measure_exact_peaks,
+    sample_positions,
+)
+from repro.noise.engine import NoiseConfig
+from repro.noise.screening import (
+    CalibrationRangeWarning,
+    KappaEnvelope,
+    screen_pairs,
+)
+from repro.pipeline.profiling import collect
+
+
+@pytest.fixture(scope="module")
+def bus8():
+    return extract(aligned_bus(8))
+
+
+@pytest.fixture(scope="module")
+def bus8_samples(bus8):
+    fit, check = sample_positions(8)
+    return measure_exact_peaks(bus8, tuple(fit) + tuple(check))
+
+
+class TestSamplePositions:
+    def test_fit_and_check_are_disjoint(self):
+        fit, check = sample_positions(16)
+        assert set(fit) == {0, 15, 8}
+        assert set(check) == {4, 12}
+        assert not set(fit) & set(check)
+
+    def test_narrow_bus_falls_back_to_fit_positions(self):
+        fit, check = sample_positions(3)
+        assert set(check) <= set(fit) or check
+        assert all(0 <= p < 3 for p in fit + check)
+
+
+class TestFamilyCalibration:
+    @pytest.mark.parametrize("family", CALIBRATION_FAMILIES)
+    def test_fitted_envelope_dominates_held_out_solves(self, family):
+        size = 8 if family != "crossbar" else 4
+        result = calibrate_family(family, size=size)
+        assert result.envelope.family == family
+        assert result.min_margin >= 1.0
+        assert result.num_checked_pairs > 0
+        assert not set(result.fit_aggressors) & set(result.check_aggressors)
+
+    def test_counts_one_solve_per_sampled_aggressor(self, bus8):
+        fit, check = sample_positions(8)
+        with collect() as profile:
+            calibrate_family("bus", size=8, parasitics=bus8)
+        assert profile.counters["noise_calibration_solves"] == len(
+            fit + check
+        )
+
+    def test_unknown_family_is_rejected(self):
+        with pytest.raises(ValueError, match="family"):
+            family_geometry("ring", 8)
+
+
+class TestNonConservativeRejection:
+    def test_scaled_down_envelope_raises(self, bus8, bus8_samples):
+        fit, check = sample_positions(8)
+        envelope = fit_envelope(
+            bus8,
+            bus8_samples[: len(fit)],
+            "bus",
+            vdd=1.0,
+            edge_reach=2,
+            edge_boost=0.7,
+        )
+        # The honest fit passes...
+        margin, checked = check_envelope(bus8, envelope, bus8_samples)
+        assert margin >= 1.0 and checked > 0
+        # ...the same tables scaled to 5% must be rejected loudly.
+        broken = replace(
+            envelope,
+            edge=tuple(0.05 * v for v in envelope.edge),
+            center=tuple(0.05 * v for v in envelope.center),
+        )
+        with pytest.raises(CalibrationError, match="non-conservative"):
+            check_envelope(bus8, broken, bus8_samples)
+
+    def test_error_names_the_worst_offender(self, bus8, bus8_samples):
+        fit, _ = sample_positions(8)
+        envelope = fit_envelope(
+            bus8, bus8_samples[: len(fit)], "bus", 1.0, 2, 0.7
+        )
+        broken = replace(
+            envelope,
+            edge=tuple(1e-4 * v for v in envelope.edge),
+            center=tuple(1e-4 * v for v in envelope.center),
+        )
+        with pytest.raises(CalibrationError, match="victim .* aggressor"):
+            check_envelope(bus8, broken, bus8_samples)
+
+
+class TestExtrapolationGuard:
+    def test_short_table_warns_and_counts(self, bus8):
+        # A 4-entry table screening an 8-bit bus (max distance 7)
+        # extrapolates past its calibrated reach.
+        short = KappaEnvelope(
+            edge=(0.5, 0.4, 0.3, 0.2),
+            center=(0.4, 0.3, 0.2, 0.1),
+            edge_reach=2,
+            edge_boost=0.7,
+            family="bus",
+        )
+        config = replace(NoiseConfig().screen_config, envelope=short)
+        with collect() as profile:
+            with pytest.warns(CalibrationRangeWarning, match="clamping"):
+                screen_pairs(bus8, config)
+        assert profile.counters["noise_kappa_out_of_range"] > 0
+
+    def test_full_reach_table_is_silent(self, bus8):
+        with collect() as profile:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", CalibrationRangeWarning)
+                screen_pairs(bus8, NoiseConfig().screen_config)
+        assert "noise_kappa_out_of_range" not in profile.counters

@@ -1,0 +1,191 @@
+"""Property suite for the nonlinear receiver (VTC) threshold model.
+
+The contract under test: folding a piecewise-linear receiver VTC into
+one effective input threshold (1) reproduces the legacy fixed-fraction
+criterion *bit for bit* when the VTC is the identity, (2) is internally
+consistent -- noise at the threshold propagates to exactly the output
+criterion, noise below it to less -- and (3) is never less pessimistic
+than the bare output fraction for any *attenuating* receiver (one whose
+VTC never amplifies), so swapping a real receiver table in can only
+relax a fixed-fraction sign-off, never silently tighten past it.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.extraction.parasitics import extract
+from repro.geometry.bus import aligned_bus
+from repro.noise.engine import NoiseConfig, run_noise_scan
+from repro.noise.receiver import (
+    IDENTITY_VTC,
+    ReceiverModel,
+    resolve_threshold,
+)
+
+
+def _vtc_tables(attenuating: bool = False):
+    """Strategy: valid normalized VTC tables (optionally gain <= 1)."""
+
+    @st.composite
+    def table(draw):
+        interior = draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=0.99),
+                min_size=0,
+                max_size=4,
+                unique=True,
+            )
+        )
+        xs = [0.0] + sorted(interior) + [1.0]
+        ys = [0.0]
+        for x0, x1 in zip(xs, xs[1:]):
+            if attenuating:
+                # Gain <= 1 on every segment keeps y <= x everywhere.
+                gain = draw(st.floats(min_value=0.0, max_value=1.0))
+                ys.append(min(ys[-1] + gain * (x1 - x0), x1))
+            else:
+                ys.append(
+                    draw(
+                        st.floats(min_value=ys[-1], max_value=1.0)
+                    )
+                )
+        return tuple(zip(xs, ys))
+
+    return table()
+
+
+class TestValidation:
+    def test_rejects_malformed_tables(self):
+        with pytest.raises(ValueError, match="two points"):
+            ReceiverModel(vtc=((0.0, 0.0),))
+        with pytest.raises(ValueError, match=r"start at \(0, 0\)"):
+            ReceiverModel(vtc=((0.1, 0.0), (1.0, 1.0)))
+        with pytest.raises(ValueError, match="span inputs"):
+            ReceiverModel(vtc=((0.0, 0.0), (0.9, 1.0)))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            ReceiverModel(vtc=((0.0, 0.0), (0.5, 0.2), (0.5, 0.4), (1.0, 1.0)))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ReceiverModel(vtc=((0.0, 0.0), (0.5, 0.8), (1.0, 0.4)))
+        with pytest.raises(ValueError, match="output_fraction"):
+            ReceiverModel(output_fraction=1.0)
+
+
+class TestDegenerateEquivalence:
+    """The identity VTC reproduces the fixed fraction exactly."""
+
+    @pytest.mark.parametrize("fraction", [0.1, 0.25, 0.55])
+    @pytest.mark.parametrize("vdd", [0.9, 1.0, 1.2])
+    def test_input_threshold_is_bit_exact(self, fraction, vdd):
+        model = ReceiverModel.quarter_supply(fraction)
+        assert model.input_threshold(vdd) == fraction * vdd
+
+    def test_resolve_threshold_prefers_the_receiver(self):
+        model = ReceiverModel.quarter_supply(0.4)
+        assert resolve_threshold(0.25, None, 1.0) == 0.25
+        assert resolve_threshold(0.25, model, 1.0) == 0.4
+
+    def test_full_scan_is_bit_identical(self):
+        """Scans through the receiver hook equal the legacy path."""
+        parasitics = extract(aligned_bus(8))
+        legacy = NoiseConfig(threshold_fraction=0.12)
+        receiver = replace(
+            legacy, receiver=ReceiverModel.quarter_supply(0.12)
+        )
+        a = run_noise_scan(parasitics, config=legacy)
+        b = run_noise_scan(parasitics, config=receiver)
+        assert a.threshold == b.threshold
+        for theirs, ours in zip(a.victims, b.victims):
+            assert theirs.escalated == ours.escalated
+            assert theirs.effective_peak == ours.effective_peak
+            assert a.margin(theirs) == b.margin(ours)
+
+
+class TestInversionConsistency:
+    @given(vtc=_vtc_tables(), fraction=st.floats(0.05, 0.9))
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_inverts_the_table(self, vtc, fraction):
+        model = ReceiverModel(vtc=vtc, output_fraction=fraction)
+        vdd = 1.0
+        threshold = model.input_threshold(vdd)
+        assert 0.0 <= threshold <= vdd
+        target = fraction * vdd
+        if threshold < vdd:
+            # At the threshold the output meets the criterion...
+            out = model.transfer(threshold, vdd)
+            assert out >= target - 1e-12
+            # ...and any strictly smaller noise stays below it (up to
+            # flat segments, where the conservative left endpoint means
+            # smaller inputs can only tie, never exceed).
+            below = model.transfer(threshold * 0.999, vdd)
+            assert below <= out + 1e-12
+        else:
+            # The table only meets the criterion at (or never below)
+            # the supply: no sub-supply noise can fail this receiver.
+            assert model.transfer(vdd, vdd) <= target
+
+    @given(vtc=_vtc_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_transfer_is_monotone(self, vtc):
+        model = ReceiverModel(vtc=vtc)
+        noise = np.linspace(0.0, 1.0, 101)
+        out = model.transfer(noise, 1.0)
+        assert np.all(np.diff(out) >= -1e-15)
+
+    def test_flat_segment_returns_the_left_endpoint(self):
+        model = ReceiverModel(
+            vtc=((0.0, 0.0), (0.2, 0.25), (0.8, 0.25), (1.0, 1.0)),
+            output_fraction=0.25,
+        )
+        # The flat [0.2, 0.8] plateau sits exactly at the criterion;
+        # the conservative threshold is the plateau's left edge.
+        assert model.input_threshold(1.0) == pytest.approx(0.2)
+
+
+class TestAttenuatingReceivers:
+    @given(vtc=_vtc_tables(attenuating=True), fraction=st.floats(0.05, 0.9))
+    @settings(max_examples=60, deadline=None)
+    def test_never_less_pessimistic_than_the_bare_fraction(
+        self, vtc, fraction
+    ):
+        """Gain <= 1 receivers only raise the effective threshold."""
+        model = ReceiverModel(vtc=vtc, output_fraction=fraction)
+        assert model.input_threshold(1.0) >= fraction - 1e-12
+
+    def test_restoring_inverter_raises_the_threshold(self):
+        model = ReceiverModel.restoring_inverter(
+            switch_fraction=0.45, rejection=0.1, output_fraction=0.25
+        )
+        assert model.input_threshold(1.0) > 0.25
+        # Sub-switch noise is attenuated to the rejection floor.
+        assert model.transfer(0.4, 1.0) == pytest.approx(0.4 * 0.1, rel=0.3)
+
+    def test_restoring_inverter_scan_escalates_no_more_than_fraction(
+        self,
+    ):
+        parasitics = extract(aligned_bus(8))
+        fraction = NoiseConfig(threshold_fraction=0.12)
+        inverter = replace(
+            fraction,
+            receiver=ReceiverModel.restoring_inverter(
+                switch_fraction=0.45, output_fraction=0.12
+            ),
+        )
+        scalar = run_noise_scan(parasitics, config=fraction)
+        receiver = run_noise_scan(parasitics, config=inverter)
+        assert receiver.threshold > scalar.threshold
+        assert receiver.num_escalated <= scalar.num_escalated
+        assert len(receiver.failing()) <= len(scalar.failing())
+
+
+class TestSerialization:
+    @given(vtc=_vtc_tables(), fraction=st.floats(0.05, 0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_dict_round_trip(self, vtc, fraction):
+        model = ReceiverModel(vtc=vtc, output_fraction=fraction)
+        assert ReceiverModel.from_dict(model.to_dict()) == model
+
+    def test_identity_constant_is_the_default(self):
+        assert ReceiverModel().vtc == IDENTITY_VTC

@@ -4,6 +4,9 @@ import pytest
 
 from repro.experiments.runner import ModelSpec
 from repro.noise.engine import NoiseConfig
+from repro.noise.receiver import ReceiverModel
+from repro.noise.screening import KappaEnvelope
+from repro.noise.sweep import SweepGrid
 from repro.service.jobs import (
     CANCELLED,
     DONE,
@@ -12,6 +15,8 @@ from repro.service.jobs import (
     JobRecord,
     JobRequest,
     SimParams,
+    sweep_grid_from_dict,
+    sweep_grid_to_dict,
 )
 
 
@@ -70,6 +75,75 @@ class TestJobRequest:
     def test_unknown_op_rejected(self):
         with pytest.raises(ValueError):
             JobRequest(op="explode", geometry=GeometrySpec("bus", 4))
+
+    def test_op_specific_section_requirements(self):
+        grid = SweepGrid(widths=(4,))
+        with pytest.raises(ValueError, match="require geometry"):
+            JobRequest(op="noise")
+        with pytest.raises(ValueError, match="sweep grid"):
+            JobRequest(op="sweep")
+        with pytest.raises(ValueError, match="sweep grid"):
+            JobRequest(
+                op="noise", geometry=GeometrySpec("bus", 4), sweep=grid
+            )
+        with pytest.raises(ValueError, match="geometry"):
+            JobRequest(
+                op="sweep", geometry=GeometrySpec("bus", 4), sweep=grid
+            )
+
+
+class TestSweepRequests:
+    def _grid(self) -> SweepGrid:
+        return SweepGrid(
+            topologies=("bus", "nonaligned_bus"),
+            widths=(4, 8),
+            drivers=(50.0, 150.0),
+            densities=(1.0, 2.5),
+            segments=(1, 3),
+            base=NoiseConfig(
+                threshold_fraction=0.12,
+                receiver=ReceiverModel.restoring_inverter(),
+                envelope=KappaEnvelope(
+                    edge=(0.5, 0.4),
+                    center=(0.3, 0.2),
+                    edge_reach=2,
+                    edge_boost=0.7,
+                    family="bus",
+                ),
+            ),
+            model=ModelSpec("nw", threshold=1e-4),
+        )
+
+    def test_grid_round_trips_through_json(self):
+        import json
+
+        grid = self._grid()
+        payload = json.loads(json.dumps(sweep_grid_to_dict(grid)))
+        assert sweep_grid_from_dict(payload) == grid
+
+    def test_request_round_trips_with_nested_sections(self):
+        import json
+
+        request = JobRequest(op="sweep", sweep=self._grid())
+        payload = json.loads(json.dumps(request.to_dict()))
+        assert "geometry" not in payload
+        rebuilt = JobRequest.from_dict(payload)
+        assert rebuilt == request
+        assert rebuilt.key() == request.key()
+        # The nested frozen dataclasses came back as real objects.
+        assert isinstance(rebuilt.sweep.base.receiver, ReceiverModel)
+        assert isinstance(rebuilt.sweep.base.envelope, KappaEnvelope)
+
+    def test_key_distinguishes_grids(self):
+        base = JobRequest(op="sweep", sweep=self._grid())
+        import dataclasses
+
+        denser = dataclasses.replace(
+            self._grid(), densities=(1.0, 2.5, 4.0)
+        )
+        assert (
+            JobRequest(op="sweep", sweep=denser).key() != base.key()
+        )
 
 
 class TestJobRecord:

@@ -8,6 +8,8 @@ import pytest
 
 from repro.health.errors import PassivityViolationError
 from repro.noise.engine import NoiseConfig
+from repro.noise.sweep import SweepGrid, run_sweep, sweep_report_checksum
+from repro.pipeline.cache import PipelineCache
 from repro.service import workers
 from repro.service.client import ServiceClient
 from repro.service.jobs import GeometrySpec, JobRequest
@@ -225,6 +227,147 @@ class TestCancellationAndTimeouts:
                 await service.close()
 
         assert run(main()) is False
+
+
+SWEEP_GRID = SweepGrid(
+    topologies=("bus",),
+    widths=(8,),
+    spacings=(1e-6, 2e-6),
+    drivers=(50.0, 100.0),
+    base=NoiseConfig(threshold_fraction=0.12),
+)
+SWEEP = JobRequest(op="sweep", sweep=SWEEP_GRID)
+
+
+class TestSweepJobs:
+    def test_matches_oneshot_and_cli_sweep(self, tmp_path):
+        """Service payload == one-shot path == a direct run_sweep."""
+
+        async def main():
+            service = AnalysisService(
+                _config(cache_dir=str(tmp_path / "svc"))
+            )
+            try:
+                record = await service.submit(SWEEP)
+                return await service.wait(record.id)
+            finally:
+                await service.close()
+
+        final = run(main())
+        assert final.status == "done"
+        oneshot = oneshot_result(
+            SWEEP, cache=PipelineCache(tmp_path / "oneshot")
+        )
+        assert final.checksum == oneshot["checksum"]
+        direct = run_sweep(
+            SWEEP_GRID, parallel=1, cache=PipelineCache(tmp_path / "cli")
+        )
+        assert final.checksum == sweep_report_checksum(direct)
+        assert final.result["num_scenarios"] == SWEEP_GRID.num_scenarios
+        labels = [s["label"] for s in final.result["scenarios"]]
+        assert labels == [s.label for s in SWEEP_GRID.scenarios()]
+
+    def test_progress_order_is_deterministic(self, tmp_path):
+        async def main():
+            service = AnalysisService(
+                _config(cache_dir=str(tmp_path / "svc"))
+            )
+            try:
+                record = await service.submit(SWEEP)
+                return [
+                    event
+                    async for event in service.stream(record.id)
+                    if event["event"] == "progress"
+                ]
+            finally:
+                await service.close()
+
+        progress = run(main())
+        scenario_events = [
+            e for e in progress if e["stage"] == "scenario"
+        ]
+        expected = [s.label for s in SWEEP_GRID.scenarios()]
+        assert [e["label"] for e in scenario_events] == expected
+        assert [e["index"] for e in scenario_events] == list(
+            range(len(expected))
+        )
+        assert all(
+            e["total"] == len(expected) for e in scenario_events
+        )
+        # Scenario screening strictly precedes group simulation.
+        group_events = [
+            e for e in progress if e["stage"] == "simulate_group"
+        ]
+        assert group_events
+        first_group = progress.index(group_events[0])
+        assert all(
+            progress.index(e) < first_group for e in scenario_events
+        )
+
+    def test_cancel_at_scenario_boundary(self, monkeypatch, tmp_path):
+        """A cancel lands between scenarios, never mid-report."""
+        screened = threading.Event()
+        release = threading.Event()
+        real_screen = workers.sweep_screen_worker
+
+        def slow_screen(*args):
+            result = real_screen(*args)
+            screened.set()
+            release.wait(10)
+            return result
+
+        monkeypatch.setattr(
+            "repro.service.workers.sweep_screen_worker", slow_screen
+        )
+
+        async def main():
+            service = AnalysisService(
+                _config(cache_dir=str(tmp_path / "svc"))
+            )
+            try:
+                record = await service.submit(SWEEP)
+                await asyncio.get_running_loop().run_in_executor(
+                    None, screened.wait, 10
+                )
+                assert service.cancel(record.id) is True
+                release.set()
+                return await service.wait(record.id)
+            finally:
+                await service.close()
+
+        final = run(main())
+        assert final.status == "cancelled"
+        assert final.result is None
+        # The interrupted sweep left only content-addressed artifacts
+        # behind; a fresh run through the same cache is still correct.
+        resumed = run_sweep(
+            SWEEP_GRID,
+            parallel=1,
+            cache=PipelineCache(tmp_path / "svc"),
+        )
+        cold = run_sweep(SWEEP_GRID, parallel=1, cache=None)
+        assert sweep_report_checksum(resumed) == sweep_report_checksum(
+            cold
+        )
+
+    def test_sweep_jobs_are_memoized_by_grid_content(self, tmp_path):
+        async def main():
+            service = AnalysisService(
+                _config(cache_dir=str(tmp_path / "svc"))
+            )
+            try:
+                first = await service.submit(SWEEP)
+                await service.wait(first.id)
+                second = await service.submit(
+                    JobRequest(op="sweep", sweep=SWEEP_GRID)
+                )
+                return first, await service.wait(second.id)
+            finally:
+                await service.close()
+
+        first, second = run(main())
+        assert second.memoized is True
+        assert second.checksum == first.checksum
 
 
 class TestFailureTaxonomy:

@@ -188,6 +188,119 @@ class TestNoise:
         assert document["entries"][0]["size"] == 16
 
 
+class TestNoiseSweep:
+    def test_missing_geometry_on_plain_noise_exits_2(self, capsys):
+        code = main(["noise", "--no-cache"])
+        assert code == 2
+        assert "geometry" in capsys.readouterr().err
+
+    def test_sweep_table_and_json(self, tmp_path, capsys):
+        target = tmp_path / "sweep.json"
+        code = main(
+            [
+                "noise",
+                "sweep",
+                "--widths",
+                "8",
+                "--spacings",
+                "1.0",
+                "2.0",
+                "--drivers",
+                "50",
+                "100",
+                "--limit",
+                "0.12",
+                "--no-cache",
+                "--json",
+                str(target),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # the tight threshold fails some scenarios
+        assert "sweep: 4 scenarios" in out
+        assert "bus8_w1000n_s2000n_r100_d1" in out
+        assert "escalation-rate histogram" in out
+        assert "FAIL: scenarios with failing victims" in out
+        document = json.loads(target.read_text())
+        assert document["num_scenarios"] == 4
+        assert "bus" in document["family_quantiles"]
+        assert len(document["conservatism_histogram"]["counts"]) == 7
+
+    def test_sweep_pass_exit_code(self, capsys):
+        code = main(
+            ["noise", "sweep", "--widths", "6", "--no-cache"]
+        )
+        assert code == 0
+        assert "PASS: no failing victims" in capsys.readouterr().out
+
+    def test_sweep_segments_axis(self, capsys):
+        code = main(
+            [
+                "noise",
+                "sweep",
+                "--widths",
+                "6",
+                "--grid-segments",
+                "1",
+                "2",
+                "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 segment counts" in out
+        assert "bus6_w1000n_s2000n_r50_d1_g2" in out
+
+    def test_calibrate_families(self, capsys):
+        code = main(
+            [
+                "noise",
+                "calibrate",
+                "--families",
+                "bus",
+                "--size",
+                "8",
+                "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bus: envelope reach 7" in out
+        assert "min margin" in out
+        assert "PASS" in out
+
+    def test_bench_noise_sweep_dispatch(self, tmp_path, capsys):
+        target = tmp_path / "bench_sweep.json"
+        code = main(
+            [
+                "bench",
+                "--suite",
+                "noise_sweep",
+                "--sweep-segments",
+                "2",
+                "--sweep-densities",
+                "2",
+                "--repeats",
+                "1",
+                "--json",
+                str(target),
+                "--trajectory",
+                str(tmp_path / "traj.json"),
+            ]
+        )
+        assert code == 0
+        document = json.loads(target.read_text())
+        by_variant = {e["variant"]: e for e in document["entries"]}
+        assert by_variant["sequential"]["kernel"] == "noise_sweep_family"
+        assert by_variant["batched"]["size"] == 2
+        # The suite raises unless both arms agree, so both entries
+        # carry a checksum of the same decisions.
+        assert (
+            by_variant["sequential"]["checksum"]
+            == by_variant["batched"]["checksum"]
+        )
+
+
 class TestServiceCli:
     def test_bench_service_suite_json(self, tmp_path, capsys):
         target = tmp_path / "bench_service.json"
