@@ -1,0 +1,87 @@
+"""Hierarchical-extraction scale smoke: ~20k filaments end-to-end.
+
+CI-sized companion of the committed ``BENCH_extraction_scale.json``
+trajectory (whose 100k+ rung only a full local run re-pays): one
+~20k-filament jittered bus driven extract -> windowed solve -> tiered
+noise scan entirely through the :class:`LazyInductance` operator path,
+with three acceptance properties:
+
+- the run finishes inside a generous wall-clock budget (the dense path
+  would need ~3.4 GB for ``L`` alone at this size);
+- nothing materializes the dense matrix -- the parasitics leave the run
+  with ``has_dense_inductance`` still false and every stage's RSS
+  high-water mark a small fraction of the dense footprint;
+- every wire is screened and the scan report is complete.
+
+The timing/peak numbers are archived under ``benchmarks/results/`` like
+every other benchmark table.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.bench.extraction_scale import (
+    _noise_scan,
+    _timed_peak,
+    _window_solve,
+    scale_geometry,
+)
+from repro.extraction.parasitics import extract
+
+#: ~20k filaments: 576 wires x 36 segments (seg = sqrt(n/16)).
+SMOKE_SIZE = 20736
+
+#: Generous for shared CI runners; a healthy run is a small fraction.
+TIME_BUDGET_SECONDS = 900.0
+
+
+def test_hierarchical_20k_end_to_end(report):
+    system = scale_geometry(SMOKE_SIZE)
+    n = len(system)
+    assert n >= 20_000
+    dense_bytes = 8 * n * n
+
+    t_extract, peak_extract, parasitics = _timed_peak(
+        lambda: extract(system, method="hierarchical")
+    )
+    t_solve, peak_solve, inverses = _timed_peak(
+        lambda: _window_solve(parasitics)
+    )
+    t_scan, peak_scan, scan = _timed_peak(lambda: _noise_scan(parasitics))
+
+    elapsed = t_extract + t_solve + t_scan
+    assert elapsed < TIME_BUDGET_SECONDS, f"{elapsed:.0f}s over budget"
+
+    # The whole chain must run on the operator surface: no consumer may
+    # have materialized the (n, n) inductance, and no stage's peak
+    # allocation may approach the dense footprint.
+    assert parasitics.is_hierarchical
+    assert not parasitics.has_dense_inductance
+    peak = max(peak_extract, peak_solve, peak_scan)
+    assert peak < dense_bytes / 4
+
+    assert inverses and all(s.nnz > 0 for s in inverses)
+    assert len(scan.victims) == system.num_wires
+
+    stats = [
+        block.compression_stats()
+        for _, block in parasitics.inductance_blocks.values()
+    ]
+    stored = sum(s["stored_bytes"] for s in stats)
+    report(
+        "extraction_scale_smoke",
+        format_table(
+            ["metric", "value"],
+            [
+                ["filaments", n],
+                ["wires", system.num_wires],
+                ["extract (s)", f"{t_extract:.1f}"],
+                ["window solve (s)", f"{t_solve:.1f}"],
+                ["noise scan (s)", f"{t_scan:.1f}"],
+                ["peak stage RSS delta (MB)", f"{peak / 1e6:.0f}"],
+                ["dense L would be (MB)", f"{dense_bytes / 1e6:.0f}"],
+                ["stored L (MB)", f"{stored / 1e6:.0f}"],
+                ["escalated victims", sum(v.escalated for v in scan.victims)],
+            ],
+        ),
+    )

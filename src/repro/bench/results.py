@@ -24,7 +24,7 @@ import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -72,13 +72,22 @@ def array_checksum(*arrays: np.ndarray) -> str:
 
 @dataclass(frozen=True)
 class BenchResult:
-    """One timed kernel execution: what ran, how fast, what it computed."""
+    """One timed kernel execution: what ran, how fast, what it computed.
+
+    ``peak_bytes`` (optional) records the peak memory of one execution
+    (RSS high-water delta where the platform supports it, tracemalloc
+    peak otherwise -- see ``bench.extraction_scale``).  Like ``seconds`` it
+    is machine-dependent telemetry, not identity: it rides in the
+    trajectory entry but is excluded from :attr:`key`, so regressions in
+    it warn rather than fail.
+    """
 
     kernel: str
     variant: str
     size: int
     seconds: float
     checksum: str
+    peak_bytes: Optional[int] = None
 
     @property
     def key(self) -> tuple:
@@ -86,22 +95,27 @@ class BenchResult:
         return (self.kernel, self.variant, self.size)
 
     def to_entry(self) -> Dict[str, object]:
-        return {
+        entry: Dict[str, object] = {
             "kernel": self.kernel,
             "variant": self.variant,
             "size": self.size,
             "seconds": self.seconds,
             "checksum": self.checksum,
         }
+        if self.peak_bytes is not None:
+            entry["peak_bytes"] = self.peak_bytes
+        return entry
 
     @classmethod
     def from_entry(cls, entry: Dict[str, object]) -> "BenchResult":
+        peak = entry.get("peak_bytes")
         return cls(
             kernel=str(entry["kernel"]),
             variant=str(entry["variant"]),
             size=int(entry["size"]),  # type: ignore[arg-type]
             seconds=float(entry["seconds"]),  # type: ignore[arg-type]
             checksum=str(entry["checksum"]),
+            peak_bytes=None if peak is None else int(peak),  # type: ignore[arg-type]
         )
 
 

@@ -119,7 +119,45 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
         nargs="?",
         const="-",
         metavar="FILE",
-        help="print per-stage timings to stderr; with FILE, also write JSON",
+        help="print per-stage timings (and memory high-water marks) to "
+        "stderr; with FILE, also write JSON",
+    )
+    parser.add_argument(
+        "--extraction",
+        choices=["dense", "hierarchical"],
+        default="dense",
+        help="inductance representation: 'dense' per-axis matrices or "
+        "'hierarchical' block low-rank operators (scales past 100k "
+        "filaments; see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--hier-leaf",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hierarchical: cluster-tree leaf size (default 64)",
+    )
+    parser.add_argument(
+        "--hier-eta",
+        type=float,
+        default=None,
+        metavar="ETA",
+        help="hierarchical: admissibility parameter (default 2.0)",
+    )
+    parser.add_argument(
+        "--hier-cutoff",
+        type=float,
+        default=None,
+        metavar="TOL",
+        help="hierarchical: ACA relative cutoff; 0 disables compression "
+        "and reproduces the dense entries bit for bit (default 1e-8)",
+    )
+    parser.add_argument(
+        "--hier-max-rank",
+        type=int,
+        default=None,
+        metavar="R",
+        help="hierarchical: rank cap per far-field block (default 64)",
     )
 
 
@@ -128,6 +166,33 @@ def _cache(args: argparse.Namespace) -> Optional[PipelineCache]:
         getattr(args, "cache_dir", None),
         enabled=not getattr(args, "no_cache", False),
     )
+
+
+def _extraction_options(args: argparse.Namespace) -> dict:
+    """``method``/``hierarchical`` keywords for ``cached_extract``."""
+    method = getattr(args, "extraction", "dense")
+    if method != "hierarchical":
+        return {}
+    from repro.extraction.hierarchical import DEFAULT_CONFIG
+
+    overrides = {
+        name: value
+        for name, value in (
+            ("leaf_size", getattr(args, "hier_leaf", None)),
+            ("eta", getattr(args, "hier_eta", None)),
+            ("cutoff", getattr(args, "hier_cutoff", None)),
+            ("max_rank", getattr(args, "hier_max_rank", None)),
+        )
+        if value is not None
+    }
+    import dataclasses
+
+    config = (
+        dataclasses.replace(DEFAULT_CONFIG, **overrides)
+        if overrides
+        else DEFAULT_CONFIG
+    )
+    return {"method": "hierarchical", "hierarchical": config}
 
 
 def _model_spec(args: argparse.Namespace) -> ModelSpec:
@@ -142,17 +207,39 @@ def _model_spec(args: argparse.Namespace) -> ModelSpec:
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
-    parasitics = cached_extract(_geometry(args), cache=_cache(args))
+    parasitics = cached_extract(
+        _geometry(args), cache=_cache(args), **_extraction_options(args)
+    )
     system = parasitics.system
-    L = parasitics.inductance
-    off = L[~np.eye(L.shape[0], dtype=bool)]
     print(f"system: {system.name} ({len(system)} filaments, {system.num_wires} wires)")
-    print(f"L self: {np.diag(L).min() * 1e9:.4f} .. {np.diag(L).max() * 1e9:.4f} nH")
-    if off.size:
+    if parasitics.is_hierarchical and not parasitics.has_dense_inductance:
+        # Summarize from the operators; never materialize (n, n).
+        diagonals, stored, exact, lowrank = [], 0, 0, 0
+        for _, block in parasitics.inductance_blocks.values():
+            diagonals.append(block.diagonal())
+            stats = block.compression_stats()
+            stored += stats["stored_bytes"]
+            exact += stats["dense_bytes"]
+            lowrank += stats["lowrank_blocks"]
+        diag = np.concatenate(diagonals)
+        print(f"L self: {diag.min() * 1e9:.4f} .. {diag.max() * 1e9:.4f} nH")
         print(
-            f"L mutual: |max| {np.abs(off).max() * 1e9:.4f} nH "
-            f"(k_max = {np.abs(off).max() / np.diag(L).min():.3f})"
+            f"L storage: hierarchical, {stored / 1e6:.1f} MB vs "
+            f"{exact / 1e6:.1f} MB dense ({exact / max(stored, 1):.1f}x, "
+            f"{lowrank} low-rank blocks)"
         )
+    else:
+        L = parasitics.inductance
+        off = L[~np.eye(L.shape[0], dtype=bool)]
+        print(
+            f"L self: {np.diag(L).min() * 1e9:.4f} .. "
+            f"{np.diag(L).max() * 1e9:.4f} nH"
+        )
+        if off.size:
+            print(
+                f"L mutual: |max| {np.abs(off).max() * 1e9:.4f} nH "
+                f"(k_max = {np.abs(off).max() / np.diag(L).min():.3f})"
+            )
     print(
         f"R: {parasitics.resistance.min():.3f} .. "
         f"{parasitics.resistance.max():.3f} ohm"
@@ -166,7 +253,9 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
 def _cmd_netlist(args: argparse.Namespace) -> int:
     cache = _cache(args)
-    parasitics = cached_extract(_geometry(args), cache=cache)
+    parasitics = cached_extract(
+        _geometry(args), cache=cache, **_extraction_options(args)
+    )
     built = build_model(_model_spec(args), parasitics, cache=cache)
     text = write_spice(built.circuit)
     if args.output:
@@ -183,7 +272,9 @@ def _cmd_netlist(args: argparse.Namespace) -> int:
 
 def _cmd_crosstalk(args: argparse.Namespace) -> int:
     cache = _cache(args)
-    parasitics = cached_extract(_geometry(args), cache=cache)
+    parasitics = cached_extract(
+        _geometry(args), cache=cache, **_extraction_options(args)
+    )
     built = build_model(_model_spec(args), parasitics, cache=cache)
     report = crosstalk_report(
         built.skeleton,
@@ -226,7 +317,9 @@ def _cmd_noise(args: argparse.Namespace) -> int:
         )
         return 2
     cache = _cache(args)
-    parasitics = cached_extract(_geometry(args), cache=cache)
+    parasitics = cached_extract(
+        _geometry(args), cache=cache, **_extraction_options(args)
+    )
     config = NoiseConfig(
         vdd=args.vdd,
         rise_time=args.rise * 1e-12,
@@ -366,7 +459,9 @@ def _cmd_noise_calibrate(args: argparse.Namespace) -> int:
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
-    parasitics = cached_extract(_geometry(args), cache=_cache(args))
+    parasitics = cached_extract(
+        _geometry(args), cache=_cache(args), **_extraction_options(args)
+    )
     if args.health:
         return _audit_health(args, parasitics)
     result = _vpec_flow(args, parasitics)
@@ -390,8 +485,13 @@ def _audit_health(args: argparse.Namespace, parasitics: Parasitics) -> int:
     parasitics.validate()
     reports = []
     for axis, (_, block) in parasitics.inductance_blocks.items():
+        # SPD certification is an eigen-decomposition; materialize the
+        # operator (audits run at auditable sizes).
         reports.append(
-            check_spd(block, name=f"L[{axis.name}] ({block.shape[0]}x{block.shape[0]})")
+            check_spd(
+                np.asarray(block),
+                name=f"L[{axis.name}] ({block.shape[0]}x{block.shape[0]})",
+            )
         )
     result = _vpec_flow(args, parasitics)
     # The Lemma-1 sign check (all Ghat off-diagonals <= 0, all row sums
@@ -764,14 +864,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--suite",
-        choices=["kernels", "sim", "noise", "service", "noise_sweep"],
+        choices=[
+            "kernels",
+            "sim",
+            "noise",
+            "service",
+            "noise_sweep",
+            "extraction_scale",
+        ],
         default="kernels",
         help="which suite: 'kernels' (extraction/windowing micro-kernels, "
         "BENCH_kernels.json), 'sim' (netlist/MNA/transient/AC backend, "
         "BENCH_sim.json), 'noise' (screening tier + tiered engine, "
         "BENCH_noise.json), 'service' (analysis-service load test, "
-        "BENCH_service.json) or 'noise_sweep' (batched sweep vs cold "
-        "per-scenario sign-offs, BENCH_noise_sweep.json)",
+        "BENCH_service.json), 'noise_sweep' (batched sweep vs cold "
+        "per-scenario sign-offs, BENCH_noise_sweep.json) or "
+        "'extraction_scale' (dense vs hierarchical inductance at "
+        "growing filament counts, time + peak memory, "
+        "BENCH_extraction_scale.json)",
     )
     p_bench.add_argument(
         "--check",
@@ -865,6 +975,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="noise_sweep suite: scenarios in the density sweep "
         "(default 24)",
     )
+    p_bench.add_argument(
+        "--scale-sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="extraction_scale suite: filament counts to run (default: "
+        "the committed 4096/16384/102400 ladder; CI passes a small "
+        "prefix -- sizes absent from the trajectory are not compared)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
     return parser
 
@@ -899,6 +1019,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             num_densities=args.sweep_densities,
             repeats=args.repeats,
         )
+    elif args.suite == "extraction_scale":
+        from repro.bench.extraction_scale import (
+            DEFAULT_SIZES,
+            run_extraction_scale_suite,
+        )
+
+        if args.trajectory is None:
+            args.trajectory = "BENCH_extraction_scale.json"
+        results = run_extraction_scale_suite(
+            kernels=args.kernel,
+            sizes=(
+                tuple(args.scale_sizes)
+                if args.scale_sizes is not None
+                else DEFAULT_SIZES
+            ),
+        )
     elif args.suite == "noise":
         from repro.bench.noise import run_noise_suite
 
@@ -932,9 +1068,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     width = max(len(r.kernel) for r in results)
     for result in results:
+        peak = (
+            ""
+            if result.peak_bytes is None
+            else f"  peak {result.peak_bytes / (1 << 20):8.1f} MB"
+        )
         print(
-            f"{result.kernel:<{width}}  {result.variant:<10}  "
-            f"{result.seconds * 1e3:9.3f} ms  {result.checksum[:12]}"
+            f"{result.kernel:<{width}}  {result.variant:<12}  "
+            f"n={result.size:<7d} {result.seconds * 1e3:10.3f} ms{peak}  "
+            f"{result.checksum[:12]}"
         )
     if args.json:
         save_trajectory(args.json, results)
@@ -1015,13 +1157,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
             return 2
     # Stage timings go to stderr so --profile composes with commands
-    # that stream their payload (e.g. a netlist) to stdout.
-    with collect() as profile:
-        try:
-            code = args.func(args)
-        except NumericalHealthError as error:
-            print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
-            code = 2
+    # that stream their payload (e.g. a netlist) to stdout.  Tracing
+    # allocations is what populates the per-stage peak_alloc column;
+    # its overhead is acceptable under an explicit --profile.
+    import tracemalloc
+
+    started_tracing = not tracemalloc.is_tracing()
+    if started_tracing:
+        tracemalloc.start()
+    try:
+        with collect() as profile:
+            try:
+                code = args.func(args)
+            except NumericalHealthError as error:
+                print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+                code = 2
+    finally:
+        if started_tracing:
+            tracemalloc.stop()
     print(profile.to_table(), file=sys.stderr)
     if destination != "-":
         try:

@@ -8,6 +8,11 @@ Public API
   :func:`~repro.extraction.inductance.inductance_blocks`,
   :func:`~repro.extraction.inductance.self_inductance_bar`,
   :func:`~repro.extraction.inductance.mutual_parallel_filaments`;
+- :func:`~repro.extraction.hierarchical.hierarchical_blocks` /
+  :class:`~repro.extraction.hierarchical.LazyInductance` /
+  :class:`~repro.extraction.hierarchical.HierarchicalConfig` -- the
+  block low-rank representation that scales past 100k filaments
+  (``extract(..., method="hierarchical")``);
 - :class:`~repro.extraction.capacitance.CapacitanceModel`,
   :func:`~repro.extraction.capacitance.extract_capacitances`;
 - :func:`~repro.extraction.resistance.extract_resistances`;
@@ -24,6 +29,11 @@ from repro.extraction.constants import (
     MAX_FREQUENCY,
     MU_0,
     SPEED_OF_LIGHT,
+)
+from repro.extraction.hierarchical import (
+    HierarchicalConfig,
+    LazyInductance,
+    hierarchical_blocks,
 )
 from repro.extraction.inductance import (
     gmd_parallel_tapes,
@@ -54,6 +64,9 @@ __all__ = [
     "extract_resistances",
     "partial_inductance_matrix",
     "inductance_blocks",
+    "hierarchical_blocks",
+    "LazyInductance",
+    "HierarchicalConfig",
     "self_inductance_bar",
     "mutual_parallel_filaments",
     "mutual_collinear_filaments",

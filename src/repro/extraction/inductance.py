@@ -414,23 +414,39 @@ def inductance_blocks(
     return blocks
 
 
+def axis_geometry(
+    system: FilamentSystem, indices: List[int], axis: Axis
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-filament kernel inputs of one axis group.
+
+    Returns ``(lengths, widths, thicknesses, starts, centers)`` where
+    ``centers`` holds the two perpendicular center coordinates ordered
+    (width direction, thickness direction) per the Filament orientation
+    convention.  Shared by the dense assembly below and the hierarchical
+    builder (:mod:`repro.extraction.hierarchical`), so both paths feed
+    the Neumann/GMD kernels bit-identical inputs.
+    """
+    filaments = [system[i] for i in indices]
+    lengths = np.array([f.length for f in filaments])
+    widths = np.array([f.width for f in filaments])
+    thicknesses = np.array([f.thickness for f in filaments])
+    starts = np.array([f.axial_span[0] for f in filaments])
+    axis_index = axis.value
+    perp_axes = [k for k in range(3) if k != axis_index]
+    centers = np.array([f.center for f in filaments])[:, perp_axes]
+    return lengths, widths, thicknesses, starts, centers
+
+
 def _axis_block(
     system: FilamentSystem,
     indices: List[int],
     axis: Axis,
     gmd_correction: bool,
 ) -> np.ndarray:
-    filaments = [system[i] for i in indices]
-    m = len(filaments)
-    lengths = np.array([f.length for f in filaments])
-    widths = np.array([f.width for f in filaments])
-    thicknesses = np.array([f.thickness for f in filaments])
-    starts = np.array([f.axial_span[0] for f in filaments])
-    axis_index = axis.value
-    # Perpendicular axes ordered (width direction, thickness direction)
-    # for every axis per the Filament orientation convention.
-    perp_axes = [k for k in range(3) if k != axis_index]
-    centers = np.array([f.center for f in filaments])[:, perp_axes]
+    lengths, widths, thicknesses, starts, centers = axis_geometry(
+        system, indices, axis
+    )
+    m = lengths.size
 
     diagonal = np.asarray(
         self_inductance_bar(lengths, widths, thicknesses), dtype=float

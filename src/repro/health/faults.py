@@ -22,7 +22,6 @@ locally from the fault name and seed alone.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import TYPE_CHECKING, Callable, Dict
 
 import numpy as np
@@ -109,20 +108,25 @@ def inject_fault(
 
     ``kind`` is one of :data:`FAULT_KINDS`; ``options`` are forwarded to
     the per-block fault function (``drop``, ``fraction``, ``count``,
-    ``seed``).  Every per-direction inductance block is perturbed and
-    the full matrix is rebuilt from the faulted blocks, so both views
-    stay consistent.  The input object is left untouched.
+    ``seed``).  Every per-direction inductance block is perturbed (lazy
+    hierarchical blocks are materialized first -- fault injection is
+    small-system health tooling) and the faulted copy reassembles its
+    full matrix lazily from the faulted blocks, so both views stay
+    consistent.  The input object is left untouched.
     """
+    from repro.extraction.parasitics import Parasitics
+
     if kind not in _BLOCK_FAULTS:
         raise ValueError(f"kind must be one of {FAULT_KINDS}, got {kind!r}")
     fault = _BLOCK_FAULTS[kind]
     blocks = {
-        axis: (list(indices), fault(block, **options))
+        axis: (list(indices), fault(np.asarray(block), **options))
         for axis, (indices, block) in parasitics.inductance_blocks.items()
     }
-    full = np.array(parasitics.inductance, dtype=float, copy=True)
-    for indices, block in blocks.values():
-        full[np.ix_(indices, indices)] = block
-    return dataclasses.replace(
-        parasitics, inductance=full, inductance_blocks=blocks
+    return Parasitics(
+        system=parasitics.system,
+        inductance_blocks=blocks,
+        resistance=parasitics.resistance,
+        ground_capacitance=parasitics.ground_capacitance,
+        coupling_capacitance=parasitics.coupling_capacitance,
     )

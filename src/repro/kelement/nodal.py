@@ -69,7 +69,7 @@ def nodal_inductive_admittance(
     n = len(parasitics.system)
     k_full = np.zeros((n, n))
     for indices, block in blocks.values():
-        k_full[np.ix_(indices, indices)] = invert_spd(block)
+        k_full[np.ix_(indices, indices)] = invert_spd(np.asarray(block))
     a_l, _ = inductive_incidence(parasitics)
     gamma = (a_l @ k_full @ a_l.T) / s
     return np.asarray(gamma.todense() if sparse.issparse(gamma) else gamma)

@@ -59,6 +59,7 @@ from repro.analysis.timing import (
     wire_resistance,
 )
 from repro.constants import DRIVER_RESISTANCE, LOAD_CAPACITANCE, VDD
+from repro.extraction.hierarchical import LazyInductance
 from repro.extraction.parasitics import Parasitics
 from repro.health import require_finite
 from repro.pipeline.profiling import add_counter, stage
@@ -234,10 +235,28 @@ class ScreenEstimates:
 
 
 def wire_inductance(parasitics: Parasitics) -> np.ndarray:
-    """Wire-level partial inductance: filament blocks summed per wire."""
+    """Wire-level partial inductance: filament blocks summed per wire.
+
+    Hierarchical extractions aggregate block by block through
+    :meth:`~repro.extraction.hierarchical.LazyInductance.wire_sums`
+    (exact with respect to the stored factorization), so screening a
+    100k-filament system never touches an ``(n, n)`` matrix; the dense
+    path is the unchanged gather-matrix product.
+    """
     system = parasitics.system
     wire_of = np.array([system[i].wire for i in range(len(system))], dtype=int)
     num_wires = system.num_wires
+    if parasitics.is_hierarchical and not parasitics.has_dense_inductance:
+        out = np.zeros((num_wires, num_wires))
+        for indices, block in parasitics.inductance_blocks.values():
+            local_wires = wire_of[np.asarray(indices, dtype=int)]
+            if isinstance(block, LazyInductance):
+                out += block.wire_sums(local_wires, num_wires)
+            else:
+                gather = np.zeros((num_wires, len(indices)))
+                gather[local_wires, np.arange(len(indices))] = 1.0
+                out += gather @ block @ gather.T
+        return out
     gather = np.zeros((num_wires, len(system)))
     gather[wire_of, np.arange(len(system))] = 1.0
     return gather @ parasitics.inductance @ gather.T

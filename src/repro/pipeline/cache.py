@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.extraction.capacitance import CapacitanceModel
 from repro.extraction.constants import COPPER_RESISTIVITY
+from repro.extraction.hierarchical import DEFAULT_CONFIG, HierarchicalConfig, LazyInductance
 from repro.extraction.parasitics import Parasitics, extract
 from repro.geometry.system import FilamentSystem
 from repro.pipeline.hashing import stable_hash, system_fingerprint
@@ -44,7 +45,9 @@ from repro.pipeline.profiling import add_counter
 #: Format version prefixed into every key.  Bump to invalidate all
 #: existing entries after a semantic change to cached values.
 #: v2: Circuit pickles changed layout (columnar element stores).
-CACHE_VERSION = 2
+#: v3: Parasitics pickles changed layout (lazy derived full matrix,
+#:     hierarchical operator blocks).
+CACHE_VERSION = 3
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -198,9 +201,17 @@ def parasitics_key(
     frequency: float,
     capacitance_model: CapacitanceModel,
     gmd_correction: bool,
+    method: str = "dense",
+    hierarchical: Optional[HierarchicalConfig] = None,
 ) -> str:
-    """Cache key of one extraction run."""
-    return stable_hash(
+    """Cache key of one extraction run.
+
+    ``method``/``hierarchical`` participate in the key because they
+    change the stored representation (dense ndarray blocks vs
+    hierarchical operators with a given cutoff); the dense key is
+    unchanged relative to the method-less signature.
+    """
+    parts: list = [
         "parasitics",
         CACHE_VERSION,
         system_fingerprint(system),
@@ -208,7 +219,11 @@ def parasitics_key(
         frequency,
         capacitance_model,
         gmd_correction,
-    )
+    ]
+    if method != "dense":
+        parts.append(method)
+        parts.append(hierarchical if hierarchical is not None else DEFAULT_CONFIG)
+    return stable_hash(*parts)
 
 
 def cached_extract(
@@ -218,6 +233,8 @@ def cached_extract(
     frequency: float = 0.0,
     capacitance_model: Optional[CapacitanceModel] = None,
     gmd_correction: bool = True,
+    method: str = "dense",
+    hierarchical: Optional[HierarchicalConfig] = None,
 ) -> Parasitics:
     """:func:`repro.extraction.parasitics.extract` behind the cache.
 
@@ -234,11 +251,21 @@ def cached_extract(
             frequency=frequency,
             capacitance_model=model,
             gmd_correction=gmd_correction,
+            method=method,
+            hierarchical=hierarchical,
         )
 
     if cache is None:
         return build()
-    key = parasitics_key(system, resistivity, frequency, model, gmd_correction)
+    key = parasitics_key(
+        system,
+        resistivity,
+        frequency,
+        model,
+        gmd_correction,
+        method=method,
+        hierarchical=hierarchical,
+    )
     return cache.fetch("parasitics", key, build)
 
 
@@ -250,10 +277,19 @@ def parasitics_fingerprint(parasitics: Parasitics) -> str:
     regardless of which options produced them.  Index lists and the
     coupling dict are packed into arrays first: this runs on every warm
     model hit, and element-wise traversal of thousand-entry containers
-    would otherwise rival the pickle load itself.
+    would otherwise rival the pickle load itself.  The full ``(n, n)``
+    matrix is *not* hashed -- it is a derived view of the blocks, and
+    pulling it into the hash would materialize it for hierarchical
+    extractions; operator blocks contribute their flat storage arrays
+    instead.
     """
     blocks = {
-        axis.name: (np.asarray(indices, dtype=np.int64), block)
+        axis.name: (
+            np.asarray(indices, dtype=np.int64),
+            block.fingerprint_payload()
+            if isinstance(block, LazyInductance)
+            else block,
+        )
         for axis, (indices, block) in parasitics.inductance_blocks.items()
     }
     pairs = sorted(parasitics.coupling_capacitance)
@@ -263,7 +299,6 @@ def parasitics_fingerprint(parasitics: Parasitics) -> str:
     )
     return stable_hash(
         system_fingerprint(parasitics.system),
-        parasitics.inductance,
         blocks,
         parasitics.resistance,
         parasitics.ground_capacitance,

@@ -23,11 +23,22 @@ and ship it back pickled (see :mod:`repro.pipeline.parallel`).
 from __future__ import annotations
 
 import json
+import resource
+import sys
 import time
+import tracemalloc
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Mapping, Optional
+
+#: ``ru_maxrss`` is kilobytes on Linux, bytes on macOS.
+_RU_MAXRSS_UNIT = 1 if sys.platform == "darwin" else 1024
+
+
+def max_rss_bytes() -> int:
+    """The process's lifetime peak resident set size, in bytes."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * _RU_MAXRSS_UNIT
 
 #: The stage names the core pipeline emits (others are allowed; these are
 #: the ones surfaced by ``--profile`` and asserted by the regression
@@ -43,11 +54,23 @@ class StageProfile:
     ``stage(name)`` blocks; ``calls[name]`` how many blocks ran;
     ``counters[name]`` free-form event tallies (cache hits, LU
     factorizations, swept frequency points, ...).
+
+    Memory is tracked per stage when available: ``max_rss_bytes[name]``
+    is the process's peak resident set observed at any exit of
+    ``stage(name)`` (a high-water mark -- it only ever grows within a
+    process, so it answers "had the process ever been this big by the
+    time the stage finished", which is the dense-vs-hierarchical
+    comparison the bench suite reports); ``peak_alloc_bytes[name]`` is
+    the peak Python-visible allocation *inside* the stage, collected
+    only while :mod:`tracemalloc` is tracing (``repro --profile`` turns
+    it on) and attributed to the innermost active stage.
     """
 
     seconds: Dict[str, float] = field(default_factory=dict)
     calls: Dict[str, int] = field(default_factory=dict)
     counters: Dict[str, int] = field(default_factory=dict)
+    max_rss_bytes: Dict[str, int] = field(default_factory=dict)
+    peak_alloc_bytes: Dict[str, int] = field(default_factory=dict)
 
     def add_time(self, name: str, elapsed: float) -> None:
         self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
@@ -55,6 +78,18 @@ class StageProfile:
 
     def add_counter(self, name: str, amount: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + amount
+
+    def add_memory(
+        self, name: str, rss_bytes: int, alloc_bytes: Optional[int] = None
+    ) -> None:
+        """Record memory high-water marks of one stage exit (max-merge)."""
+        self.max_rss_bytes[name] = max(
+            self.max_rss_bytes.get(name, 0), int(rss_bytes)
+        )
+        if alloc_bytes is not None:
+            self.peak_alloc_bytes[name] = max(
+                self.peak_alloc_bytes.get(name, 0), int(alloc_bytes)
+            )
 
     def merge(self, other: "StageProfile") -> None:
         """Fold another profile (e.g. from a worker process) into this one."""
@@ -64,20 +99,31 @@ class StageProfile:
             self.calls[name] = self.calls.get(name, 0) + value
         for name, value in other.counters.items():
             self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in other.max_rss_bytes.items():
+            self.max_rss_bytes[name] = max(self.max_rss_bytes.get(name, 0), value)
+        for name, value in other.peak_alloc_bytes.items():
+            self.peak_alloc_bytes[name] = max(
+                self.peak_alloc_bytes.get(name, 0), value
+            )
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Mapping]:
         ordered = sorted(self.seconds, key=lambda n: -self.seconds[n])
+        stages = {}
+        for name in ordered:
+            entry: Dict[str, object] = {
+                "seconds": self.seconds[name],
+                "calls": self.calls.get(name, 0),
+            }
+            if name in self.max_rss_bytes:
+                entry["max_rss_bytes"] = self.max_rss_bytes[name]
+            if name in self.peak_alloc_bytes:
+                entry["peak_alloc_bytes"] = self.peak_alloc_bytes[name]
+            stages[name] = entry
         return {
-            "stages": {
-                name: {
-                    "seconds": self.seconds[name],
-                    "calls": self.calls.get(name, 0),
-                }
-                for name in ordered
-            },
+            "stages": stages,
             "counters": dict(sorted(self.counters.items())),
         }
 
@@ -86,14 +132,33 @@ class StageProfile:
 
     def to_table(self) -> str:
         """Human-readable stage table for terminal output."""
-        lines = ["stage        seconds  calls"]
+        show_memory = bool(self.max_rss_bytes or self.peak_alloc_bytes)
+        header = "stage        seconds  calls"
+        if show_memory:
+            header += "   max_rss     peak_alloc"
+        lines = [header]
         for name in sorted(self.seconds, key=lambda n: -self.seconds[n]):
-            lines.append(
+            line = (
                 f"{name:<12} {self.seconds[name]:>7.4f}  {self.calls.get(name, 0):>5d}"
             )
+            if show_memory:
+                rss = self.max_rss_bytes.get(name)
+                alloc = self.peak_alloc_bytes.get(name)
+                line += f"  {_format_bytes(rss):>8}  {_format_bytes(alloc):>13}"
+            lines.append(line)
         for name, value in sorted(self.counters.items()):
             lines.append(f"{name:<12} {value:>13d}")
         return "\n".join(lines)
+
+
+def _format_bytes(value: Optional[int]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1 << 30:
+        return f"{value / (1 << 30):.2f}G"
+    if value >= 1 << 20:
+        return f"{value / (1 << 20):.1f}M"
+    return f"{value / 1024:.0f}K"
 
 
 _ACTIVE: ContextVar[Optional[StageProfile]] = ContextVar(
@@ -117,11 +182,21 @@ def stage(name: str) -> Iterator[None]:
     if profile is None:
         yield
         return
+    tracing = tracemalloc.is_tracing()
+    if tracing:
+        # Peak attribution is per innermost stage: resetting the peak
+        # here means an enclosing stage's recorded peak covers only the
+        # allocation between its own entry/exit and its children's
+        # boundaries.  The high-water mark of the whole run is still
+        # exact -- it is the max over all stages.
+        tracemalloc.reset_peak()
     start = time.perf_counter()
     try:
         yield
     finally:
         profile.add_time(name, time.perf_counter() - start)
+        alloc_peak = tracemalloc.get_traced_memory()[1] if tracing else None
+        profile.add_memory(name, max_rss_bytes(), alloc_peak)
 
 
 def add_counter(name: str, amount: int = 1) -> None:

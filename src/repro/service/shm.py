@@ -45,6 +45,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.extraction.hierarchical import LazyInductance
 from repro.extraction.parasitics import Parasitics
 from repro.geometry.filament import Axis
 from repro.pipeline.profiling import add_counter
@@ -232,14 +233,18 @@ def parasitics_columns(
 ) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
     """Split parasitics into a small meta blob plus pure-array columns.
 
-    Everything numeric -- the full L matrix, the per-axis blocks and
-    their index lists, R, Cg, and the coupling dict flattened to
-    pair/value arrays -- becomes a column; the geometry (small frozen
-    dataclasses) and axis ordering ride in the meta blob.
+    Everything numeric -- the per-axis blocks and their index lists, R,
+    Cg, and the coupling dict flattened to pair/value arrays -- becomes
+    a column; the geometry (small frozen dataclasses), axis ordering,
+    and block kinds ride in the meta blob.  The full L matrix is *not*
+    stored: it is a derived view of the blocks (the single-axis common
+    case aliases its block with zero copy on reconstruction), so
+    shipping it would double every segment.  Hierarchical operator
+    blocks contribute their flat storage arrays as prefixed columns and
+    reattach zero-copy on the worker side.
     """
     pairs = sorted(parasitics.coupling_capacitance)
     arrays: Dict[str, np.ndarray] = {
-        "inductance": parasitics.inductance,
         "resistance": parasitics.resistance,
         "ground_capacitance": parasitics.ground_capacitance,
         "coupling_pairs": np.asarray(pairs, dtype=np.int64).reshape(
@@ -251,13 +256,21 @@ def parasitics_columns(
         ),
     }
     axes = []
+    block_meta: Dict[str, Any] = {}
     for axis, (indices, block) in parasitics.inductance_blocks.items():
         axes.append(axis.name)
         arrays[f"block_index_{axis.name}"] = np.asarray(
             indices, dtype=np.int64
         )
-        arrays[f"block_{axis.name}"] = block
-    meta = {"system": parasitics.system, "axes": axes}
+        if isinstance(block, LazyInductance):
+            hier_meta, hier_arrays = block.columns()
+            block_meta[axis.name] = {"kind": "hierarchical", "meta": hier_meta}
+            for name, array in hier_arrays.items():
+                arrays[f"hier_{axis.name}_{name}"] = array
+        else:
+            block_meta[axis.name] = {"kind": "dense"}
+            arrays[f"block_{axis.name}"] = block
+    meta = {"system": parasitics.system, "axes": axes, "blocks": block_meta}
     return meta, arrays
 
 
@@ -270,12 +283,24 @@ def parasitics_from_block(block: SharedColumnBlock) -> Parasitics:
     """
     meta = block.meta
     columns = block.arrays()
-    blocks: Dict[Axis, Tuple[List[int], np.ndarray]] = {}
+    block_meta = meta.get("blocks", {})
+    blocks: Dict[Axis, Tuple[List[int], Any]] = {}
     for name in meta["axes"]:
-        blocks[Axis[name]] = (
-            columns[f"block_index_{name}"].tolist(),
-            columns[f"block_{name}"],
-        )
+        indices = columns[f"block_index_{name}"].tolist()
+        info = block_meta.get(name, {"kind": "dense"})
+        if info["kind"] == "hierarchical":
+            prefix = f"hier_{name}_"
+            hier_arrays = {
+                key[len(prefix):]: array
+                for key, array in columns.items()
+                if key.startswith(prefix)
+            }
+            blocks[Axis[name]] = (
+                indices,
+                LazyInductance.from_columns(info["meta"], hier_arrays),
+            )
+        else:
+            blocks[Axis[name]] = (indices, columns[f"block_{name}"])
     pairs = columns["coupling_pairs"]
     values = columns["coupling_values"]
     coupling = {
@@ -284,7 +309,6 @@ def parasitics_from_block(block: SharedColumnBlock) -> Parasitics:
     }
     return Parasitics(
         system=meta["system"],
-        inductance=columns["inductance"],
         inductance_blocks=blocks,
         resistance=columns["resistance"],
         ground_capacitance=columns["ground_capacitance"],

@@ -65,7 +65,9 @@ def full_vpec_networks(
     networks: List[VpecNetwork] = []
     all_lengths = parasitics.system.lengths()
     for indices, block in parasitics.inductance_blocks.values():
-        s_matrix = invert_spd(block, policy=policy)
+        # Full VPEC is the O(n^3) exact flow: a hierarchical operator is
+        # materialized here (windowed flows never need this).
+        s_matrix = invert_spd(np.asarray(block), policy=policy)
         networks.append(
             VpecNetwork.from_inverse(
                 indices=indices,

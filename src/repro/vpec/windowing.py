@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import sparse
 
+from repro.extraction.hierarchical import LazyInductance
 from repro.extraction.parasitics import Parasitics
 from repro.geometry.system import FilamentSystem
 from repro.health.solvers import (
@@ -39,6 +40,11 @@ from repro.health.solvers import (
 )
 from repro.pipeline.profiling import add_counter
 from repro.vpec.effective import VpecNetwork
+
+
+#: Group size above which nearest-neighbor selection switches from the
+#: exact all-pairs distance matrix to a KD-tree query.
+_DENSE_KNN_LIMIT = 4096
 
 
 def geometric_windows(
@@ -63,9 +69,22 @@ def geometric_windows(
     n = len(indices)
     b = min(window_size, n)
     centers = np.array([system[i].center for i in indices])
-    delta = centers[:, None, :] - centers[None, :, :]
-    distance = np.sqrt(np.sum(delta * delta, axis=2))
-    nearest = np.argpartition(distance, b - 1, axis=1)[:, :b]
+    if n <= _DENSE_KNN_LIMIT:
+        # Exact all-pairs selection.  Kept (not replaced by the KD-tree)
+        # below the limit so existing golden results keep their
+        # argpartition tie-breaking bit for bit.
+        delta = centers[:, None, :] - centers[None, :, :]
+        distance = np.sqrt(np.sum(delta * delta, axis=2))
+        nearest = np.argpartition(distance, b - 1, axis=1)[:, :b]
+    else:
+        # O(n^2) center distances would need ~n^2 * 8 bytes -- the exact
+        # thing the hierarchical path exists to avoid.  A KD-tree query
+        # finds the same nearest-b sets in O(n b log n); only degenerate
+        # equidistant ties can differ, and symmetrization absorbs those.
+        from scipy.spatial import cKDTree
+
+        _, nearest = cKDTree(centers).query(centers, k=b)
+        nearest = nearest.reshape(n, b)
     windows = [np.sort(nearest[m]) for m in range(n)]
     return symmetrize_windows(windows) if symmetrize else windows
 
@@ -78,9 +97,23 @@ def numerical_windows(
     ``W(m) = {n : |L_mn| / L_mm >= threshold} + {m}``.  Thresholds are
     relative; the spiral experiment of the paper uses 1.5e-4.  See
     :func:`geometric_windows` for the ``symmetrize`` flag.
+
+    Numerical windowing inspects every row entry, so a hierarchical
+    operator block is materialized first -- acceptable for the irregular
+    small-to-medium layouts this flavor targets, and refused above the
+    dense limit where geometric windows are the scalable choice.
     """
     if threshold < 0:
         raise ValueError("threshold must be non-negative")
+    if isinstance(block, LazyInductance):
+        if block.n > _DENSE_KNN_LIMIT:
+            raise ValueError(
+                "numerical windowing requires the full coupling matrix; "
+                f"refusing to materialize a {block.n}x{block.n} operator "
+                "-- use geometric windows for hierarchical extractions "
+                "at this scale"
+            )
+        block = block.toarray()
     diag = np.diag(block)
     if np.any(diag <= 0):
         raise ValueError("inductance diagonal must be positive")
@@ -201,7 +234,11 @@ def windowed_inverse(
         raise ValueError(f"merge must be one of {MERGE_RULES}, got {merge!r}")
     if policy is None:
         policy = DEFAULT_POLICY
-    require_finite(block, name="inductance block")
+    lazy = isinstance(block, LazyInductance)
+    if lazy:
+        block.validate_finite("inductance block")
+    else:
+        require_finite(block, name="inductance block")
     n = block.shape[0]
     if len(windows) != n:
         raise ValueError("one window per aggressor is required")
@@ -225,7 +262,14 @@ def windowed_inverse(
             raise ValueError(
                 f"window of aggressor {int(agg[0])} must contain {int(agg[0])}"
             )
-        subs = block[stack[:, :, None], stack[:, None, :]]
+        # Window submatrices: fancy indexing on dense blocks, per-window
+        # tree gathers on hierarchical operators (near-field windows hit
+        # the stored leaf blocks verbatim, so the submatrices -- and
+        # with them the solves -- are exact, not approximations).
+        if lazy:
+            subs = block.gather_stack(stack)
+        else:
+            subs = block[stack[:, :, None], stack[:, None, :]]
         self_mask = stack == agg[:, None]
         has_self = self_mask.any(axis=1)
         if not has_self.all():

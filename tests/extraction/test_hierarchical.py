@@ -1,0 +1,364 @@
+"""Hierarchical block low-rank inductance: correctness and plumbing.
+
+The operator's contract has two halves:
+
+- with compression *disabled* (``cutoff=0``) it is the dense general
+  path bit for bit -- same Neumann/GMD closed forms evaluated
+  elementwise, just stored as tree blocks;
+- with compression *enabled* every ``gather`` window agrees with the
+  exact entries to within (a modest multiple of) the ACA cutoff.
+
+Hypothesis drives both over the geometry families the repo ships (the
+aligned bus, the jittered non-aligned bus, the two-layer crossbar);
+random *scattered* index sets are drawn deliberately -- they force the
+gather descent across far-field low-rank blocks stored at internal tree
+pairs, a path neighbor-window workloads never touch.
+
+Bit-identity is asserted on non-aligned geometries only: on perfect
+lattices the dense extractor takes its displacement-class fast path,
+which differs from the general closed forms at the ~1e-12 reassembly
+level (see test_inductance.py), so there the comparison is allclose.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.extraction.hierarchical import (
+    DEFAULT_CONFIG,
+    HierarchicalConfig,
+    LazyInductance,
+    hierarchical_blocks,
+)
+from repro.extraction.parasitics import Parasitics, extract
+from repro.geometry.bus import aligned_bus, nonaligned_bus
+from repro.geometry.crossbar import crossbar
+from repro.pipeline.hashing import stable_hash
+from repro.pipeline.profiling import collect
+from repro.vpec.flow import windowed_vpec
+
+#: Small leaves force a deep tree (and far-field low-rank blocks) even
+#: at unit-test sizes.
+TEST_CONFIG = HierarchicalConfig(leaf_size=8)
+EXACT_CONFIG = HierarchicalConfig(leaf_size=8, cutoff=0.0)
+
+
+def _geometry(family: str, seed: int):
+    if family == "bus":
+        return aligned_bus(24, segments_per_line=3)
+    if family == "nonaligned":
+        return nonaligned_bus(
+            16, segments_per_line=4, offset_jitter=0.3, seed=seed
+        )
+    return crossbar(10, 10)
+
+
+def _blocks(system, config):
+    return hierarchical_blocks(system, config=config)
+
+
+def _dense_blocks(system):
+    return extract(system).inductance_blocks
+
+
+class TestGatherMatchesExact:
+    @settings(deadline=None, max_examples=12)
+    @given(
+        family=st.sampled_from(["bus", "nonaligned", "crossbar"]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_scattered_gather_within_cutoff(self, family, seed):
+        system = _geometry(family, seed)
+        hier = _blocks(system, TEST_CONFIG)
+        dense = _dense_blocks(system)
+        rng = np.random.default_rng(seed)
+        for axis, (indices, operator) in hier.items():
+            exact = np.asarray(dense[axis][1])
+            scale = np.abs(exact).max()
+            m = len(indices)
+            width = min(12, m)
+            for _ in range(4):
+                members = rng.choice(m, size=width, replace=False)
+                window = operator.gather(members, members)
+                reference = exact[np.ix_(members, members)]
+                # ACA's Frobenius-estimate stopping is approximate;
+                # allow two orders of magnitude of slack over the
+                # cutoff (observed errors sit well under one).
+                assert (
+                    np.abs(window - reference).max()
+                    <= 100 * TEST_CONFIG.cutoff * scale + 1e-12 * scale
+                )
+
+    @settings(deadline=None, max_examples=8)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_gather_exact_when_compression_disabled(self, seed):
+        system = _geometry("nonaligned", seed)
+        hier = _blocks(system, EXACT_CONFIG)
+        dense = _dense_blocks(system)
+        rng = np.random.default_rng(seed)
+        for axis, (indices, operator) in hier.items():
+            exact = np.asarray(dense[axis][1])
+            members = rng.permutation(len(indices))[:12]
+            assert np.array_equal(
+                operator.gather(members, members),
+                exact[np.ix_(members, members)],
+            )
+
+    def test_rectangular_and_duplicate_free_gathers(self):
+        system = nonaligned_bus(16, segments_per_line=4, offset_jitter=0.3)
+        (_, operator), = _blocks(system, TEST_CONFIG).values()
+        (_, exact), = _dense_blocks(system).values()
+        exact = np.asarray(exact)
+        rows = np.array([0, 17, 40, 63])
+        cols = np.array([5, 6, 50])
+        assert np.allclose(
+            operator.gather(rows, cols),
+            exact[np.ix_(rows, cols)],
+            rtol=0,
+            atol=100 * TEST_CONFIG.cutoff * np.abs(exact).max(),
+        )
+
+    def test_diagonal_is_exact(self):
+        system = nonaligned_bus(16, segments_per_line=4, offset_jitter=0.3)
+        (_, operator), = _blocks(system, TEST_CONFIG).values()
+        (_, exact), = _dense_blocks(system).values()
+        assert np.array_equal(operator.diagonal(), np.diagonal(exact))
+
+
+class TestBitIdentityCompressionOff:
+    def test_toarray_bit_identical(self):
+        system = nonaligned_bus(16, segments_per_line=4, offset_jitter=0.3)
+        (_, operator), = _blocks(system, EXACT_CONFIG).values()
+        (_, exact), = _dense_blocks(system).values()
+        assert np.array_equal(operator.toarray(), np.asarray(exact))
+
+    def test_windowed_vpec_bit_identical(self):
+        """wVPEC from the exact-mode operator == wVPEC from dense L."""
+        system = nonaligned_bus(12, segments_per_line=3, offset_jitter=0.3)
+        dense = extract(system)
+        hier = extract(
+            system, method="hierarchical", hierarchical=EXACT_CONFIG
+        )
+        built_d = windowed_vpec(dense, window_size=4)
+        built_h = windowed_vpec(hier, window_size=4)
+        assert built_h.sparse_factor == built_d.sparse_factor
+        for net_d, net_h in zip(
+            built_d.model.networks, built_h.model.networks
+        ):
+            assert np.array_equal(net_h.dense_ghat(), net_d.dense_ghat())
+
+    def test_windowed_vpec_close_when_compressed(self):
+        system = nonaligned_bus(12, segments_per_line=3, offset_jitter=0.3)
+        dense = extract(system)
+        hier = extract(
+            system, method="hierarchical", hierarchical=TEST_CONFIG
+        )
+        built_d = windowed_vpec(dense, window_size=4)
+        built_h = windowed_vpec(hier, window_size=4)
+        for net_d, net_h in zip(
+            built_d.model.networks, built_h.model.networks
+        ):
+            assert np.allclose(
+                net_h.dense_ghat(), net_d.dense_ghat(), rtol=1e-5
+            )
+
+
+class TestRoundTrips:
+    def _operator(self):
+        system = nonaligned_bus(16, segments_per_line=4, offset_jitter=0.3)
+        (_, operator), = _blocks(system, TEST_CONFIG).values()
+        return operator
+
+    def test_pickle_round_trip_bit_identical(self):
+        operator = self._operator()
+        clone = pickle.loads(pickle.dumps(operator))
+        assert isinstance(clone, LazyInductance)
+        assert np.array_equal(clone.toarray(), operator.toarray())
+        members = np.array([3, 40, 11, 60])
+        assert np.array_equal(
+            clone.gather(members, members), operator.gather(members, members)
+        )
+
+    def test_columns_round_trip_bit_identical(self):
+        operator = self._operator()
+        meta, arrays = operator.columns()
+        clone = LazyInductance.from_columns(meta, arrays)
+        assert np.array_equal(clone.toarray(), operator.toarray())
+
+    def test_fingerprint_stable_across_round_trips(self):
+        operator = self._operator()
+        clone = pickle.loads(pickle.dumps(operator))
+        assert stable_hash(operator.fingerprint_payload()) == stable_hash(
+            clone.fingerprint_payload()
+        )
+
+
+class TestWireSums:
+    def test_matches_dense_aggregation(self):
+        system = nonaligned_bus(16, segments_per_line=4, offset_jitter=0.3)
+        (indices, operator), = _blocks(system, TEST_CONFIG).values()
+        wire_of = np.array([system[i].wire for i in indices])
+        num_wires = system.num_wires
+        dense = operator.toarray()
+        gather = np.zeros((num_wires, len(indices)))
+        gather[wire_of, np.arange(len(indices))] = 1.0
+        reference = gather @ dense @ gather.T
+        result = operator.wire_sums(wire_of, num_wires)
+        assert np.allclose(result, reference, rtol=1e-12, atol=0)
+
+
+class TestParasiticsLaziness:
+    def test_hierarchical_extract_stays_lazy(self):
+        system = nonaligned_bus(16, segments_per_line=4, offset_jitter=0.3)
+        parasitics = extract(
+            system, method="hierarchical", hierarchical=TEST_CONFIG
+        )
+        assert parasitics.is_hierarchical
+        assert not parasitics.has_dense_inductance
+        (_, operator), = parasitics.inductance_blocks.values()
+        assert isinstance(operator, LazyInductance)
+        # The property materializes on demand and agrees with toarray.
+        assert np.array_equal(parasitics.inductance, operator.toarray())
+
+    def test_dense_single_axis_full_matrix_aliases_block(self):
+        parasitics = extract(aligned_bus(12))
+        (_, block), = parasitics.inductance_blocks.values()
+        assert np.shares_memory(parasitics.inductance, block)
+
+    def test_pickle_drops_derived_matrix(self):
+        system = nonaligned_bus(16, segments_per_line=4, offset_jitter=0.3)
+        parasitics = extract(
+            system, method="hierarchical", hierarchical=TEST_CONFIG
+        )
+        _ = parasitics.inductance  # materialize the cached view
+        clone = pickle.loads(pickle.dumps(parasitics))
+        assert not clone.has_dense_inductance
+        assert clone.is_hierarchical
+        clone.validate()
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            extract(aligned_bus(4), method="mystery")
+
+
+class TestNumericalWindows:
+    def test_small_operator_materializes(self):
+        from repro.vpec.windowing import numerical_windows
+
+        system = nonaligned_bus(16, segments_per_line=4, offset_jitter=0.3)
+        (_, operator), = _blocks(system, EXACT_CONFIG).values()
+        (_, exact), = _dense_blocks(system).values()
+        got = numerical_windows(operator, 0.05)
+        want = numerical_windows(np.asarray(exact), 0.05)
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+
+    def test_large_operator_refused(self, monkeypatch):
+        import repro.vpec.windowing as windowing
+
+        system = nonaligned_bus(16, segments_per_line=4, offset_jitter=0.3)
+        (_, operator), = _blocks(system, TEST_CONFIG).values()
+        monkeypatch.setattr(windowing, "_DENSE_KNN_LIMIT", 16)
+        with pytest.raises(ValueError, match="geometric"):
+            windowing.numerical_windows(operator, 0.05)
+
+
+class TestAcaFallback:
+    def test_rank_capped_blocks_fall_back_to_dense(self):
+        """An unconvergeable rank cap must degrade to exactness, not error."""
+        system = nonaligned_bus(16, segments_per_line=4, offset_jitter=0.3)
+        config = HierarchicalConfig(leaf_size=8, cutoff=1e-12, max_rank=1)
+        with collect() as profile:
+            (_, operator), = _blocks(system, config).values()
+        assert profile.counters.get("hier_aca_fallbacks", 0) >= 1
+        (_, exact), = _dense_blocks(system).values()
+        exact = np.asarray(exact)
+        assert np.allclose(
+            operator.toarray(), exact, rtol=0,
+            atol=1e-10 * np.abs(exact).max(),
+        )
+
+
+class TestCacheRoundTrip:
+    def test_method_aware_keys_and_hierarchical_round_trip(self, tmp_path):
+        from repro.extraction.capacitance import CapacitanceModel
+        from repro.pipeline.cache import (
+            PipelineCache,
+            cached_extract,
+            parasitics_key,
+        )
+
+        system = nonaligned_bus(8, segments_per_line=2, offset_jitter=0.3)
+        model = CapacitanceModel()
+        key_dense = parasitics_key(system, 1.7e-8, 0.0, model, True)
+        key_hier = parasitics_key(
+            system, 1.7e-8, 0.0, model, True,
+            method="hierarchical", hierarchical=TEST_CONFIG,
+        )
+        key_hier_alt = parasitics_key(
+            system, 1.7e-8, 0.0, model, True,
+            method="hierarchical",
+            hierarchical=HierarchicalConfig(leaf_size=16),
+        )
+        assert len({key_dense, key_hier, key_hier_alt}) == 3
+
+        cache = PipelineCache(tmp_path)
+        first = cached_extract(
+            system, cache=cache,
+            method="hierarchical", hierarchical=TEST_CONFIG,
+        )
+        second = cached_extract(
+            system, cache=cache,
+            method="hierarchical", hierarchical=TEST_CONFIG,
+        )
+        (_, op_a), = first.inductance_blocks.values()
+        (_, op_b), = second.inductance_blocks.values()
+        assert isinstance(op_b, LazyInductance)
+        assert np.array_equal(op_a.toarray(), op_b.toarray())
+
+
+class TestSharedMemoryRoundTrip:
+    def test_hierarchical_blocks_ship_as_columns(self):
+        from repro.service.shm import SharedColumnBlock, parasitics_columns
+        from repro.service.shm import parasitics_from_block
+
+        system = nonaligned_bus(16, segments_per_line=4, offset_jitter=0.3)
+        parasitics = extract(
+            system, method="hierarchical", hierarchical=TEST_CONFIG
+        )
+        meta, arrays = parasitics_columns(parasitics)
+        block = SharedColumnBlock.create(meta, arrays)
+        try:
+            clone = parasitics_from_block(block)
+            assert clone.is_hierarchical
+            (_, op_a), = parasitics.inductance_blocks.values()
+            (_, op_b), = clone.inductance_blocks.values()
+            assert np.array_equal(op_a.toarray(), op_b.toarray())
+            assert np.array_equal(clone.resistance, parasitics.resistance)
+        finally:
+            block.close()
+            block.unlink()
+
+
+class TestBenchSuite:
+    def test_small_run_checks_dense_hier_agreement(self):
+        from repro.bench.extraction_scale import run_extraction_scale_suite
+
+        results = run_extraction_scale_suite(
+            kernels=("extract_scale", "window_solve_scale"),
+            sizes=(128,),
+        )
+        by_kernel = {}
+        for result in results:
+            assert result.seconds > 0
+            # RSS-delta peaks can legitimately read 0 for workloads this
+            # small (pages already resident); presence is the contract.
+            assert result.peak_bytes is not None and result.peak_bytes >= 0
+            by_kernel.setdefault(result.kernel, {})[
+                result.variant
+            ] = result.checksum
+        for kernel, variants in by_kernel.items():
+            assert variants["dense"] == variants["hierarchical"], kernel

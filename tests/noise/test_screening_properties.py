@@ -41,10 +41,13 @@ def _rc_bus(bits: int) -> Parasitics:
         axis: (indices, block * RC_SCALE)
         for axis, (indices, block) in parasitics.inductance_blocks.items()
     }
-    return replace(
-        parasitics,
+    return Parasitics(
+        system=parasitics.system,
         inductance=parasitics.inductance * RC_SCALE,
         inductance_blocks=blocks,
+        resistance=parasitics.resistance,
+        ground_capacitance=parasitics.ground_capacitance,
+        coupling_capacitance=parasitics.coupling_capacitance,
     )
 
 

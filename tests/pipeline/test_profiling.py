@@ -1,6 +1,9 @@
 """Stage timing and counter collection semantics."""
 
 import json
+import tracemalloc
+
+import numpy as np
 
 from repro.pipeline.profiling import (
     CORE_STAGES,
@@ -8,6 +11,7 @@ from repro.pipeline.profiling import (
     active_profile,
     add_counter,
     collect,
+    max_rss_bytes,
     stage,
 )
 
@@ -102,3 +106,70 @@ class TestStageProfile:
 
     def test_core_stage_names(self):
         assert CORE_STAGES == ("extract", "invert", "sparsify", "stamp", "solve")
+
+
+class TestMemoryTracking:
+    def test_max_rss_is_positive_and_monotone(self):
+        before = max_rss_bytes()
+        assert before > 0
+        ballast = np.ones(1 << 21)  # 16 MB
+        assert max_rss_bytes() >= before
+        del ballast
+
+    def test_stage_records_rss_high_water_mark(self):
+        with collect() as profile:
+            with stage("extract"):
+                pass
+        assert profile.max_rss_bytes["extract"] > 0
+        # No tracemalloc -> no alloc column.
+        assert "extract" not in profile.peak_alloc_bytes
+
+    def test_stage_records_peak_alloc_when_tracing(self):
+        was_tracing = tracemalloc.is_tracing()
+        if not was_tracing:
+            tracemalloc.start()
+        try:
+            with collect() as profile:
+                with stage("solve"):
+                    ballast = np.ones(1 << 21)  # 16 MB
+                    del ballast
+                with stage("stamp"):
+                    pass
+        finally:
+            if not was_tracing:
+                tracemalloc.stop()
+        assert profile.peak_alloc_bytes["solve"] >= (1 << 24)
+        # Peaks are attributed to the innermost stage: the cheap stage
+        # must not inherit the expensive one's high-water mark.
+        assert profile.peak_alloc_bytes["stamp"] < (1 << 24)
+
+    def test_memory_merges_as_maximum(self):
+        a = StageProfile(
+            seconds={"extract": 1.0},
+            calls={"extract": 1},
+            max_rss_bytes={"extract": 100},
+            peak_alloc_bytes={"extract": 10},
+        )
+        b = StageProfile(
+            seconds={"extract": 1.0},
+            calls={"extract": 1},
+            max_rss_bytes={"extract": 50, "solve": 70},
+            peak_alloc_bytes={"extract": 40},
+        )
+        a.merge(b)
+        assert a.max_rss_bytes == {"extract": 100, "solve": 70}
+        assert a.peak_alloc_bytes == {"extract": 40}
+        assert a.seconds["extract"] == 2.0
+
+    def test_serialization_carries_memory_columns(self):
+        profile = StageProfile(
+            seconds={"solve": 2.0},
+            calls={"solve": 1},
+            max_rss_bytes={"solve": 3 << 30},
+            peak_alloc_bytes={"solve": 5 << 20},
+        )
+        payload = json.loads(profile.to_json())
+        assert payload["stages"]["solve"]["max_rss_bytes"] == 3 << 30
+        assert payload["stages"]["solve"]["peak_alloc_bytes"] == 5 << 20
+        table = profile.to_table()
+        assert "max_rss" in table and "3.00G" in table and "5.0M" in table
