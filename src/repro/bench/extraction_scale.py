@@ -60,11 +60,13 @@ SCALE_KERNELS = (
     "extract_scale",
     "window_solve_scale",
     "noise_scan_scale",
+    "parallel_assembly_scale",
 )
 
-#: Committed sizes of the full local run: two dense-feasible rungs plus
-#: the 100k+ hierarchical-only flagship.
-DEFAULT_SIZES = (4096, 16384, 102400)
+#: Committed sizes of the full local run: two dense-feasible rungs, the
+#: 100k+ hierarchical-only rung, and the 10^6-filament flagship (the
+#: end-to-end extract -> wVPEC -> tiered-scan entry of ISSUE 10).
+DEFAULT_SIZES = (4096, 16384, 102400, 1000000)
 
 #: Largest size the dense path still runs at (time- and memory-wise);
 #: above it only the hierarchical variant is measured.
@@ -73,6 +75,14 @@ DEFAULT_DENSE_LIMIT = 16384
 #: Dense noise scans materialize the full matrix for wire aggregation;
 #: past this size only the hierarchical scan variant runs.
 _DENSE_SCAN_LIMIT = 4096
+
+#: The worker-ladder kernel re-extracts once per worker count; past
+#: this size the ladder is skipped so the flagship entry pays the
+#: extraction cost exactly once.
+_PARALLEL_SIZE_LIMIT = 102400
+
+#: Default worker ladder of ``parallel_assembly_scale``.
+DEFAULT_JOBS_LADDER = (1, 2, 4)
 
 #: Bus spacing/threshold chosen so the closed-form screen resolves every
 #: victim (zero escalations) -- the scan then exercises exactly the
@@ -171,11 +181,11 @@ def _extract_checksum(parasitics: Parasitics) -> str:
     )
 
 
-def _window_solve(parasitics: Parasitics):
+def _window_solve(parasitics: Parasitics, solver: str = "direct"):
     sparse_inverses = []
     for indices, block in parasitics.inductance_blocks.values():
         windows = geometric_windows(parasitics.system, indices, _WINDOW)
-        sparse_inverses.append(windowed_inverse(block, windows))
+        sparse_inverses.append(windowed_inverse(block, windows, solver=solver))
     return sparse_inverses
 
 
@@ -198,6 +208,8 @@ def run_extraction_scale_suite(
     sizes: Sequence[int] = DEFAULT_SIZES,
     dense_limit: int = DEFAULT_DENSE_LIMIT,
     config: Optional[HierarchicalConfig] = None,
+    jobs: Optional[int] = None,
+    jobs_ladder: Optional[Sequence[int]] = None,
 ) -> List[BenchResult]:
     """Execute the scale suite; one result per (kernel, variant, size).
 
@@ -206,12 +218,23 @@ def run_extraction_scale_suite(
     anyway.  Dense variants stop at ``dense_limit`` (extraction) and
     :data:`_DENSE_SCAN_LIMIT` (scan); the suite raises if the dense and
     hierarchical extraction checksums of a shared size disagree.
+
+    ``jobs`` assembles the hierarchical extraction entries through the
+    shared-memory worker pool (bit-identical output, so the committed
+    checksums hold for any worker count; the *time* then measures the
+    parallel build).  ``jobs_ladder`` selects the worker counts of the
+    ``parallel_assembly_scale`` kernel, which re-runs the hierarchical
+    extraction once per count and asserts every rung reproduces the
+    serial checksum -- the worker-scaling curve of the trajectory.  The
+    iterative window-solve variant (``hierarchical-iterative``) rides
+    along whenever the window kernel is selected.
     """
     selected = tuple(kernels) if kernels is not None else SCALE_KERNELS
     unknown = set(selected) - set(SCALE_KERNELS)
     if unknown:
         raise ValueError(f"unknown kernels: {sorted(unknown)}")
     hier_config = config if config is not None else HierarchicalConfig()
+    ladder = tuple(jobs_ladder) if jobs_ladder is not None else DEFAULT_JOBS_LADDER
 
     results: List[BenchResult] = []
     for requested in sizes:
@@ -221,7 +244,11 @@ def run_extraction_scale_suite(
         checksums: Dict[str, str] = {}
         for variant in variants:
             kwargs: Dict[str, Any] = (
-                {"method": "hierarchical", "hierarchical": hier_config}
+                {
+                    "method": "hierarchical",
+                    "hierarchical": hier_config,
+                    "jobs": jobs,
+                }
                 if variant == "hierarchical"
                 else {}
             )
@@ -241,22 +268,27 @@ def run_extraction_scale_suite(
                     )
                 )
             if "window_solve_scale" in selected:
-                seconds, peak, inverses = _timed_peak(
-                    lambda: _window_solve(parasitics)
-                )
-                results.append(
-                    BenchResult(
-                        kernel="window_solve_scale",
-                        variant=variant,
-                        size=n,
-                        seconds=seconds,
-                        checksum=array_checksum(
-                            *(s.diagonal() for s in inverses),
-                            *(s.data for s in inverses),
-                        ),
-                        peak_bytes=peak,
+                solvers = ["direct"]
+                if variant == "hierarchical":
+                    solvers.append("iterative")
+                for solver in solvers:
+                    label = variant if solver == "direct" else f"{variant}-{solver}"
+                    seconds, peak, inverses = _timed_peak(
+                        lambda: _window_solve(parasitics, solver=solver)
                     )
-                )
+                    results.append(
+                        BenchResult(
+                            kernel="window_solve_scale",
+                            variant=label,
+                            size=n,
+                            seconds=seconds,
+                            checksum=array_checksum(
+                                *(s.diagonal() for s in inverses),
+                                *(s.data for s in inverses),
+                            ),
+                            peak_bytes=peak,
+                        )
+                    )
             if "noise_scan_scale" in selected and (
                 variant == "hierarchical" or n <= _DENSE_SCAN_LIMIT
             ):
@@ -278,6 +310,37 @@ def run_extraction_scale_suite(
                 f"dense and hierarchical extraction disagree at n={n}: "
                 f"{checksums['dense'][:12]} != {checksums['hierarchical'][:12]}"
             )
+        if (
+            "parallel_assembly_scale" in selected
+            and n <= _PARALLEL_SIZE_LIMIT
+        ):
+            for workers in ladder:
+                seconds, peak, parasitics = _timed_peak(
+                    lambda: extract(
+                        system,
+                        method="hierarchical",
+                        hierarchical=hier_config,
+                        jobs=workers,
+                    )
+                )
+                checksum = _extract_checksum(parasitics)
+                serial = checksums.get("hierarchical", checksum)
+                if checksum != serial:
+                    raise AssertionError(
+                        f"parallel assembly (jobs={workers}) diverged from "
+                        f"the serial build at n={n}: {checksum[:12]} != "
+                        f"{serial[:12]}"
+                    )
+                results.append(
+                    BenchResult(
+                        kernel="parallel_assembly_scale",
+                        variant=f"jobs{workers}",
+                        size=n,
+                        seconds=seconds,
+                        checksum=checksum,
+                        peak_bytes=peak,
+                    )
+                )
     return results
 
 

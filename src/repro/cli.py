@@ -101,6 +101,15 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
         "--threshold", type=float, default=0.0, help="nt/nw: coupling threshold"
     )
     parser.add_argument("--window", type=int, default=0, help="gw: window size b")
+    parser.add_argument(
+        "--solver",
+        choices=["direct", "iterative"],
+        default="direct",
+        help="gw/nw window-solve backend: batched direct solves or "
+        "Jacobi-preconditioned CG with a direct holdout fallback "
+        "(iterative also routes escalated-victim transients through "
+        "the ILU-preconditioned iterative tier)",
+    )
 
 
 def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
@@ -159,6 +168,14 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="R",
         help="hierarchical: rank cap per far-field block (default 64)",
     )
+    parser.add_argument(
+        "--hier-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hierarchical: assemble blocks with N shared-memory worker "
+        "processes (bit-identical to the serial build; default serial)",
+    )
 
 
 def _cache(args: argparse.Namespace) -> Optional[PipelineCache]:
@@ -192,7 +209,11 @@ def _extraction_options(args: argparse.Namespace) -> dict:
         if overrides
         else DEFAULT_CONFIG
     )
-    return {"method": "hierarchical", "hierarchical": config}
+    options = {"method": "hierarchical", "hierarchical": config}
+    jobs = getattr(args, "hier_jobs", None)
+    if jobs is not None:
+        options["jobs"] = jobs
+    return options
 
 
 def _model_spec(args: argparse.Namespace) -> ModelSpec:
@@ -203,6 +224,7 @@ def _model_spec(args: argparse.Namespace) -> ModelSpec:
         nl=args.nl,
         threshold=args.threshold,
         window=args.window,
+        solver=getattr(args, "solver", "direct"),
     )
 
 
@@ -982,8 +1004,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="extraction_scale suite: filament counts to run (default: "
-        "the committed 4096/16384/102400 ladder; CI passes a small "
-        "prefix -- sizes absent from the trajectory are not compared)",
+        "the committed 4096/16384/102400/1000000 ladder; CI passes a "
+        "small prefix -- sizes absent from the trajectory are not "
+        "compared)",
+    )
+    p_bench.add_argument(
+        "--scale-jobs",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="W",
+        help="extraction_scale suite: worker counts for the "
+        "parallel_assembly_scale kernel (default: the 1/2/4 ladder); "
+        "every rung must reproduce the serial checksum bit-for-bit",
+    )
+    p_bench.add_argument(
+        "--scale-assembly-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extraction_scale suite: assemble the hierarchical "
+        "extraction entries themselves through N shared-memory workers "
+        "(output is bit-identical, so the committed checksums hold)",
     )
     p_bench.set_defaults(func=_cmd_bench)
     return parser
@@ -1033,6 +1075,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 tuple(args.scale_sizes)
                 if args.scale_sizes is not None
                 else DEFAULT_SIZES
+            ),
+            jobs=args.scale_assembly_jobs,
+            jobs_ladder=(
+                tuple(args.scale_jobs)
+                if args.scale_jobs is not None
+                else None
             ),
         )
     elif args.suite == "noise":

@@ -51,6 +51,12 @@ class ModelSpec:
     ``localized`` (the [15] baseline), ``gt``/``nt`` (geometric /
     numerical truncation), ``gw``/``nw`` (geometric / numerical
     windowing).
+
+    ``solver`` selects the window-solve backend of the windowed kinds
+    (``"direct"`` or ``"iterative"``, see
+    :func:`repro.vpec.windowing.windowed_inverse`); it participates in
+    :func:`model_key` like every other spec field, so direct- and
+    iterative-built models cache separately.
     """
 
     kind: str
@@ -58,6 +64,7 @@ class ModelSpec:
     nl: int = 0
     window: int = 0
     threshold: float = 0.0
+    solver: str = "direct"
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -68,6 +75,14 @@ class ModelSpec:
             raise ValueError("gw needs window >= 1")
         if self.kind in ("nt", "nw") and self.threshold <= 0:
             raise ValueError(f"{self.kind} needs a positive threshold")
+        if self.solver not in ("direct", "iterative"):
+            raise ValueError(
+                f"solver must be 'direct' or 'iterative', got {self.solver!r}"
+            )
+        if self.solver != "direct" and self.kind not in ("gw", "nw"):
+            raise ValueError(
+                "iterative solves apply to windowed kinds (gw/nw) only"
+            )
 
     @property
     def label(self) -> str:
@@ -104,12 +119,12 @@ def nt_spec(threshold: float) -> ModelSpec:
     return ModelSpec("nt", threshold=threshold)
 
 
-def gw_spec(window: int) -> ModelSpec:
-    return ModelSpec("gw", window=window)
+def gw_spec(window: int, solver: str = "direct") -> ModelSpec:
+    return ModelSpec("gw", window=window, solver=solver)
 
 
-def nw_spec(threshold: float) -> ModelSpec:
-    return ModelSpec("nw", threshold=threshold)
+def nw_spec(threshold: float, solver: str = "direct") -> ModelSpec:
+    return ModelSpec("nw", threshold=threshold, solver=solver)
 
 
 @dataclass
@@ -191,9 +206,13 @@ def _build_model_cold(spec: ModelSpec, parasitics: Parasitics) -> BuiltModel:
     elif spec.kind == "nt":
         result = truncated_vpec(parasitics, threshold=spec.threshold)
     elif spec.kind == "gw":
-        result = windowed_vpec(parasitics, window_size=spec.window)
+        result = windowed_vpec(
+            parasitics, window_size=spec.window, solver=spec.solver
+        )
     else:  # "nw"
-        result = windowed_vpec(parasitics, threshold=spec.threshold)
+        result = windowed_vpec(
+            parasitics, threshold=spec.threshold, solver=spec.solver
+        )
     return BuiltModel(
         spec=spec,
         circuit=result.model.circuit,

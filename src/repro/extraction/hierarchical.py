@@ -39,6 +39,8 @@ cache and maps zero-copy through the shared-memory parasitics store.
 
 from __future__ import annotations
 
+import atexit
+import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -55,11 +57,25 @@ from repro.extraction.inductance import (
 )
 from repro.geometry.filament import Axis
 from repro.geometry.system import FilamentSystem
-from repro.pipeline.profiling import add_counter, stage
+from repro.pipeline.parallel import parallel_map
+from repro.pipeline.profiling import (
+    active_profile,
+    add_counter,
+    collect,
+    stage,
+)
 
 #: Block kinds in the block directory (column 2 of ``block_table``).
+#: ``_KIND_DENSE_SPILL`` is a dense block that lives in the *factor*
+#: pool: an admissible pair whose ACA refused to converge.  The
+#: parallel builder reserves factor-pool space per admissible block
+#: before the workers run, so a fallback block lands in the reservation
+#: it already owns (or, when even that is too small, rides back to the
+#: owner and is appended during compaction) instead of fighting the
+#: dense pool's precomputed layout.
 _KIND_DENSE = 0
 _KIND_LOWRANK = 1
+_KIND_DENSE_SPILL = 2
 
 
 @dataclass(frozen=True)
@@ -436,6 +452,15 @@ class LazyInductance:
             if kind == _KIND_DENSE:
                 data = self.dense_data[offset:offset + ra * rb]
                 self._blocks[(a, b)] = (kind, data.reshape(ra, rb), None)
+            elif kind == _KIND_DENSE_SPILL:
+                # Dense payload stored in the factor pool; downstream
+                # consumers only ever see the normalized dense kind.
+                data = self.lr_data[offset:offset + ra * rb]
+                self._blocks[(a, b)] = (
+                    _KIND_DENSE,
+                    data.reshape(ra, rb),
+                    None,
+                )
             else:
                 u = self.lr_data[offset:offset + ra * rank]
                 v = self.lr_data[offset + ra * rank:offset + ra * rank + rank * rb]
@@ -522,6 +547,75 @@ class LazyInductance:
         for k in range(count):
             out[k] = self.gather(windows[k], windows[k])
         return out
+
+    # ------------------------------------------------------------------
+    # Operator application
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``L @ x`` without materializing ``L`` (axis-local order).
+
+        One pass over the block directory: dense blocks contribute a
+        GEMV, low-rank blocks two skinny GEMVs (``U (V x)``), and every
+        off-diagonal block also applies its transpose so symmetry costs
+        no extra storage.  Cost is proportional to the stored entries --
+        ``O(N b + sum(rank * (ra + rb)))`` -- not ``N^2``.
+
+        The block iteration order is the block-table order, which the
+        planner fixes before any worker runs, so repeated applications
+        -- and applications through serial- vs parallel-built operators
+        of the same geometry -- are bit-identical.  Against the *dense*
+        ``L @ x`` the result agrees to a few ulp even at ``cutoff=0``
+        (every entry is then exact but the per-block summation grouping
+        differs from one long dot product), and to ~``cutoff`` when
+        compression is on.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n,):
+            raise ValueError(f"expected shape ({self.n},), got {x.shape}")
+        return self._apply(x)
+
+    def matmat(self, x: np.ndarray) -> np.ndarray:
+        """``L @ X`` for a column stack (see :meth:`matvec`); the block
+        pass is shared across columns, so batched right-hand sides cost
+        one traversal."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[0] != self.n:
+            raise ValueError(
+                f"expected shape ({self.n}, k), got {x.shape}"
+            )
+        return self._apply(x)
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        xt = x[self.perm]
+        yt = np.zeros_like(xt)
+        node_lo, node_hi = self.node_lo, self.node_hi
+        for (a, b), (kind, first, second) in self._blocks.items():
+            lo_a, hi_a = node_lo[a], node_hi[a]
+            lo_b, hi_b = node_lo[b], node_hi[b]
+            if kind == _KIND_DENSE:
+                yt[lo_a:hi_a] += first @ xt[lo_b:hi_b]
+                if a != b:
+                    yt[lo_b:hi_b] += first.T @ xt[lo_a:hi_a]
+            else:
+                yt[lo_a:hi_a] += first @ (second @ xt[lo_b:hi_b])
+                if a != b:
+                    yt[lo_b:hi_b] += second.T @ (first.T @ xt[lo_a:hi_a])
+        out = np.empty_like(yt)
+        out[self.perm] = yt
+        return out
+
+    def leaf_diagonal_blocks(self) -> Iterator[Tuple[int, int, np.ndarray]]:
+        """The exact near-field diagonal: ``(lo, hi, block)`` per leaf.
+
+        Tree coordinates (``perm`` maps slots back to axis-local
+        indices); each block is the leaf's stored dense self-coupling.
+        This is the material of the block-Jacobi preconditioner in
+        :mod:`repro.health.iterative`.
+        """
+        for node in range(self.node_lo.size):
+            if self.node_left[node] == -1:
+                _, first, _ = self._blocks[(node, node)]
+                yield int(self.node_lo[node]), int(self.node_hi[node]), first
 
     def _descend(
         self,
@@ -687,8 +781,11 @@ class LazyInductance:
         return {
             "n": self.n,
             "blocks": int(self.block_table.shape[0]),
-            "dense_blocks": int(np.sum(kinds == _KIND_DENSE)),
+            "dense_blocks": int(
+                np.sum((kinds == _KIND_DENSE) | (kinds == _KIND_DENSE_SPILL))
+            ),
             "lowrank_blocks": int(np.sum(kinds == _KIND_LOWRANK)),
+            "spill_blocks": int(np.sum(kinds == _KIND_DENSE_SPILL)),
             "stored_bytes": int(stored),
             "dense_bytes": int(dense),
             "compression_ratio": dense / max(stored, 1),
@@ -806,14 +903,459 @@ def _filament_boxes(
     return box_min, box_max
 
 
+#: Plan-row kinds (column 2 of a *plan* row, before evaluation): the
+#: planner decides dense vs admissible; only the executed table knows
+#: whether an admissible block actually compressed.
+_PLAN_DENSE = 0
+_PLAN_LOWRANK = 1
+
+
+def _plan_blocks(
+    node_lo: np.ndarray,
+    node_hi: np.ndarray,
+    node_left: np.ndarray,
+    node_right: np.ndarray,
+    nbox_min: np.ndarray,
+    nbox_max: np.ndarray,
+    diam: np.ndarray,
+    config: HierarchicalConfig,
+) -> Tuple[np.ndarray, int, int]:
+    """The geometry-only half of the build: the block list with offsets.
+
+    Traverses the cluster tree exactly like the original single-pass
+    builder, but evaluates *nothing* -- it only decides, per emitted
+    pair, dense (near field) or admissible (far field), and assigns
+    every block its pool offset up front:
+
+    - dense blocks get exact ``ra * rb`` slices of the dense pool;
+    - admissible blocks get a ``cap * (ra + rb)`` *reservation* in the
+      factor pool, where ``cap = min(max_rank, ra, rb)`` is the largest
+      rank ACA may return.
+
+    With offsets fixed before any kernel work, evaluation of the rows
+    is embarrassingly parallel: workers write disjoint slices of two
+    preallocated pools and never ship block payloads back.  Returns
+    ``(plan, dense_total, lr_total)`` with plan rows
+    ``(a, b, plan_kind, offset, cap)``.
+    """
+    rows: List[Tuple[int, int, int, int, int]] = []
+    dense_total = 0
+    lr_total = 0
+    stack: List[Tuple[int, int]] = [(0, 0)]
+    while stack:
+        a, b = stack.pop()
+        size_a = int(node_hi[a] - node_lo[a])
+        size_b = int(node_hi[b] - node_lo[b])
+        leaf_a = node_left[a] == -1
+        leaf_b = node_left[b] == -1
+        if a == b:
+            if leaf_a:
+                rows.append((a, a, _PLAN_DENSE, dense_total, 0))
+                dense_total += size_a * size_a
+            else:
+                left, right = int(node_left[a]), int(node_right[a])
+                stack.append((left, left))
+                stack.append((left, right))
+                stack.append((right, right))
+            continue
+        admissible = False
+        if config.compress and min(size_a, size_b) >= 8:
+            dist = _box_distance(
+                nbox_min[a], nbox_max[a], nbox_min[b], nbox_max[b]
+            )
+            admissible = max(diam[a], diam[b]) <= config.eta * dist
+        if admissible:
+            cap = min(config.max_rank, size_a, size_b)
+            rows.append((a, b, _PLAN_LOWRANK, lr_total, cap))
+            lr_total += cap * (size_a + size_b)
+            continue
+        if leaf_a and leaf_b:
+            rows.append((a, b, _PLAN_DENSE, dense_total, 0))
+            dense_total += size_a * size_b
+            continue
+        kids_a = [a] if leaf_a else [int(node_left[a]), int(node_right[a])]
+        kids_b = [b] if leaf_b else [int(node_left[b]), int(node_right[b])]
+        # Only split the larger side when both have children, keeping
+        # block counts (and descent work) low for unbalanced pairs.
+        if not leaf_a and not leaf_b:
+            if size_a >= size_b:
+                kids_b = [b]
+            else:
+                kids_a = [a]
+        for ka in kids_a:
+            for kb in kids_b:
+                stack.append((ka, kb) if node_lo[ka] <= node_lo[kb] else (kb, ka))
+    plan = np.asarray(rows, dtype=np.int64).reshape(len(rows), 5)
+    return plan, dense_total, lr_total
+
+
+def _execute_plan_rows(
+    evaluator: _PairEvaluator,
+    node_lo: np.ndarray,
+    node_hi: np.ndarray,
+    plan: np.ndarray,
+    dense_data: np.ndarray,
+    lr_data: np.ndarray,
+    tol: float,
+) -> Tuple[np.ndarray, np.ndarray, Dict[int, np.ndarray]]:
+    """Evaluate the blocks of ``plan`` into their preassigned slices.
+
+    The one evaluation routine shared by the serial path (private
+    arrays) and the pool workers (shared-memory pool views), which is
+    what makes serial- and parallel-built operators bit-identical: the
+    kernel call sequence per block is fixed by the plan row, regardless
+    of which process runs it.
+
+    Returns ``(kinds, ranks, spills)`` per plan row.  ``kinds`` uses
+    the final block-table vocabulary; an admissible block whose ACA did
+    not converge becomes :data:`_KIND_DENSE_SPILL` -- written into its
+    factor-pool reservation when it fits (``ra * rb <= cap * (ra +
+    rb)``, i.e. whenever ``min(ra, rb) <= cap``), otherwise returned in
+    ``spills`` for the owner to append at compaction time.
+    """
+    count = plan.shape[0]
+    kinds = np.empty(count, dtype=np.int64)
+    ranks = np.zeros(count, dtype=np.int64)
+    spills: Dict[int, np.ndarray] = {}
+    for idx in range(count):
+        a, b, plan_kind, offset, cap = (int(v) for v in plan[idx])
+        rows = np.arange(node_lo[a], node_hi[a])
+        cols = np.arange(node_lo[b], node_hi[b])
+        if plan_kind == _PLAN_DENSE:
+            block = evaluator.block(rows, cols)
+            dense_data[offset:offset + block.size] = block.ravel()
+            kinds[idx] = _KIND_DENSE
+            add_counter("hier_dense_blocks")
+            continue
+        factors = _aca(evaluator, rows, cols, tol, cap)
+        if factors is not None:
+            u, v = factors
+            lr_data[offset:offset + u.size] = u.ravel()
+            lr_data[offset + u.size:offset + u.size + v.size] = v.ravel()
+            kinds[idx] = _KIND_LOWRANK
+            ranks[idx] = u.shape[1]
+            add_counter("hier_lowrank_blocks")
+            continue
+        add_counter("hier_aca_fallbacks")
+        block = evaluator.block(rows, cols)
+        kinds[idx] = _KIND_DENSE_SPILL
+        if block.size <= cap * (rows.size + cols.size):
+            lr_data[offset:offset + block.size] = block.ravel()
+        else:
+            spills[idx] = block
+            add_counter("hier_spill_blocks")
+        add_counter("hier_dense_blocks")
+    return kinds, ranks, spills
+
+
+def _assemble_operator(
+    n: int,
+    perm: np.ndarray,
+    node_lo: np.ndarray,
+    node_hi: np.ndarray,
+    node_left: np.ndarray,
+    node_right: np.ndarray,
+    config: HierarchicalConfig,
+    plan: np.ndarray,
+    kinds: np.ndarray,
+    ranks: np.ndarray,
+    spills: Dict[int, np.ndarray],
+    dense_data: np.ndarray,
+    lr_scratch: np.ndarray,
+) -> LazyInductance:
+    """Compact the executed plan into the final operator.
+
+    The dense pool's planned layout is already exact, so ``dense_data``
+    is adopted as-is (in the parallel path that is a zero-copy
+    shared-memory view).  The factor pool is *reserved* per admissible
+    block, so actual ranks leave gaps; those are squeezed out here into
+    a private, tightly packed ``lr_data`` -- fingerprints hash the
+    pools, and reservation gaps would otherwise hash nondeterministic
+    garbage.  Spilled dense fallbacks are appended in plan order.
+    """
+    count = plan.shape[0]
+    sizes_a = node_hi[plan[:, 0]] - node_lo[plan[:, 0]]
+    sizes_b = node_hi[plan[:, 1]] - node_lo[plan[:, 1]]
+    lr_sizes = np.where(
+        kinds == _KIND_LOWRANK,
+        ranks * (sizes_a + sizes_b),
+        np.where(kinds == _KIND_DENSE_SPILL, sizes_a * sizes_b, 0),
+    )
+    lr_offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(lr_sizes)]
+    )
+    lr_data = np.empty(int(lr_offsets[-1]))
+    block_table = np.zeros((count, 5), dtype=np.int64)
+    block_table[:, 0] = plan[:, 0]
+    block_table[:, 1] = plan[:, 1]
+    block_table[:, 2] = kinds
+    block_table[:, 4] = np.where(kinds == _KIND_LOWRANK, ranks, 0)
+    for idx in range(count):
+        if kinds[idx] == _KIND_DENSE:
+            block_table[idx, 3] = plan[idx, 3]
+            continue
+        out_offset = int(lr_offsets[idx])
+        size = int(lr_sizes[idx])
+        block_table[idx, 3] = out_offset
+        spilled = spills.get(idx)
+        if spilled is not None:
+            lr_data[out_offset:out_offset + size] = spilled.ravel()
+        else:
+            src = int(plan[idx, 3])
+            lr_data[out_offset:out_offset + size] = lr_scratch[src:src + size]
+    return LazyInductance(
+        n=n,
+        perm=perm,
+        node_lo=node_lo,
+        node_hi=node_hi,
+        node_left=node_left,
+        node_right=node_right,
+        block_table=block_table,
+        dense_data=dense_data,
+        lr_data=lr_data,
+        config=config,
+    )
+
+
+# ----------------------------------------------------------------------
+# Parallel assembly through shared-memory pools
+# ----------------------------------------------------------------------
+#: Per-worker attachment cache, keyed by segment name: a pool worker
+#: maps the geometry segment (and builds its evaluator) once, then
+#: reuses both across every chunk it executes.  Flushed through the
+#: deferred-close-safe ``close`` paths at interpreter exit so a worker
+#: shutting down with live evaluator views never trips an unraisable
+#: ``BufferError`` out of ``SharedMemory.__del__``.
+_ASSEMBLY_CACHE: Dict[str, Any] = {}
+
+
+def _clear_assembly_cache() -> None:
+    for entry in _ASSEMBLY_CACHE.values():
+        target = entry[0] if isinstance(entry, tuple) else entry
+        target.close()
+    _ASSEMBLY_CACHE.clear()
+
+
+atexit.register(_clear_assembly_cache)
+
+
+def _attach_geometry(name: str) -> Tuple[Any, np.ndarray, np.ndarray, float]:
+    entry = _ASSEMBLY_CACHE.get(name)
+    if entry is None:
+        from repro.service.shm import SharedColumnBlock
+
+        block = SharedColumnBlock.attach(name)
+        columns = block.arrays()
+        evaluator = _PairEvaluator(
+            columns["lengths"],
+            columns["widths"],
+            columns["thicknesses"],
+            columns["starts"],
+            columns["centers"],
+            columns["orig"],
+            bool(block.meta["gmd_correction"]),
+        )
+        entry = (
+            block,
+            evaluator,
+            columns["node_lo"],
+            columns["node_hi"],
+            float(block.meta["cutoff"]),
+        )
+        _ASSEMBLY_CACHE[name] = entry
+    _, evaluator, node_lo, node_hi, tol = entry
+    return evaluator, node_lo, node_hi, tol
+
+
+def _attach_pool(name: str) -> Any:
+    pool = _ASSEMBLY_CACHE.get(name)
+    if pool is None:
+        from repro.service.shm import SharedArrayPool
+
+        pool = SharedArrayPool.attach(name)
+        _ASSEMBLY_CACHE[name] = pool
+    return pool
+
+
+def _assembly_chunk_worker(
+    task: Tuple[str, str, str, np.ndarray, np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dict[int, np.ndarray], Any]:
+    """Evaluate one chunk of plan rows (module-level, hence picklable).
+
+    Everything bulky travels by name: the worker attaches the geometry
+    segment and both pools, evaluates its rows *in place* into the
+    pools' shared mappings, and returns only the per-row outcome
+    vectors (kind, rank), rare oversized spill blocks, and its stage
+    profile -- never the factor payloads themselves.
+    """
+    geometry_name, dense_name, lr_name, indices, rows = task
+    evaluator, node_lo, node_hi, tol = _attach_geometry(geometry_name)
+    dense_pool = _attach_pool(dense_name)
+    lr_pool = _attach_pool(lr_name)
+    with collect() as profile:
+        with stage("hier_build_workers"):
+            kinds, ranks, spills = _execute_plan_rows(
+                evaluator,
+                node_lo,
+                node_hi,
+                rows,
+                dense_pool.data,
+                lr_pool.data,
+                tol,
+            )
+    return indices, kinds, ranks, spills, profile
+
+
+def _balanced_chunks(
+    plan: np.ndarray,
+    node_lo: np.ndarray,
+    node_hi: np.ndarray,
+    pieces: int,
+) -> List[np.ndarray]:
+    """Split plan rows into contiguous chunks of roughly equal cost.
+
+    Cost model: a dense block evaluates ``ra * rb`` kernel entries; an
+    admissible block's ACA touches about ``2 * cap * (ra + rb)`` (rows
+    plus columns, with recompression overhead).  Contiguous splits keep
+    the executor's pool writes sequential per worker.
+    """
+    count = plan.shape[0]
+    if count == 0:
+        return []
+    sizes_a = (node_hi[plan[:, 0]] - node_lo[plan[:, 0]]).astype(float)
+    sizes_b = (node_hi[plan[:, 1]] - node_lo[plan[:, 1]]).astype(float)
+    cost = np.where(
+        plan[:, 2] == _PLAN_LOWRANK,
+        2.0 * plan[:, 4] * (sizes_a + sizes_b),
+        sizes_a * sizes_b,
+    )
+    cumulative = np.cumsum(cost)
+    pieces = max(1, min(int(pieces), count))
+    targets = cumulative[-1] * np.arange(1, pieces) / pieces
+    cuts = np.searchsorted(cumulative, targets) + 1
+    edges = np.unique(np.concatenate([[0], cuts, [count]]))
+    return [
+        np.arange(edges[i], edges[i + 1])
+        for i in range(edges.size - 1)
+        if edges[i + 1] > edges[i]
+    ]
+
+
+def _release_pool(pool: Any) -> None:
+    pool.close()
+    pool.unlink()
+
+
+def _parallel_assemble(
+    evaluator_arrays: Dict[str, np.ndarray],
+    gmd_correction: bool,
+    n: int,
+    perm: np.ndarray,
+    node_lo: np.ndarray,
+    node_hi: np.ndarray,
+    node_left: np.ndarray,
+    node_right: np.ndarray,
+    config: HierarchicalConfig,
+    plan: np.ndarray,
+    dense_total: int,
+    lr_total: int,
+    jobs: int,
+) -> LazyInductance:
+    """Fan the plan out over a process pool writing shared-memory pools.
+
+    The owner publishes the (tree-ordered) geometry as a read-only
+    column segment and preallocates the two data pools at their planned
+    sizes; workers attach by name and write their rows' factors
+    straight into the pools, so with ``10^5+`` blocks nothing block-
+    sized is ever pickled in either direction.  The owner then adopts
+    the dense pool zero-copy as the operator's near-field storage (the
+    segment is released when the operator is garbage-collected) and
+    compacts the reserved factor pool into a private array.
+    """
+    from repro.service.shm import SharedArrayPool, SharedColumnBlock
+
+    geometry = SharedColumnBlock.create(
+        meta={"gmd_correction": gmd_correction, "cutoff": config.cutoff},
+        arrays=evaluator_arrays,
+    )
+    dense_pool = SharedArrayPool.create(dense_total)
+    lr_pool = SharedArrayPool.create(lr_total)
+    try:
+        chunks = _balanced_chunks(plan, node_lo, node_hi, jobs * 4)
+        tasks = [
+            (geometry.name, dense_pool.name, lr_pool.name, chunk, plan[chunk])
+            for chunk in chunks
+        ]
+        results = parallel_map(
+            _assembly_chunk_worker, tasks, jobs=jobs, serial_threshold=0
+        )
+        count = plan.shape[0]
+        kinds = np.empty(count, dtype=np.int64)
+        ranks = np.zeros(count, dtype=np.int64)
+        spills: Dict[int, np.ndarray] = {}
+        profiles = []
+        for indices, chunk_kinds, chunk_ranks, chunk_spills, profile in results:
+            kinds[indices] = chunk_kinds
+            ranks[indices] = chunk_ranks
+            for local, block in chunk_spills.items():
+                spills[int(indices[local])] = block
+            profiles.append(profile)
+        owner_profile = active_profile()
+        if owner_profile is not None:
+            owner_profile.merge_workers(profiles)
+        add_counter("hier_parallel_chunks", len(tasks))
+        dense_view = dense_pool.data
+        dense_view.flags.writeable = False
+        lr_scratch = lr_pool.data
+        operator = _assemble_operator(
+            n,
+            perm,
+            node_lo,
+            node_hi,
+            node_left,
+            node_right,
+            config,
+            plan,
+            kinds,
+            ranks,
+            spills,
+            dense_view,
+            lr_scratch,
+        )
+        del lr_scratch
+        # The operator's near-field blocks are views into the dense
+        # pool; tie the segment's lifetime to the operator (the close
+        # defers -- leaking one mapping -- if views somehow outlive it).
+        weakref.finalize(operator, _release_pool, dense_pool)
+    except BaseException:
+        dense_pool.close()
+        dense_pool.unlink()
+        raise
+    finally:
+        geometry.close()
+        geometry.unlink()
+        lr_pool.close()
+        lr_pool.unlink()
+    return operator
+
+
 def build_axis_operator(
     system: FilamentSystem,
     indices: List[int],
     axis: Axis,
     gmd_correction: bool = True,
     config: HierarchicalConfig = DEFAULT_CONFIG,
+    jobs: Optional[int] = None,
 ) -> LazyInductance:
-    """The hierarchical operator of one axis group."""
+    """The hierarchical operator of one axis group.
+
+    ``jobs`` controls block assembly: ``None`` or ``1`` evaluates the
+    plan serially in-process; ``jobs > 1`` fans the plan out over a
+    process pool writing shared-memory pools (see
+    :func:`_parallel_assemble`).  Both paths execute the identical
+    plan, so the resulting operators are bit-identical -- the
+    equivalence tests assert exactly that.
+    """
     lengths, widths, thicknesses, starts, centers = axis_geometry(
         system, indices, axis
     )
@@ -830,113 +1372,69 @@ def build_axis_operator(
         nbox_min,
         nbox_max,
     ) = _build_cluster_tree(box_min, box_max, config.leaf_size)
-    evaluator = _PairEvaluator(
-        lengths[perm],
-        widths[perm],
-        thicknesses[perm],
-        starts[perm],
-        centers[perm],
-        perm,
-        gmd_correction,
-    )
-
     diam = np.array(
         [_box_diameter(nbox_min[k], nbox_max[k]) for k in range(node_lo.size)]
     )
-    table_rows: List[Tuple[int, int, int, int, int]] = []
-    dense_parts: List[np.ndarray] = []
-    lr_parts: List[np.ndarray] = []
-    dense_offset = 0
-    lr_offset = 0
-    tol = config.cutoff
-
-    def emit_dense(a: int, b: int) -> None:
-        nonlocal dense_offset
-        block = evaluator.block(
-            np.arange(node_lo[a], node_hi[a]),
-            np.arange(node_lo[b], node_hi[b]),
+    plan, dense_total, lr_total = _plan_blocks(
+        node_lo, node_hi, node_left, node_right, nbox_min, nbox_max, diam, config
+    )
+    workers = 1 if jobs is None else max(int(jobs), 1)
+    if workers > 1 and plan.shape[0] > 1:
+        operator = _parallel_assemble(
+            {
+                "lengths": lengths[perm],
+                "widths": widths[perm],
+                "thicknesses": thicknesses[perm],
+                "starts": starts[perm],
+                "centers": centers[perm],
+                "orig": perm,
+                "node_lo": node_lo,
+                "node_hi": node_hi,
+            },
+            gmd_correction,
+            n,
+            perm,
+            node_lo,
+            node_hi,
+            node_left,
+            node_right,
+            config,
+            plan,
+            dense_total,
+            lr_total,
+            workers,
         )
-        table_rows.append((a, b, _KIND_DENSE, dense_offset, 0))
-        dense_parts.append(block.ravel())
-        dense_offset += block.size
-        add_counter("hier_dense_blocks")
-
-    stack: List[Tuple[int, int]] = [(0, 0)]
-    while stack:
-        a, b = stack.pop()
-        size_a = int(node_hi[a] - node_lo[a])
-        size_b = int(node_hi[b] - node_lo[b])
-        leaf_a = node_left[a] == -1
-        leaf_b = node_left[b] == -1
-        if a == b:
-            if leaf_a:
-                emit_dense(a, a)
-            else:
-                left, right = int(node_left[a]), int(node_right[a])
-                stack.append((left, left))
-                stack.append((left, right))
-                stack.append((right, right))
-            continue
-        admissible = False
-        if config.compress and min(size_a, size_b) >= 8:
-            dist = _box_distance(nbox_min[a], nbox_max[a], nbox_min[b], nbox_max[b])
-            admissible = max(diam[a], diam[b]) <= config.eta * dist
-        if admissible:
-            factors = _aca(
-                evaluator,
-                np.arange(node_lo[a], node_hi[a]),
-                np.arange(node_lo[b], node_hi[b]),
-                tol,
-                min(config.max_rank, size_a, size_b),
-            )
-            if factors is None:
-                add_counter("hier_aca_fallbacks")
-                emit_dense(a, b)
-            else:
-                u, v = factors
-                table_rows.append(
-                    (a, b, _KIND_LOWRANK, lr_offset, u.shape[1])
-                )
-                lr_parts.append(u.ravel())
-                lr_parts.append(v.ravel())
-                lr_offset += u.size + v.size
-                add_counter("hier_lowrank_blocks")
-            continue
-        if leaf_a and leaf_b:
-            emit_dense(a, b)
-            continue
-        kids_a = [a] if leaf_a else [int(node_left[a]), int(node_right[a])]
-        kids_b = [b] if leaf_b else [int(node_left[b]), int(node_right[b])]
-        # Only split the larger side when both have children, keeping
-        # block counts (and descent work) low for unbalanced pairs.
-        if not leaf_a and not leaf_b:
-            if size_a >= size_b:
-                kids_b = [b]
-            else:
-                kids_a = [a]
-        for ka in kids_a:
-            for kb in kids_b:
-                stack.append((ka, kb) if node_lo[ka] <= node_lo[kb] else (kb, ka))
-
-    block_table = np.zeros((len(table_rows), 5), dtype=np.int64)
-    for row, entry in enumerate(table_rows):
-        block_table[row] = entry
-    dense_data = (
-        np.concatenate(dense_parts) if dense_parts else np.zeros(0)
-    )
-    lr_data = np.concatenate(lr_parts) if lr_parts else np.zeros(0)
-    operator = LazyInductance(
-        n=n,
-        perm=perm,
-        node_lo=node_lo,
-        node_hi=node_hi,
-        node_left=node_left,
-        node_right=node_right,
-        block_table=block_table,
-        dense_data=dense_data,
-        lr_data=lr_data,
-        config=config,
-    )
+    else:
+        evaluator = _PairEvaluator(
+            lengths[perm],
+            widths[perm],
+            thicknesses[perm],
+            starts[perm],
+            centers[perm],
+            perm,
+            gmd_correction,
+        )
+        dense_data = np.empty(dense_total)
+        lr_scratch = np.empty(lr_total)
+        kinds, ranks, spills = _execute_plan_rows(
+            evaluator, node_lo, node_hi, plan, dense_data, lr_scratch,
+            config.cutoff,
+        )
+        operator = _assemble_operator(
+            n,
+            perm,
+            node_lo,
+            node_hi,
+            node_left,
+            node_right,
+            config,
+            plan,
+            kinds,
+            ranks,
+            spills,
+            dense_data,
+            lr_scratch,
+        )
     stats = operator.compression_stats()
     add_counter("hier_stored_bytes", stats["stored_bytes"])
     return operator
@@ -946,6 +1444,7 @@ def hierarchical_blocks(
     system: FilamentSystem,
     gmd_correction: bool = True,
     config: HierarchicalConfig = DEFAULT_CONFIG,
+    jobs: Optional[int] = None,
 ) -> Dict[Axis, Tuple[List[int], LazyInductance]]:
     """Per-direction hierarchical operators ``{axis: (indices, op)}``.
 
@@ -953,6 +1452,8 @@ def hierarchical_blocks(
     :func:`repro.extraction.inductance.inductance_blocks` for systems
     too large to hold dense: same axis grouping, same index lists, but
     each block is a :class:`LazyInductance` instead of an ndarray.
+    ``jobs > 1`` assembles each axis operator through the shared-memory
+    process pool (content-identical to the serial build).
     """
     with stage("hier_build"):
         blocks: Dict[Axis, Tuple[List[int], LazyInductance]] = {}
@@ -960,7 +1461,7 @@ def hierarchical_blocks(
             blocks[axis] = (
                 indices,
                 build_axis_operator(
-                    system, indices, axis, gmd_correction, config
+                    system, indices, axis, gmd_correction, config, jobs=jobs
                 ),
             )
         return blocks

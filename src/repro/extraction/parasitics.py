@@ -192,6 +192,7 @@ def extract(
     gmd_correction: bool = True,
     method: str = "dense",
     hierarchical: Optional[HierarchicalConfig] = None,
+    jobs: Optional[int] = None,
 ) -> Parasitics:
     """Extract R, L, and C for a filament system.
 
@@ -206,7 +207,10 @@ def extract(
     :class:`~repro.extraction.hierarchical.LazyInductance` operators --
     the O(N b^2 + N log N) path that scales past 100k filaments.
     ``hierarchical`` overrides the operator tuning (leaf size,
-    admissibility ``eta``, ACA ``cutoff``, rank cap).
+    admissibility ``eta``, ACA ``cutoff``, rank cap).  ``jobs > 1``
+    assembles hierarchical blocks through the shared-memory process
+    pool; the result is bit-identical to the serial build, so the
+    worker count never enters cache keys.
     """
     if method not in ("dense", "hierarchical"):
         raise ValueError(f"unknown extraction method: {method!r}")
@@ -217,7 +221,10 @@ def extract(
             config = hierarchical if hierarchical is not None else DEFAULT_CONFIG
             blocks = dict(
                 hierarchical_blocks(
-                    system, gmd_correction=gmd_correction, config=config
+                    system,
+                    gmd_correction=gmd_correction,
+                    config=config,
+                    jobs=jobs,
                 )
             )
         else:

@@ -14,6 +14,10 @@ non-finite waveforms) escaping from deep inside an experiment run.
 - :mod:`repro.health.solvers` -- the escalation chains (fast direct
   path -> Tikhonov-regularized retry -> iterative / spectral last
   resort) governed by an explicit :class:`FallbackPolicy`;
+- :mod:`repro.health.iterative` -- operator-level iterative solves
+  (batched Jacobi-preconditioned CG over window stacks, block-Jacobi
+  CG/GMRES against matrix-free operators) with residual certification
+  and direct holdout fallbacks;
 - :mod:`repro.health.faults` -- deterministic fault injection proving
   in tests and CI that every degradation path actually fires.
 """
@@ -40,6 +44,12 @@ from repro.health.faults import (
     inject_fault,
     inject_nan,
     rank_deficient,
+)
+from repro.health.iterative import (
+    WINDOW_CG_RTOL,
+    BlockJacobiPreconditioner,
+    operator_solve,
+    stacked_jacobi_cg,
 )
 from repro.health.solvers import (
     DEFAULT_POLICY,
@@ -79,6 +89,10 @@ __all__ = [
     "sparse_solve",
     "require_finite",
     "ResilientFactor",
+    "WINDOW_CG_RTOL",
+    "stacked_jacobi_cg",
+    "BlockJacobiPreconditioner",
+    "operator_solve",
     "FAULT_KINDS",
     "rank_deficient",
     "flip_mutual_signs",

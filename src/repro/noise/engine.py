@@ -66,6 +66,31 @@ from repro.pipeline.cache import (
 from repro.pipeline.hashing import stable_hash
 from repro.pipeline.profiling import add_counter, stage
 
+#: Transient-solve policy of iterative-solver noise scans: the sparse
+#: MNA systems of the escalated-victim tiers go through the
+#: ILU-preconditioned GMRES tier *first* (at a tightened tolerance so
+#: screening / peak decisions match the direct path), with the full
+#: direct escalation chain intact underneath as the fallback.
+ITERATIVE_TRANSIENT_POLICY = FallbackPolicy(
+    prefer_iterative=True,
+    residual_rtol=1e-12,
+    gmres_rtol=1e-12,
+    gmres_restart=40,
+    gmres_maxiter=2,
+    ilu_drop_tol=1e-12,
+    ilu_fill_factor=200.0,
+)
+
+
+def _transient_policy(
+    spec: ModelSpec, policy: Optional[FallbackPolicy]
+) -> Optional[FallbackPolicy]:
+    """The caller's policy, or the iterative-first default of an
+    ``solver="iterative"`` spec when the caller passed none."""
+    if policy is None and spec.solver == "iterative":
+        return ITERATIVE_TRANSIENT_POLICY
+    return policy
+
 
 @dataclass(frozen=True)
 class NoiseConfig:
@@ -428,7 +453,7 @@ def simulate_escalated(
             config.dt,
             scenarios,
             probe_nodes=probes,
-            policy=policy,
+            policy=_transient_policy(spec, policy),
         )
     sim_seconds = time.perf_counter() - sim_start
     metrics: Dict[int, Tuple[float, float]] = {}
@@ -647,7 +672,11 @@ def _verify_victim(
     # identical sample sets.
     probe = built.skeleton.ports[alignment.victim].far
     result = transient_analysis(
-        built.circuit, t_stop, config.dt, probe_nodes=[probe], policy=policy
+        built.circuit,
+        t_stop,
+        config.dt,
+        probe_nodes=[probe],
+        policy=_transient_policy(spec, policy),
     )
     peak, _ = _masked_metrics(result.voltage(probe), sensitive)
     scale = max(abs(peak), 1e-30)

@@ -235,12 +235,16 @@ def cached_extract(
     gmd_correction: bool = True,
     method: str = "dense",
     hierarchical: Optional[HierarchicalConfig] = None,
+    jobs: Optional[int] = None,
 ) -> Parasitics:
     """:func:`repro.extraction.parasitics.extract` behind the cache.
 
     With ``cache=None`` this is exactly ``extract(...)``; with a cache,
     a warm hit skips extraction entirely and returns a bit-exact copy of
-    the cold run's output.
+    the cold run's output.  ``jobs`` (parallel hierarchical assembly)
+    deliberately does *not* enter the key: the parallel build is
+    bit-identical to the serial one, so any worker count may serve any
+    other's cached entry.
     """
     model = capacitance_model if capacitance_model is not None else CapacitanceModel()
 
@@ -253,6 +257,7 @@ def cached_extract(
             gmd_correction=gmd_correction,
             method=method,
             hierarchical=hierarchical,
+            jobs=jobs,
         )
 
     if cache is None:

@@ -30,7 +30,7 @@ import tracemalloc
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Optional
+from typing import Dict, Iterator, Mapping, Optional, Sequence
 
 #: ``ru_maxrss`` is kilobytes on Linux, bytes on macOS.
 _RU_MAXRSS_UNIT = 1 if sys.platform == "darwin" else 1024
@@ -71,6 +71,12 @@ class StageProfile:
     counters: Dict[str, int] = field(default_factory=dict)
     max_rss_bytes: Dict[str, int] = field(default_factory=dict)
     peak_alloc_bytes: Dict[str, int] = field(default_factory=dict)
+    #: Per-stage maximum over any single worker process's total, filled
+    #: by :meth:`merge_workers`.  Aggregate ``seconds`` answers "how much
+    #: CPU did the stage burn", the worker max answers "how long did the
+    #: slowest worker hold the stage" -- the wall-clock-relevant number
+    #: for a parallel stage.
+    worker_max_seconds: Dict[str, float] = field(default_factory=dict)
 
     def add_time(self, name: str, elapsed: float) -> None:
         self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
@@ -105,6 +111,30 @@ class StageProfile:
             self.peak_alloc_bytes[name] = max(
                 self.peak_alloc_bytes.get(name, 0), value
             )
+        for name, value in other.worker_max_seconds.items():
+            self.worker_max_seconds[name] = max(
+                self.worker_max_seconds.get(name, 0.0), value
+            )
+
+    def merge_workers(self, profiles: "Sequence[StageProfile]") -> None:
+        """Fold the profiles shipped back by a pool of worker processes.
+
+        Seconds/calls/counters aggregate (total CPU across the pool)
+        exactly like :meth:`merge`, but each stage additionally records
+        the *maximum single-worker* total in ``worker_max_seconds`` --
+        with ``J`` workers an aggregate of ``J x t`` seconds and a
+        worker max of ``t`` is a perfectly balanced stage, while a
+        worker max close to the aggregate means one straggler owned the
+        stage.  ``repro --profile`` surfaces both.
+        """
+        for profile in profiles:
+            if profile is None:
+                continue
+            self.merge(profile)
+            for name, value in profile.seconds.items():
+                self.worker_max_seconds[name] = max(
+                    self.worker_max_seconds.get(name, 0.0), value
+                )
 
     # ------------------------------------------------------------------
     # Serialization
@@ -121,6 +151,8 @@ class StageProfile:
                 entry["max_rss_bytes"] = self.max_rss_bytes[name]
             if name in self.peak_alloc_bytes:
                 entry["peak_alloc_bytes"] = self.peak_alloc_bytes[name]
+            if name in self.worker_max_seconds:
+                entry["worker_max_seconds"] = self.worker_max_seconds[name]
             stages[name] = entry
         return {
             "stages": stages,
@@ -133,7 +165,10 @@ class StageProfile:
     def to_table(self) -> str:
         """Human-readable stage table for terminal output."""
         show_memory = bool(self.max_rss_bytes or self.peak_alloc_bytes)
+        show_workers = bool(self.worker_max_seconds)
         header = "stage        seconds  calls"
+        if show_workers:
+            header += "  worker_max"
         if show_memory:
             header += "   max_rss     peak_alloc"
         lines = [header]
@@ -141,6 +176,10 @@ class StageProfile:
             line = (
                 f"{name:<12} {self.seconds[name]:>7.4f}  {self.calls.get(name, 0):>5d}"
             )
+            if show_workers:
+                worker = self.worker_max_seconds.get(name)
+                text = "-" if worker is None else f"{worker:.4f}"
+                line += f"  {text:>10}"
             if show_memory:
                 rss = self.max_rss_bytes.get(name)
                 alloc = self.peak_alloc_bytes.get(name)

@@ -225,6 +225,123 @@ class SharedColumnBlock:
         self.close()
 
 
+class SharedArrayPool:
+    """One flat, *writable* shared-memory array (an assembly scratch pool).
+
+    Where :class:`SharedColumnBlock` publishes finished, read-only
+    columns, a pool is the in-progress counterpart: the owner
+    preallocates ``capacity`` elements, hands the segment *name* to
+    worker processes, and each worker attaches and writes its assigned
+    slices in place.  The parallel hierarchical-inductance builder uses
+    two of these (near-field dense entries, ACA factors) so factor data
+    never rides through pickle on the way back from the pool workers.
+
+    Layout: ``[8-byte element count][aligned float payload]``.  Fresh
+    POSIX segments are zero pages, so reserved-but-unwritten tails read
+    as zeros (tmpfs allocates pages lazily -- a generous reservation
+    costs address space, not resident memory, until written).
+
+    Lifecycle mirrors the column block: the owner eventually ``close``
+    + ``unlink``\\ s; workers only ``close``.  A close refused by live
+    views (``BufferError``) parks the segment in the same deferred
+    registry, so an owner tearing down while zero-copy views are still
+    referenced leaks one mapping instead of crashing or unmapping
+    memory under a reader.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        count: int,
+        dtype: np.dtype,
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self._count = count
+        self._dtype = dtype
+        self._owner = owner
+        self._closed = False
+
+    @classmethod
+    def create(
+        cls,
+        capacity: int,
+        dtype: "np.dtype | type" = np.float64,
+        name: Optional[str] = None,
+    ) -> "SharedArrayPool":
+        """Preallocate a zero-filled pool of ``capacity`` elements."""
+        typed = np.dtype(dtype)
+        payload = _aligned(_HEADER_BYTES) + max(int(capacity), 1) * typed.itemsize
+        segment = shared_memory.SharedMemory(create=True, size=payload, name=name)
+        segment.buf[:_HEADER_BYTES] = int(capacity).to_bytes(_HEADER_BYTES, "little")
+        return cls(segment, int(capacity), typed, owner=True)
+
+    @classmethod
+    def attach(
+        cls, name: str, dtype: "np.dtype | type" = np.float64
+    ) -> "SharedArrayPool":
+        """Map an existing pool for in-place writes (never unlinks)."""
+        segment = shared_memory.SharedMemory(name=name)
+        count = int.from_bytes(segment.buf[:_HEADER_BYTES], "little")
+        return cls(segment, count, np.dtype(dtype), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    @property
+    def capacity(self) -> int:
+        return self._count
+
+    @property
+    def nbytes(self) -> int:
+        return self._segment.size
+
+    @property
+    def data(self) -> np.ndarray:
+        """The full writable pool view (zero-copy, pins the mapping)."""
+        return self.view(0, self._count)
+
+    def view(self, offset: int, count: int) -> np.ndarray:
+        """A writable zero-copy slice ``[offset, offset + count)``.
+
+        Like the column views, built with :func:`numpy.frombuffer` so
+        the mapping is pinned by a real buffer export; unlike them it
+        stays writable -- that is the point of a pool.
+        """
+        if offset < 0 or count < 0 or offset + count > self._count:
+            raise ValueError(
+                f"pool slice [{offset}, {offset + count}) outside "
+                f"capacity {self._count}"
+            )
+        return np.frombuffer(
+            self._segment.buf,
+            dtype=self._dtype,
+            count=count,
+            offset=_aligned(_HEADER_BYTES) + offset * self._dtype.itemsize,
+        )
+
+    def close(self) -> None:
+        """Drop this mapping; defer (leak it) if live views pin it."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._segment.close()
+            except BufferError:
+                _DEFERRED_SEGMENTS.append(self._segment)
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only)."""
+        if self._owner:
+            self._segment.unlink()
+
+    def __enter__(self) -> "SharedArrayPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
 # ----------------------------------------------------------------------
 # Parasitics <-> columns
 # ----------------------------------------------------------------------
@@ -334,6 +451,7 @@ class SharedParasiticsStore:
     )
     stats: ShmStats = field(default_factory=ShmStats)
     _blocks: Dict[str, SharedColumnBlock] = field(default_factory=dict)
+    _pools: List[SharedArrayPool] = field(default_factory=list)
     _closed: bool = False
 
     def __post_init__(self) -> None:
@@ -379,11 +497,26 @@ class SharedParasiticsStore:
             return None
         return parasitics_from_block(block)
 
+    def adopt_pool(self, pool: SharedArrayPool) -> SharedArrayPool:
+        """Tie a scratch pool's lifetime to the store.
+
+        Assembly pools created on behalf of a service job are owned by
+        the store so one :meth:`close` tears down everything.  The pool
+        rides the same deferred-close registry as column blocks: a
+        worker (or the owner itself) still holding a zero-copy view at
+        close time defers the unmap instead of raising ``BufferError``
+        out of the store's shutdown path.
+        """
+        if self._closed:
+            raise RuntimeError("shared-memory store is closed")
+        self._pools.append(pool)
+        return pool
+
     def __len__(self) -> int:
         return len(self._blocks)
 
     def close(self) -> None:
-        """Unlink every owned segment (idempotent)."""
+        """Unlink every owned segment and pool (idempotent)."""
         if self._closed:
             return
         self._closed = True
@@ -391,6 +524,10 @@ class SharedParasiticsStore:
             block.close()
             block.unlink()
         self._blocks.clear()
+        for pool in self._pools:
+            pool.close()
+            pool.unlink()
+        self._pools.clear()
 
 
 #: Worker-process attachment cache: each pool worker maps a segment

@@ -120,11 +120,14 @@ def windowed_vpec(
     window_size: int = 0,
     threshold: float = 0.0,
     policy: Optional[FallbackPolicy] = None,
+    solver: str = "direct",
 ) -> VpecBuildResult:
     """The wVPEC model (Section V): windowed sparse approximate inverse.
 
     Pass ``window_size`` (> 0) for geometric windowing or ``threshold``
-    (> 0) for numerical windowing -- exactly one of the two.
+    (> 0) for numerical windowing -- exactly one of the two.  ``solver``
+    selects the window-solve backend (see
+    :func:`repro.vpec.windowing.windowed_inverse`).
     """
     start = time.perf_counter()
     with stage("sparsify"):
@@ -133,6 +136,7 @@ def windowed_vpec(
             window_size=window_size,
             threshold=threshold,
             policy=policy,
+            solver=solver,
         )
     elapsed = time.perf_counter() - start
     flavor = "gwVPEC" if window_size > 0 else "nwVPEC"

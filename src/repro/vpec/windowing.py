@@ -199,6 +199,75 @@ def _dedup_rows(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 #: the ablation benchmark that shows why eq. 18 picks max.
 MERGE_RULES = ("max", "min", "mean")
 
+#: Window-solve backends.  "direct" is the batched LAPACK factorization;
+#: "iterative" runs the Jacobi-preconditioned CG stack of
+#: :func:`repro.health.iterative.stacked_jacobi_cg` first and routes
+#: only non-converged windows to the direct chain.
+WINDOW_SOLVERS = ("direct", "iterative")
+
+
+def _solve_window_stack_direct(
+    sub_stack: np.ndarray,
+    rhs_stack: np.ndarray,
+    policy: FallbackPolicy,
+    aggressors: np.ndarray,
+) -> np.ndarray:
+    try:
+        solutions = np.linalg.solve(sub_stack, rhs_stack[:, :, None])[:, :, 0]
+        if not np.all(np.isfinite(solutions)):
+            raise np.linalg.LinAlgError("non-finite window solutions")
+    except np.linalg.LinAlgError:
+        # One singular window poisons the whole batched call; redo
+        # the batch per window through the escalation chain so only
+        # the defective windows pay the fallback cost.
+        add_counter("window_fallback_batches")
+        solutions = np.stack(
+            [
+                dense_solve(
+                    sub_stack[k],
+                    rhs_stack[k],
+                    policy=policy,
+                    name=f"window of aggressor {aggressors[k]}",
+                )
+                for k in range(aggressors.size)
+            ]
+        )
+    return solutions
+
+
+def _solve_window_stack(
+    sub_stack: np.ndarray,
+    rhs_stack: np.ndarray,
+    solver: str,
+    policy: FallbackPolicy,
+    aggressors: np.ndarray,
+) -> np.ndarray:
+    """One batch of same-size window systems through the chosen backend.
+
+    The iterative backend never weakens the construction: every CG
+    result is residual-certified, and windows that refuse the tolerance
+    (ill-conditioned or non-SPD stencils) fall through to exactly the
+    direct chain -- so ``solver="iterative"`` changes at most the last
+    few ulp of well-conditioned solutions, never their existence.
+    """
+    if solver == "iterative":
+        from repro.health.iterative import stacked_jacobi_cg
+
+        solutions, converged = stacked_jacobi_cg(sub_stack, rhs_stack)
+        add_counter("window_cg_solves", int(converged.sum()))
+        if converged.all():
+            return solutions
+        add_counter("window_cg_fallbacks", int((~converged).sum()))
+        holdouts = np.flatnonzero(~converged)
+        solutions[holdouts] = _solve_window_stack_direct(
+            sub_stack[holdouts],
+            rhs_stack[holdouts],
+            policy,
+            aggressors[holdouts],
+        )
+        return solutions
+    return _solve_window_stack_direct(sub_stack, rhs_stack, policy, aggressors)
+
 
 def windowed_inverse(
     block: np.ndarray,
@@ -206,6 +275,7 @@ def windowed_inverse(
     merge: str = "max",
     policy: Optional[FallbackPolicy] = None,
     dedup: bool = True,
+    solver: str = "direct",
 ) -> sparse.csr_matrix:
     """Sparse approximate inverse ``S'`` from per-aggressor window solves.
 
@@ -229,9 +299,19 @@ def windowed_inverse(
     (Tikhonov ridge, then least squares) under ``policy`` -- non-finite
     input raises :class:`~repro.health.errors.NonFiniteInputError`
     up front instead.
+
+    ``solver`` selects the backend of the batched solves (see
+    :data:`WINDOW_SOLVERS`); the iterative backend is residual-verified
+    and falls back per window to the direct chain, so it agrees with
+    ``"direct"`` to the CG tolerance on every window and exactly on any
+    window it could not certify.
     """
     if merge not in MERGE_RULES:
         raise ValueError(f"merge must be one of {MERGE_RULES}, got {merge!r}")
+    if solver not in WINDOW_SOLVERS:
+        raise ValueError(
+            f"solver must be one of {WINDOW_SOLVERS}, got {solver!r}"
+        )
     if policy is None:
         policy = DEFAULT_POLICY
     lazy = isinstance(block, LazyInductance)
@@ -300,28 +380,13 @@ def windowed_inverse(
             solve_rows = np.arange(agg.size)
             inverse = solve_rows
 
-        sub_stack = subs[solve_rows]
-        rhs_stack = rhs[solve_rows]
-        try:
-            solutions = np.linalg.solve(sub_stack, rhs_stack[:, :, None])[:, :, 0]
-            if not np.all(np.isfinite(solutions)):
-                raise np.linalg.LinAlgError("non-finite window solutions")
-        except np.linalg.LinAlgError:
-            # One singular window poisons the whole batched call; redo
-            # the batch per window through the escalation chain so only
-            # the defective windows pay the fallback cost.
-            add_counter("window_fallback_batches")
-            solutions = np.stack(
-                [
-                    dense_solve(
-                        sub_stack[k],
-                        rhs_stack[k],
-                        policy=policy,
-                        name=f"window of aggressor {agg[solve_rows[k]]}",
-                    )
-                    for k in range(solve_rows.size)
-                ]
-            )
+        solutions = _solve_window_stack(
+            subs[solve_rows],
+            rhs[solve_rows],
+            solver,
+            policy,
+            agg[solve_rows],
+        )
         solutions = solutions[inverse]
 
         diagonal[agg] = solutions[self_mask]
@@ -372,13 +437,14 @@ def windowed_vpec_networks(
     window_size: int = 0,
     threshold: float = 0.0,
     policy: Optional[FallbackPolicy] = None,
+    solver: str = "direct",
 ) -> List[VpecNetwork]:
     """wVPEC networks for every current direction.
 
     Exactly one of ``window_size`` (geometric, > 0) or ``threshold``
     (numerical, > 0) selects the windowing flavor.  ``policy`` governs
-    the fallback chain of the window solves (see
-    :func:`windowed_inverse`).
+    the fallback chain of the window solves and ``solver`` their
+    backend (see :func:`windowed_inverse`).
     """
     if (window_size > 0) == (threshold > 0):
         raise ValueError(
@@ -392,7 +458,7 @@ def windowed_vpec_networks(
             windows = geometric_windows(parasitics.system, indices, window_size)
         else:
             windows = numerical_windows(block, threshold)
-        s_prime = windowed_inverse(block, windows, policy=policy)
+        s_prime = windowed_inverse(block, windows, policy=policy, solver=solver)
         networks.append(
             VpecNetwork.from_inverse(
                 indices=indices,

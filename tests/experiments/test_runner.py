@@ -39,6 +39,24 @@ class TestModelSpec:
         with pytest.raises(ValueError):
             ModelSpec("nt")
 
+    def test_solver_validation(self):
+        assert gw_spec(8, solver="iterative").solver == "iterative"
+        assert nw_spec(1e-4, solver="iterative").solver == "iterative"
+        with pytest.raises(ValueError, match="solver"):
+            ModelSpec("gw", window=8, solver="magic")
+        # Only the windowed kinds have window solves to route.
+        with pytest.raises(ValueError, match="windowed"):
+            ModelSpec("full", solver="iterative")
+        with pytest.raises(ValueError, match="windowed"):
+            ModelSpec("peec", solver="iterative")
+
+    def test_solver_changes_the_model_key(self, fresh_bus5):
+        from repro.experiments.runner import model_key
+
+        direct = model_key(gw_spec(4), fresh_bus5)
+        iterative = model_key(gw_spec(4, solver="iterative"), fresh_bus5)
+        assert direct != iterative
+
 
 class TestBuildModel:
     @pytest.mark.parametrize(

@@ -1,0 +1,159 @@
+"""Operator-level iterative solves: stacked CG, block-Jacobi CG, GMRES.
+
+These back the 10^6-filament path, where ``L`` exists only as a matvec:
+the window solves run through :func:`stacked_jacobi_cg` and anything
+``L x = b``-shaped through :func:`operator_solve`.  The contract under
+test is the health module's usual one -- every answer is residual-
+certified, non-convergence is a typed error or an explicit mask, and
+nothing materializes the operator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.extraction.hierarchical import HierarchicalConfig, hierarchical_blocks
+from repro.geometry.bus import nonaligned_bus
+from repro.health import ConvergenceError, FallbackPolicy
+from repro.health.iterative import (
+    BlockJacobiPreconditioner,
+    operator_solve,
+    stacked_jacobi_cg,
+)
+from repro.pipeline.profiling import collect
+
+TREE_CONFIG = HierarchicalConfig(leaf_size=8)
+
+
+def _spd_stack(count: int, width: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(count, width, width))
+    return base @ base.transpose(0, 2, 1) + width * np.eye(width)
+
+
+def _operator(bits: int = 24):
+    system = nonaligned_bus(bits, segments_per_line=3, offset_jitter=0.3, seed=7)
+    blocks = hierarchical_blocks(system, config=TREE_CONFIG)
+    _, block = blocks[next(iter(blocks))]
+    return block
+
+
+class TestStackedJacobiCG:
+    def test_matches_direct_solves(self):
+        a_stack = _spd_stack(6, 9)
+        rng = np.random.default_rng(1)
+        b_stack = rng.normal(size=(6, 9))
+        x, converged = stacked_jacobi_cg(a_stack, b_stack)
+        assert converged.all()
+        np.testing.assert_allclose(
+            x, np.linalg.solve(a_stack, b_stack[:, :, None])[:, :, 0],
+            rtol=0, atol=1e-10 * np.abs(b_stack).max(),
+        )
+
+    def test_empty_stack(self):
+        x, converged = stacked_jacobi_cg(
+            np.zeros((0, 4, 4)), np.zeros((0, 4))
+        )
+        assert x.shape == (0, 4)
+        assert converged.shape == (0,)
+
+    def test_non_spd_member_is_masked_not_poisonous(self):
+        a_stack = _spd_stack(3, 6, seed=2)
+        a_stack[1] = -np.eye(6)  # negative curvature on the first step
+        rng = np.random.default_rng(3)
+        b_stack = rng.normal(size=(3, 6))
+        x, converged = stacked_jacobi_cg(a_stack, b_stack)
+        assert not converged[1]
+        assert converged[0] and converged[2]
+        for k in (0, 2):
+            np.testing.assert_allclose(
+                a_stack[k] @ x[k], b_stack[k], rtol=0,
+                atol=1e-10 * np.abs(b_stack[k]).max(),
+            )
+
+    def test_neighbors_do_not_perturb_a_converged_system(self):
+        # Vectorized does not mean coupled: system k's iterates are the
+        # same floating-point operations whether it shares the stack
+        # with an ill-conditioned neighbor or rides alone, and a
+        # converged system freezes.  Bitwise identity is the contract.
+        a = _spd_stack(1, 8, seed=4)
+        rng = np.random.default_rng(5)
+        b = rng.normal(size=(1, 8))
+        alone, ok_alone = stacked_jacobi_cg(a, b)
+        nasty = _spd_stack(1, 8, seed=6)
+        nasty[0] += 1e8 * np.outer(np.ones(8), np.ones(8))  # cond ~ 1e9
+        paired, ok_paired = stacked_jacobi_cg(
+            np.concatenate([a, nasty]), np.concatenate([b, b])
+        )
+        assert ok_alone[0] and ok_paired[0]
+        assert np.array_equal(alone[0], paired[0])
+
+
+class TestBlockJacobiPreconditioner:
+    def test_leaves_cover_the_axis_contiguously(self):
+        operator = _operator()
+        edges = list(operator.leaf_diagonal_blocks())
+        assert edges[0][0] == 0
+        assert edges[-1][1] == operator.shape[0]
+        for (_, hi, _), (lo, _, _) in zip(edges, edges[1:]):
+            assert hi == lo
+
+    def test_applies_the_exact_leaf_inverse(self):
+        operator = _operator()
+        precond = BlockJacobiPreconditioner(operator)
+        rng = np.random.default_rng(8)
+        v = rng.normal(size=operator.shape[0])
+        u = precond(v)
+        # M u = v leaf by leaf, in tree coordinates.
+        u_tree, v_tree = u[operator.perm], v[operator.perm]
+        for lo, hi, block in operator.leaf_diagonal_blocks():
+            np.testing.assert_allclose(
+                np.asarray(block) @ u_tree[lo:hi], v_tree[lo:hi],
+                rtol=0, atol=1e-10 * np.abs(v).max(),
+            )
+
+
+class TestOperatorSolve:
+    def test_matches_dense_solve(self):
+        operator = _operator()
+        dense = operator.toarray()
+        rng = np.random.default_rng(9)
+        rhs = rng.normal(size=operator.shape[0])
+        with collect() as profile:
+            x = operator_solve(operator, rhs)
+        expected = np.linalg.solve(dense, rhs)
+        np.testing.assert_allclose(x, expected, rtol=1e-8)
+        assert profile.counters["operator_cg_iterations"] >= 1
+
+    def test_column_stack_and_single_vector_agree(self):
+        operator = _operator()
+        rng = np.random.default_rng(10)
+        rhs = rng.normal(size=(operator.shape[0], 3))
+        stacked = operator_solve(operator, rhs)
+        assert stacked.shape == rhs.shape
+        dense = operator.toarray()
+        np.testing.assert_allclose(
+            stacked, np.linalg.solve(dense, rhs), rtol=1e-8
+        )
+
+    def test_starved_cg_escalates_to_gmres(self):
+        operator = _operator()
+        rng = np.random.default_rng(11)
+        rhs = rng.normal(size=operator.shape[0])
+        policy = FallbackPolicy(
+            gmres_rtol=1e-10, gmres_restart=60, gmres_maxiter=50
+        )
+        x = operator_solve(operator, rhs, policy=policy, maxiter=1)
+        np.testing.assert_allclose(
+            x, np.linalg.solve(operator.toarray(), rhs), rtol=1e-6
+        )
+
+    def test_no_escalation_allowed_is_typed(self):
+        operator = _operator()
+        rhs = np.ones(operator.shape[0])
+        with pytest.raises(ConvergenceError):
+            operator_solve(
+                operator,
+                rhs,
+                policy=FallbackPolicy(iterative=False),
+                maxiter=1,
+            )

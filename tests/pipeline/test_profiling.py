@@ -173,3 +173,53 @@ class TestMemoryTracking:
         assert payload["stages"]["solve"]["peak_alloc_bytes"] == 5 << 20
         table = profile.to_table()
         assert "max_rss" in table and "3.00G" in table and "5.0M" in table
+
+
+class TestMergeWorkers:
+    def test_aggregate_and_worker_max(self):
+        from repro.pipeline.profiling import StageProfile
+
+        owner = StageProfile()
+        workers = []
+        for seconds in (0.5, 2.0, 1.0):
+            worker = StageProfile()
+            worker.add_time("hier_build_workers", seconds)
+            worker.add_counter("blocks", 10)
+            workers.append(worker)
+        owner.merge_workers(workers)
+        assert owner.seconds["hier_build_workers"] == 3.5
+        assert owner.calls["hier_build_workers"] == 3
+        assert owner.counters["blocks"] == 30
+        # The straggler's total, not the pool total: the wall-clock
+        # number for a parallel stage.
+        assert owner.worker_max_seconds["hier_build_workers"] == 2.0
+
+    def test_none_entries_are_skipped(self):
+        from repro.pipeline.profiling import StageProfile
+
+        owner = StageProfile()
+        worker = StageProfile()
+        worker.add_time("stage", 1.0)
+        owner.merge_workers([None, worker, None])
+        assert owner.worker_max_seconds["stage"] == 1.0
+
+    def test_merge_carries_worker_max_forward(self):
+        from repro.pipeline.profiling import StageProfile
+
+        first = StageProfile()
+        worker = StageProfile()
+        worker.add_time("stage", 2.5)
+        first.merge_workers([worker])
+        total = StageProfile()
+        total.merge(first)
+        assert total.worker_max_seconds["stage"] == 2.5
+
+    def test_round_trip_preserves_worker_max(self):
+        from repro.pipeline.profiling import StageProfile
+
+        profile = StageProfile()
+        worker = StageProfile()
+        worker.add_time("stage", 1.5)
+        profile.merge_workers([worker])
+        doc = profile.to_dict()
+        assert doc["stages"]["stage"]["worker_max_seconds"] == 1.5

@@ -216,3 +216,104 @@ class TestCrossProcess:
             assert remote == float(parasitics.inductance.sum())
         finally:
             store.close()
+
+
+def _pool_writer(args):
+    """Worker probe: attach a pool by name and write a slice in place."""
+    from repro.service.shm import SharedArrayPool
+
+    name, offset, values = args
+    pool = SharedArrayPool.attach(name)
+    try:
+        view = pool.view(offset, len(values))
+        view[:] = values
+    finally:
+        del view
+        pool.close()
+    return offset
+
+
+class TestSharedArrayPool:
+    def test_create_is_zero_filled_and_sized(self):
+        from repro.service.shm import SharedArrayPool
+
+        pool = SharedArrayPool.create(64)
+        try:
+            assert pool.capacity == 64
+            data = pool.data
+            assert data.shape == (64,)
+            assert not data.any()
+            assert pool.nbytes >= 64 * 8
+        finally:
+            del data
+            pool.close()
+            pool.unlink()
+
+    def test_views_are_writable_and_shared(self):
+        from repro.service.shm import SharedArrayPool
+
+        pool = SharedArrayPool.create(16)
+        try:
+            pool.view(4, 3)[:] = [1.0, 2.0, 3.0]
+            np.testing.assert_array_equal(
+                pool.data[4:7], [1.0, 2.0, 3.0]
+            )
+            assert not pool.data[:4].any() and not pool.data[7:].any()
+        finally:
+            pool.close()
+            pool.unlink()
+
+    def test_out_of_range_views_rejected(self):
+        from repro.service.shm import SharedArrayPool
+
+        pool = SharedArrayPool.create(8)
+        try:
+            with pytest.raises(ValueError):
+                pool.view(4, 5)
+            with pytest.raises(ValueError):
+                pool.view(-1, 2)
+        finally:
+            pool.close()
+            pool.unlink()
+
+    def test_worker_attach_writes_in_place(self):
+        from repro.service.shm import SharedArrayPool
+
+        pool = SharedArrayPool.create(12)
+        try:
+            tasks = [
+                (pool.name, 0, [1.0, 2.0]),
+                (pool.name, 6, [7.0, 8.0, 9.0]),
+            ]
+            with ProcessPoolExecutor(max_workers=2) as executor:
+                assert sorted(executor.map(_pool_writer, tasks)) == [0, 6]
+            np.testing.assert_array_equal(pool.data[0:2], [1.0, 2.0])
+            np.testing.assert_array_equal(pool.data[6:9], [7.0, 8.0, 9.0])
+            assert not pool.data[2:6].any()
+        finally:
+            pool.close()
+            pool.unlink()
+
+    def test_close_with_live_views_defers_instead_of_crashing(self):
+        from repro.service import shm as shm_module
+        from repro.service.shm import SharedArrayPool
+
+        pool = SharedArrayPool.create(8)
+        pool.view(0, 4)[:] = [1.0, 2.0, 3.0, 4.0]
+        view = pool.view(0, 4)
+        before = len(shm_module._DEFERRED_SEGMENTS)
+        pool.unlink()
+        pool.close()  # refused by the exported buffer -> deferred
+        assert len(shm_module._DEFERRED_SEGMENTS) == before + 1
+        # The deferred mapping stays readable under the live view.
+        np.testing.assert_array_equal(view, [1.0, 2.0, 3.0, 4.0])
+        del view
+        shm_module._DEFERRED_SEGMENTS.pop().close()
+
+    def test_double_close_is_idempotent(self):
+        from repro.service.shm import SharedArrayPool
+
+        pool = SharedArrayPool.create(4)
+        pool.unlink()
+        pool.close()
+        pool.close()
